@@ -1,0 +1,34 @@
+//! Ablation: transaction look-ahead depth (hardware instruction queue).
+//!
+//! DESIGN.md calls out look-ahead as the mechanism behind the coroutine
+//! controller's competitiveness on busy channels ("a description of the
+//! desired segment is produced prior to the opportunity to execute it",
+//! paper §III). Sweeping the queue depth shows how much advance scheduling
+//! buys.
+
+use babol::runtime::RuntimeConfig;
+use babol::system::Engine;
+use babol::workload::{Order, ReadWorkload};
+use babol_bench::{build_soft_controller, build_system, render_table, ControllerKind};
+use babol_flash::PackageProfile;
+
+fn main() {
+    let profile = PackageProfile::hynix();
+    println!("Ablation: hardware-queue look-ahead depth (Coro, Hynix, 100 MT/s, 8 LUNs, 1 GHz)\n");
+    let mut rows = Vec::new();
+    for depth in [1usize, 2, 4, 8] {
+        let mut cfg = RuntimeConfig::coroutine();
+        cfg.lookahead = depth;
+        let mut sys = build_system(&profile, 8, 100, 1000, ControllerKind::Coro);
+        let mut ctrl = build_soft_controller(ControllerKind::Coro, &profile, cfg);
+        let reqs = ReadWorkload { luns: 8, count: 240, order: Order::Sequential, len: 16384 }
+            .generate(&profile.geometry);
+        let r = Engine::new(1).run(&mut sys, &mut ctrl, reqs);
+        rows.push(vec![
+            format!("{depth}"),
+            format!("{:.1}", r.throughput_mbps()),
+            format!("{}", r.mean_latency()),
+        ]);
+    }
+    println!("{}", render_table(&["depth", "MB/s", "mean latency"], &rows));
+}

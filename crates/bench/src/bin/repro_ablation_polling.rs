@@ -1,0 +1,39 @@
+//! Ablation: poll pacing vs hot polling.
+//!
+//! The paper's Fig. 11 analysis hinges on polling cadence: the coroutine
+//! runtime polls every ~30 µs, FreeRTOS much faster. This sweep varies the
+//! pacing quantum from hot polling (0) upward and reports throughput and
+//! the bus share spent on status polls — showing why fast polling stops
+//! mattering once the channel is busy (paper §VI-B, last paragraph).
+
+use babol::runtime::RuntimeConfig;
+use babol::system::Engine;
+use babol::workload::{Order, ReadWorkload};
+use babol_bench::{build_soft_controller, build_system, render_table, ControllerKind};
+use babol_flash::PackageProfile;
+use babol_sim::SimDuration;
+
+fn main() {
+    let profile = PackageProfile::hynix();
+    for luns in [1u32, 8] {
+        println!("Ablation: poll backoff (Coro, Hynix, 200 MT/s, {luns} LUN(s), 1 GHz)\n");
+        let mut rows = Vec::new();
+        for backoff_us in [0u64, 2, 10, 24, 50, 100] {
+            let mut cfg = RuntimeConfig::coroutine();
+            cfg.poll_backoff = SimDuration::from_micros(backoff_us);
+            let mut sys = build_system(&profile, luns, 200, 1000, ControllerKind::Coro);
+            let mut ctrl = build_soft_controller(ControllerKind::Coro, &profile, cfg);
+            let reqs = ReadWorkload { luns, count: 80 * luns as u64, order: Order::Sequential, len: 16384 }
+                .generate(&profile.geometry);
+            let r = Engine::new(1).run(&mut sys, &mut ctrl, reqs);
+            let polls: u64 = (0..luns).map(|i| sys.channel.lun(i).stats().status_polls).sum();
+            rows.push(vec![
+                format!("{backoff_us}"),
+                format!("{:.1}", r.throughput_mbps()),
+                format!("{:.2}", polls as f64 / r.completions.len() as f64),
+                format!("{}", r.mean_latency()),
+            ]);
+        }
+        println!("{}", render_table(&["backoff us", "MB/s", "polls/op", "mean latency"], &rows));
+    }
+}

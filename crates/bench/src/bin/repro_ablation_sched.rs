@@ -1,0 +1,44 @@
+//! Ablation: transaction scheduling policy.
+//!
+//! "A more advanced transaction scheduler could prioritize commands for
+//! different LUNs" (paper §V). Compares the pluggable policies under a
+//! mixed chunk-size read workload where ordering matters.
+
+use babol::sched::TxnPolicy;
+use babol::runtime::RuntimeConfig;
+use babol::system::Engine;
+use babol::workload::{Order, ReadWorkload};
+use babol_bench::{build_soft_controller, build_system, render_table, ControllerKind};
+use babol_flash::PackageProfile;
+
+fn main() {
+    let profile = PackageProfile::hynix();
+    println!("Ablation: transaction scheduler policy (RTOS, Hynix, 200 MT/s, 8 LUNs, 1 GHz)\n");
+    let mut rows = Vec::new();
+    for (name, policy) in [
+        ("FIFO", TxnPolicy::Fifo),
+        ("round-robin", TxnPolicy::RoundRobinLun),
+        ("commands-first", TxnPolicy::CommandsFirst),
+    ] {
+        let mut cfg = RuntimeConfig::rtos();
+        cfg.txn_policy = policy;
+        let mut sys = build_system(&profile, 8, 200, 1000, ControllerKind::Rtos);
+        let mut ctrl = build_soft_controller(ControllerKind::Rtos, &profile, cfg);
+        // Mixed sizes: half 4 KiB chunk reads, half full pages.
+        let mut reqs = ReadWorkload { luns: 8, count: 240, order: Order::Sequential, len: 16384 }
+            .generate(&profile.geometry);
+        for (i, r) in reqs.iter_mut().enumerate() {
+            if i % 2 == 0 {
+                r.len = 4096;
+            }
+        }
+        let r = Engine::new(1).run(&mut sys, &mut ctrl, reqs);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}", r.throughput_mbps()),
+            format!("{}", r.mean_latency()),
+            format!("{}", r.latency_percentile(0.99)),
+        ]);
+    }
+    println!("{}", render_table(&["policy", "MB/s", "mean lat", "p99 lat"], &rows));
+}

@@ -1,0 +1,50 @@
+//! Reproduces Figure 10: channel READ throughput for each package, channel
+//! rate, LUN count, CPU frequency, and controller.
+//!
+//! The paper's observations this run should show:
+//! * throughput grows with the number of LUNs until the channel saturates;
+//! * the hardware baseline is flat across CPU frequency;
+//! * RTOS reaches the baseline from a few hundred MHz;
+//! * the coroutine controller needs ~1 GHz, and fares best (relative to the
+//!   baseline) on busy 100 MT/s channels with many LUNs.
+
+use babol_bench::{read_microbench, render_table, ControllerKind, FIG10_FREQS_MHZ};
+use babol_flash::PackageProfile;
+
+fn main() {
+    let count = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(240u64);
+    println!("Figure 10: READ throughput (MB/s), {count} page reads per point\n");
+    for profile in PackageProfile::paper_set() {
+        for mts in [100u32, 200] {
+            let lun_counts: &[u32] = if profile.luns_per_channel >= 8 {
+                &[2, 4, 8]
+            } else {
+                &[2]
+            };
+            println!("== {} @ {mts} MT/s ==", profile.name);
+            let mut rows = Vec::new();
+            for &luns in lun_counts {
+                for freq in FIG10_FREQS_MHZ {
+                    let star = if freq == 150 { "*" } else { "" };
+                    let mut row = vec![format!("{luns}"), format!("{freq}{star}")];
+                    for kind in [ControllerKind::HwAsync, ControllerKind::Rtos, ControllerKind::Coro]
+                    {
+                        // The hardware baseline has no CPU dependence; skip
+                        // repeat sims for the same LUN count.
+                        let r = read_microbench(&profile, luns, mts, freq, kind, count);
+                        row.push(format!("{:.1}", r.throughput_mbps()));
+                    }
+                    rows.push(row);
+                }
+            }
+            println!(
+                "{}",
+                render_table(&["LUNs", "CPU MHz", "HW", "RTOS", "Coro"], &rows)
+            );
+        }
+    }
+    println!("(*) soft-core case in the paper; HW is CPU-independent by construction.");
+}

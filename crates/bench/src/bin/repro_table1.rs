@@ -1,0 +1,32 @@
+//! Reproduces Table I: flash memory parameters.
+//!
+//! Read times and page size come from the package profiles (configuration,
+//! matching the paper verbatim); the page transfer times are *measured*
+//! through the simulated μFSM engine and packetizer.
+
+use babol_bench::{page_transfer_time, render_table};
+use babol_flash::PackageProfile;
+
+fn main() {
+    println!("Table I: Flash Memory Parameters (paper vs reproduction)\n");
+    let mut rows = Vec::new();
+    for p in PackageProfile::paper_set() {
+        rows.push(vec![
+            format!("Page read time ({})", p.name),
+            format!("{} us", p.t_r.as_micros()),
+        ]);
+    }
+    rows.push(vec![
+        "Page read size".to_string(),
+        format!("{} B", PackageProfile::hynix().geometry.page_size),
+    ]);
+    rows.push(vec![
+        "Page transfer time (100 MT/s)".to_string(),
+        format!("{:.1} us (paper: 185 us)", page_transfer_time(100).as_micros_f64()),
+    ]);
+    rows.push(vec![
+        "Page transfer time (200 MT/s)".to_string(),
+        format!("{:.1} us (paper: 100 us)", page_transfer_time(200).as_micros_f64()),
+    ]);
+    println!("{}", render_table(&["Parameter", "Value"], &rows));
+}

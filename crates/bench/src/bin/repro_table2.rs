@@ -1,0 +1,43 @@
+//! Reproduces Table II: lines of code per operation and controller style.
+//!
+//! The counts are honest measurements of this repository's own three
+//! implementations (see the `@loc:` markers in `babol::hw::sync_ctrl`,
+//! `babol::hw::cosmos`, and `babol::ops`). Absolute values differ from the
+//! paper (Rust vs Verilog/C++), but the claim under test — hardware
+//! operation logic is many times larger than BABOL software operations —
+//! is reproduced on real code.
+
+use babol_bench::loc;
+use babol_bench::render_table;
+
+fn main() {
+    println!("Table II: lines of code per operation\n");
+    let paper = loc::table2_paper();
+    let measured = loc::table2_measured();
+    let mut rows = Vec::new();
+    for ((op, ps, pa, pb), (_, ms, ma, mb)) in paper.iter().zip(measured.iter()) {
+        rows.push(vec![
+            op.to_string(),
+            format!("{ps}"),
+            format!("{pa}"),
+            format!("{pb}"),
+            format!("{ms}"),
+            format!("{ma}"),
+            format!("{mb}"),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["op", "paper sync", "paper async", "paper BABOL", "ours sync", "ours async", "ours BABOL"],
+            &rows
+        )
+    );
+    for (op, s, a, b) in measured {
+        println!(
+            "{op}: BABOL is {:.1}x smaller than sync HW, {:.1}x smaller than async HW",
+            s as f64 / b as f64,
+            a as f64 / b as f64
+        );
+    }
+}

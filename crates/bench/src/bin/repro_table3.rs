@@ -1,0 +1,41 @@
+//! Reproduces Table III: FPGA resources per controller type.
+//!
+//! Resources are estimated from structural descriptions of the three
+//! controllers through shared synthesis heuristics (see
+//! `babol_ufsm::area`); the paper's Vivado numbers are printed alongside.
+
+use babol_bench::render_table;
+use babol_ufsm::area;
+
+fn main() {
+    println!("Table III: FPGA resources used for each type of controller\n");
+    let mut rows = Vec::new();
+    for ctrl in [
+        area::sync_hw_controller(),
+        area::async_hw_controller(),
+        area::babol_controller(),
+    ] {
+        let model = ctrl.total();
+        let paper = area::paper_table3(ctrl.name).expect("paper values known");
+        rows.push(vec![
+            ctrl.name.to_string(),
+            format!("{}", model.lut),
+            format!("{}", paper.lut),
+            format!("{}", model.ff),
+            format!("{}", paper.ff),
+            format!("{}", model.bram),
+            format!("{}", paper.bram),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["controller", "LUT", "(paper)", "FF", "(paper)", "BRAM", "(paper)"],
+            &rows
+        )
+    );
+    println!("Per-module breakdown (BABOL):");
+    for m in area::babol_controller().modules {
+        println!("  {:45} {}", m.name, area::estimate(&m));
+    }
+}

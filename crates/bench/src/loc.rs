@@ -1,0 +1,128 @@
+//! Line-of-code accounting for Table II.
+//!
+//! The paper counts the lines needed to implement READ, PROGRAM, and ERASE
+//! in three styles: a synchronous hardware controller, an asynchronous
+//! hardware controller, and BABOL's software operations. This reproduction
+//! implemented all three styles *in this workspace*, bracketed by
+//! `@loc:<name>:begin/end` markers; the counts below are honest
+//! measurements of this repository's own source.
+
+/// The coroutine operation library (BABOL column).
+pub const OPS_SOURCE: &str = include_str!("../../core/src/ops.rs");
+/// The synchronous hardware controller (Qiu et al. column).
+pub const SYNC_SOURCE: &str = include_str!("../../core/src/hw/sync_ctrl.rs");
+/// The asynchronous hardware controller (Cosmos+ column).
+pub const ASYNC_SOURCE: &str = include_str!("../../core/src/hw/cosmos.rs");
+
+/// Counts non-blank lines between `@loc:<name>:begin` and `@loc:<name>:end`
+/// markers (excluded). A name may bracket several disjoint regions — e.g. a
+/// hardware operation's waveform builder plus its pipeline-control branches
+/// — and the counts sum. Returns 0 if no region exists.
+pub fn count_region(source: &str, name: &str) -> usize {
+    let begin = format!("@loc:{name}:begin");
+    let end = format!("@loc:{name}:end");
+    let mut counting = false;
+    let mut count = 0;
+    for line in source.lines() {
+        if line.contains(&begin) {
+            counting = true;
+            continue;
+        }
+        if line.contains(&end) {
+            counting = false;
+            continue;
+        }
+        if counting && !line.trim().is_empty() {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// One row of Table II: (operation, sync HW, async HW, BABOL), counted from
+/// this workspace's sources.
+pub fn table2_measured() -> Vec<(&'static str, usize, usize, usize)> {
+    // BABOL's READ uses the READ STATUS helper (paper Algorithm 2 invokes
+    // Algorithm 1), so its count includes both regions.
+    let babol_read = count_region(OPS_SOURCE, "read") + count_region(OPS_SOURCE, "read_status");
+    vec![
+        (
+            "READ",
+            count_region(SYNC_SOURCE, "hw_sync_read"),
+            count_region(ASYNC_SOURCE, "hw_async_read"),
+            babol_read,
+        ),
+        (
+            "PROGRAM",
+            count_region(SYNC_SOURCE, "hw_sync_program"),
+            count_region(ASYNC_SOURCE, "hw_async_program"),
+            count_region(OPS_SOURCE, "program"),
+        ),
+        (
+            "ERASE",
+            count_region(SYNC_SOURCE, "hw_sync_erase"),
+            count_region(ASYNC_SOURCE, "hw_async_erase"),
+            count_region(OPS_SOURCE, "erase"),
+        ),
+    ]
+}
+
+/// The paper's Table II values: (operation, sync HW, async HW, BABOL).
+pub fn table2_paper() -> Vec<(&'static str, usize, usize, usize)> {
+    vec![
+        ("READ", 420, 454, 58),
+        ("PROGRAM", 420, 260, 44),
+        ("ERASE", 327, 203, 27),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_regions_exist() {
+        for (op, sync, async_, babol) in table2_measured() {
+            assert!(sync > 0, "{op} sync region missing");
+            assert!(async_ > 0, "{op} async region missing");
+            assert!(babol > 0, "{op} babol region missing");
+        }
+    }
+
+    #[test]
+    fn babol_is_smallest_and_sync_is_largest() {
+        // The paper's headline ordering: BABOL software operations are far
+        // smaller than either hardware implementation, and the synchronous
+        // design is the largest. (Absolute ratios are smaller here than in
+        // the paper because our "hardware" is behavioural Rust, not RTL —
+        // see EXPERIMENTS.md.)
+        for (op, sync, async_, babol) in table2_measured() {
+            assert!(babol < async_, "{op}: babol {babol} vs async {async_}");
+            assert!(babol * 16 <= sync * 10, "{op}: babol {babol} vs sync {sync}");
+        }
+        // The paper's cross-hardware relation also holds per operation:
+        // the asynchronous controller's READ is its largest op (bigger than
+        // the synchronous one's, 454 vs 420), while PROGRAM and ERASE are
+        // smaller than their synchronous counterparts.
+        let m = table2_measured();
+        assert!(m[0].2 > m[0].1, "READ: async should exceed sync");
+        assert!(m[1].2 < m[1].1, "PROGRAM: async should be below sync");
+        assert!(m[2].2 < m[2].1, "ERASE: async should be below sync");
+    }
+
+    #[test]
+    fn babol_counts_are_in_the_papers_ballpark() {
+        // Not exact (different languages), but the same order: tens of
+        // lines, not hundreds.
+        for (op, _, _, babol) in table2_measured() {
+            assert!((15..=90).contains(&babol), "{op}: {babol} lines");
+        }
+    }
+
+    #[test]
+    fn count_region_basics_and_disjoint_sum() {
+        let src = "x\n// @loc:a:begin\none\n\ntwo\n// @loc:a:end\ny\n// @loc:a:begin\nthree\n// @loc:a:end";
+        assert_eq!(count_region(src, "a"), 3);
+        assert_eq!(count_region(src, "missing"), 0);
+    }
+}

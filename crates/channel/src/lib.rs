@@ -1,0 +1,403 @@
+//! The shared flash channel.
+//!
+//! A channel bundles several LUNs behind one shared bus (paper Fig. 1,
+//! center). Because the bus is shared, at most one waveform segment can be
+//! in flight at a time; the storage controller must schedule bus usage and
+//! can interleave the segments of operations targeting different LUNs
+//! (paper Fig. 3). This crate models exactly that contract:
+//!
+//! * [`Channel::transmit`] moves one *segment* — a chip-enable mask plus a
+//!   sequence of timed [`BusPhase`]s — onto the bus, delivering each phase
+//!   to the selected LUNs at its trailing edge and collecting any data that
+//!   flows back. Transmissions must not overlap; attempting to overlap is a
+//!   controller bug and fails loudly.
+//! * [`analyzer::Analyzer`] timestamps every phase (and R/B# transition)
+//!   like the Keysight logic analyzer the paper uses for Figure 11.
+//!
+//! The channel does not decide *what* to send — that is the μFSM layer
+//! (`babol-ufsm`) driven by the controller software (`babol` crate).
+
+pub mod analyzer;
+
+use std::fmt;
+
+use babol_flash::{Lun, LunError, LunResponse};
+use babol_onfi::bus::{BusPhase, ChipMask, PhaseKind};
+use babol_sim::{SimDuration, SimTime};
+
+pub use analyzer::{Analyzer, TraceEvent};
+
+/// Errors surfaced by the channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChannelError {
+    /// A transmission was started while the bus was still owned.
+    BusBusy {
+        /// When the in-flight transmission ends.
+        until: SimTime,
+        /// When the offending transmission wanted to start.
+        attempted: SimTime,
+    },
+    /// The chip-enable mask selects no LUN.
+    NoLunSelected,
+    /// The chip-enable mask selects a LUN index this channel does not have.
+    LunOutOfRange {
+        /// The offending LUN index.
+        lun: u32,
+        /// Number of LUNs wired to this channel.
+        wired: u32,
+    },
+    /// A selected LUN rejected a phase.
+    Lun {
+        /// Which LUN rejected it.
+        lun: u32,
+        /// The protocol error it raised.
+        error: LunError,
+    },
+}
+
+impl fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelError::BusBusy { until, attempted } => write!(
+                f,
+                "bus busy until {until}, transmission attempted at {attempted}"
+            ),
+            ChannelError::NoLunSelected => write!(f, "chip-enable mask selects no LUN"),
+            ChannelError::LunOutOfRange { lun, wired } => {
+                write!(f, "LUN {lun} out of range (channel has {wired})")
+            }
+            ChannelError::Lun { lun, error } => write!(f, "LUN {lun}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+/// The outcome of one transmitted segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transmission {
+    /// When the segment finished on the bus (bus free again).
+    pub end: SimTime,
+    /// Bytes that flowed controller-ward during the segment (data-out
+    /// phases), concatenated in phase order.
+    pub data: Vec<u8>,
+}
+
+/// Cumulative channel statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Total time the bus carried a segment.
+    pub busy: SimDuration,
+    /// Segments transmitted.
+    pub segments: u64,
+    /// Phases transmitted.
+    pub phases: u64,
+    /// Controller-bound data bytes moved.
+    pub bytes_out: u64,
+    /// Flash-bound data bytes moved.
+    pub bytes_in: u64,
+}
+
+/// A shared bus with its attached LUNs.
+pub struct Channel {
+    luns: Vec<Lun>,
+    busy_until: SimTime,
+    analyzer: Analyzer,
+    stats: ChannelStats,
+}
+
+impl fmt::Debug for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Channel")
+            .field("luns", &self.luns.len())
+            .field("busy_until", &self.busy_until)
+            .finish()
+    }
+}
+
+impl Channel {
+    /// Creates a channel over the given LUNs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `luns` is empty or holds more than 16 LUNs (the ONFI CE#
+    /// fan-out this model supports).
+    pub fn new(luns: Vec<Lun>) -> Self {
+        assert!(
+            !luns.is_empty() && luns.len() <= 16,
+            "channel needs 1..=16 LUNs"
+        );
+        Channel {
+            luns,
+            busy_until: SimTime::ZERO,
+            analyzer: Analyzer::new(false),
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// Enables or disables trace capture.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.analyzer.set_enabled(on);
+    }
+
+    /// The captured trace.
+    pub fn analyzer(&self) -> &Analyzer {
+        &self.analyzer
+    }
+
+    /// Mutable access to the analyzer (for controller-side annotations).
+    pub fn analyzer_mut(&mut self) -> &mut Analyzer {
+        &mut self.analyzer
+    }
+
+    /// Number of LUNs wired to this channel.
+    pub fn lun_count(&self) -> u32 {
+        self.luns.len() as u32
+    }
+
+    /// Read access to a LUN (assertions, R/B# monitoring).
+    pub fn lun(&self, lun: u32) -> &Lun {
+        &self.luns[lun as usize]
+    }
+
+    /// Mutable access to a LUN (workload setup, calibration registers).
+    pub fn lun_mut(&mut self, lun: u32) -> &mut Lun {
+        &mut self.luns[lun as usize]
+    }
+
+    /// When the bus becomes free.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// True if the bus is free at `now`.
+    pub fn is_free(&self, now: SimTime) -> bool {
+        now >= self.busy_until
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+
+    /// Earliest `busy_until` across LUNs that are busy at `now` — the next
+    /// R/B# rising edge, which hardware controllers watch directly.
+    pub fn next_rb_edge(&self, now: SimTime) -> Option<SimTime> {
+        self.luns
+            .iter()
+            .filter_map(|l| l.busy_until())
+            .filter(|&t| t > now)
+            .min()
+    }
+
+    /// Transmits one segment: asserts CE# per `mask`, plays each phase in
+    /// order, delivers phase contents to the selected LUNs at the phase's
+    /// trailing edge, and frees the bus at the end.
+    ///
+    /// Data-out phases collect bytes from the lowest-numbered selected LUN
+    /// (driving DQ from several LUNs at once would short the bus; gang
+    /// scheduling via Chip Control is for commands, not data-out).
+    pub fn transmit(
+        &mut self,
+        start: SimTime,
+        mask: ChipMask,
+        phases: &[BusPhase],
+    ) -> Result<Transmission, ChannelError> {
+        if start < self.busy_until {
+            return Err(ChannelError::BusBusy {
+                until: self.busy_until,
+                attempted: start,
+            });
+        }
+        if mask.is_empty() {
+            return Err(ChannelError::NoLunSelected);
+        }
+        for lun in mask.iter() {
+            if lun >= self.lun_count() {
+                return Err(ChannelError::LunOutOfRange {
+                    lun,
+                    wired: self.lun_count(),
+                });
+            }
+        }
+        let mut t = start;
+        let mut data = Vec::new();
+        for phase in phases {
+            let phase_end = t + phase.duration;
+            let mut reader = None;
+            for lun in mask.iter() {
+                // Data-out only drives from the lowest selected LUN.
+                if matches!(phase.kind, PhaseKind::DataOut { .. }) && reader.is_some() {
+                    break;
+                }
+                let resp = self.luns[lun as usize]
+                    .phase(phase_end, &phase.kind)
+                    .map_err(|error| ChannelError::Lun { lun, error })?;
+                if let LunResponse::Data(bytes) = resp {
+                    reader = Some(bytes);
+                }
+            }
+            if let Some(bytes) = reader {
+                self.stats.bytes_out += bytes.len() as u64;
+                data.extend_from_slice(&bytes);
+            }
+            if let PhaseKind::DataIn(ref d) = phase.kind {
+                self.stats.bytes_in += d.len() as u64;
+            }
+            self.analyzer.record(t, phase_end, mask, &phase.kind);
+            self.stats.phases += 1;
+            t = phase_end;
+        }
+        self.stats.segments += 1;
+        self.stats.busy += t - start;
+        self.busy_until = t;
+        Ok(Transmission { end: t, data })
+    }
+
+    /// Bus utilization over `[SimTime::ZERO, now]`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        if now == SimTime::ZERO {
+            return 0.0;
+        }
+        (self.stats.busy.as_picos() as f64 / now.since_epoch().as_picos() as f64).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use babol_flash::lun::LunConfig;
+    use babol_onfi::opcode::op;
+    use babol_onfi::timing::{DataInterface, TimingParams};
+
+    fn channel(n: usize) -> Channel {
+        let luns = (0..n)
+            .map(|i| {
+                let mut cfg = LunConfig::test_default();
+                cfg.seed = i as u64 + 1;
+                Lun::new(cfg)
+            })
+            .collect();
+        Channel::new(luns)
+    }
+
+    fn ca(op: u8) -> BusPhase {
+        let t = TimingParams::nv_ddr2();
+        BusPhase::new(
+            PhaseKind::CmdLatch(op),
+            t.ca_segment(DataInterface::NvDdr2 { mts: 200 }, 1),
+        )
+    }
+
+    #[test]
+    fn transmit_occupies_bus_for_phase_sum() {
+        let mut ch = channel(2);
+        let phases = vec![ca(op::READ_STATUS)];
+        let total: SimDuration = phases.iter().map(|p| p.duration).sum();
+        let tx = ch
+            .transmit(SimTime::ZERO, ChipMask::single(0), &phases)
+            .unwrap();
+        assert_eq!(tx.end, SimTime::ZERO + total);
+        assert_eq!(ch.busy_until(), tx.end);
+        assert!(ch.is_free(tx.end));
+        assert!(!ch.is_free(SimTime::ZERO));
+    }
+
+    #[test]
+    fn overlapping_transmission_is_rejected() {
+        let mut ch = channel(2);
+        let phases = vec![ca(op::READ_STATUS)];
+        let tx = ch
+            .transmit(SimTime::ZERO, ChipMask::single(0), &phases)
+            .unwrap();
+        let err = ch
+            .transmit(SimTime::ZERO, ChipMask::single(1), &phases)
+            .unwrap_err();
+        assert!(matches!(err, ChannelError::BusBusy { .. }));
+        // But transmitting right at the end is fine.
+        ch.transmit(tx.end, ChipMask::single(1), &phases).unwrap();
+    }
+
+    #[test]
+    fn status_roundtrip_through_bus() {
+        let mut ch = channel(1);
+        let t = TimingParams::nv_ddr2();
+        let iface = DataInterface::NvDdr2 { mts: 200 };
+        let phases = vec![
+            ca(op::READ_STATUS),
+            BusPhase::new(PhaseKind::DataOut { bytes: 1 }, t.data_out_burst(iface, 1)),
+        ];
+        let tx = ch
+            .transmit(SimTime::ZERO, ChipMask::single(0), &phases)
+            .unwrap();
+        assert_eq!(tx.data.len(), 1);
+        assert_eq!(tx.data[0] & 0x40, 0x40); // idle LUN is ready
+    }
+
+    #[test]
+    fn gang_command_reaches_all_selected_luns() {
+        let mut ch = channel(4);
+        // Gang a RESET to LUNs 1 and 3 via the chip mask.
+        let mask = ChipMask::single(1) | ChipMask::single(3);
+        ch.transmit(SimTime::ZERO, mask, &[ca(op::RESET)]).unwrap();
+        assert!(ch.lun(1).busy_until().is_some());
+        assert!(ch.lun(3).busy_until().is_some());
+        assert!(ch.lun(0).busy_until().is_none());
+        assert!(ch.lun(2).busy_until().is_none());
+    }
+
+    #[test]
+    fn empty_mask_and_bad_lun_rejected() {
+        let mut ch = channel(2);
+        assert_eq!(
+            ch.transmit(SimTime::ZERO, ChipMask::NONE, &[ca(op::RESET)]),
+            Err(ChannelError::NoLunSelected)
+        );
+        assert!(matches!(
+            ch.transmit(SimTime::ZERO, ChipMask::single(5), &[ca(op::RESET)]),
+            Err(ChannelError::LunOutOfRange { lun: 5, wired: 2 })
+        ));
+    }
+
+    #[test]
+    fn lun_protocol_error_is_attributed() {
+        let mut ch = channel(2);
+        // A bare READ confirm with no preceding address is a protocol error.
+        let err = ch
+            .transmit(SimTime::ZERO, ChipMask::single(1), &[ca(op::READ_2)])
+            .unwrap_err();
+        assert!(matches!(err, ChannelError::Lun { lun: 1, .. }));
+    }
+
+    #[test]
+    fn next_rb_edge_tracks_busiest_luns() {
+        let mut ch = channel(3);
+        assert_eq!(ch.next_rb_edge(SimTime::ZERO), None);
+        let tx = ch
+            .transmit(SimTime::ZERO, ChipMask::single(0), &[ca(op::RESET)])
+            .unwrap();
+        let edge = ch.next_rb_edge(tx.end).expect("LUN 0 busy");
+        assert!(edge > tx.end);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut ch = channel(1);
+        let phases = vec![ca(op::READ_STATUS)];
+        let tx = ch
+            .transmit(SimTime::ZERO, ChipMask::single(0), &phases)
+            .unwrap();
+        ch.transmit(tx.end, ChipMask::single(0), &phases).unwrap();
+        let s = ch.stats();
+        assert_eq!(s.segments, 2);
+        assert_eq!(s.phases, 2);
+        assert!(s.busy > SimDuration::ZERO);
+        assert!(ch.utilization(ch.busy_until()) > 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=16")]
+    fn empty_channel_panics() {
+        Channel::new(Vec::new());
+    }
+}

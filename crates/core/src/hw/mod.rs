@@ -1,0 +1,23 @@
+//! The hardware-baseline controllers.
+//!
+//! The paper evaluates BABOL against two hardware-only designs:
+//!
+//! * [`cosmos`] — an *asynchronous* controller in the style of the Cosmos+
+//!   OpenSSD \[25\]: a shared engine with per-LUN request state, driven by the
+//!   R/B# pins, with a fixed operation set baked into hardware. This is the
+//!   "HW" baseline of Fig. 10 and the unmodified-Cosmos+ baseline of
+//!   Fig. 12.
+//! * [`sync_ctrl`] — a *synchronous* controller in the style of Qiu et
+//!   al. \[50\] (paper Fig. 4): one full operation FSM per LUN, granted the
+//!   channel by an arbiter, producing its waveform cycle by cycle. Verbose
+//!   by construction — this is what Table II's per-operation line counts
+//!   look like when waveforms are hard-coded.
+//!
+//! Both run with a zero-cost CPU model: their scheduling logic is dedicated
+//! FPGA area (Table III shows what that area costs).
+
+pub mod cosmos;
+pub mod sync_ctrl;
+
+pub use cosmos::CosmosController;
+pub use sync_ctrl::SyncController;

@@ -1,0 +1,42 @@
+//! BABOL: a software-defined NAND flash controller.
+//!
+//! This crate is the reproduction of the paper's contribution proper: a
+//! storage controller whose *operations* (READ, PROGRAM, ERASE, and all
+//! their vendor-optimized variants) are written as small software routines
+//! that enqueue μFSM instructions, while dedicated (simulated) hardware
+//! executes the resulting waveform segments on time.
+//!
+//! The crate mirrors the architecture of the paper's Figure 5:
+//!
+//! * **Operation Scheduling** (software): [`runtime`] hosts the two software
+//!   environments — a coroutine executor ([`runtime::coro`], the C++20
+//!   analogue, ops written as `async fn`) and an RTOS-style task runtime
+//!   ([`runtime::rtos`], ops written as explicit state machines). Pluggable
+//!   [`sched`] policies decide which task runs and which transaction uses
+//!   the channel next.
+//! * **Operation Execution** (hardware): the μFSM engine from `babol-ufsm`,
+//!   driven through a small hardware instruction queue with look-ahead.
+//! * **Operations**: [`ops`] is the coroutine operation library — Algorithms
+//!   1–3 of the paper plus the advanced operations its introduction cites
+//!   (pSLC, read-retry, cache reads, multi-plane, suspend/resume, RAIL-style
+//!   gang reads). `runtime::rtos`'s op library is the RTOS flavour of the core set.
+//! * **Baselines**: [`hw`] implements the two hardware-only controllers the
+//!   paper compares against — a synchronous per-LUN-FSM design (Qiu et al.)
+//!   and the asynchronous Cosmos+ design — as deliberately verbose,
+//!   hard-coded FSMs with zero software cost.
+//! * **Boot**: [`boot`] reproduces §IV-C — reset, parameter-page discovery,
+//!   timing-mode bring-up, and DQS-phase calibration.
+//! * **Harness**: [`system`] is the discrete-event engine tying CPU model,
+//!   channel, DRAM and controllers together; [`workload`] generates the
+//!   paper's microbenchmark request streams.
+
+pub mod boot;
+pub mod factory;
+pub mod hw;
+pub mod ops;
+pub mod runtime;
+pub mod sched;
+pub mod system;
+pub mod workload;
+
+pub use system::{Controller, Engine, Event, IoKind, IoRequest, RunReport, System};

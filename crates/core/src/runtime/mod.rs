@@ -1,0 +1,709 @@
+//! The software environments: shared runtime machinery.
+//!
+//! The paper ships two software environments — C++20 coroutines and
+//! FreeRTOS — that differ in programming model and context-switch cost but
+//! share the same structure: operations build transactions, a task scheduler
+//! decides which operation runs, a transaction scheduler feeds the hardware
+//! instruction queue, and completions wake the blocked operation (§V).
+//!
+//! This module implements that shared structure once, as [`SoftRuntime`].
+//! The two flavours plug in as [`SoftTask`] implementations:
+//!
+//! * [`coro`] — operations are `async fn`s polled by a tiny deterministic
+//!   executor (the C++20-coroutines analogue);
+//! * [`rtos`] — operations are explicit state machines (the FreeRTOS
+//!   analogue: more expertise demanded, lighter runtime).
+//!
+//! Every software action charges the CPU model, so the same controller
+//! logic slows down on a 150 MHz soft-core exactly the way Figure 10 shows.
+
+pub mod coro;
+pub mod rtos;
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use babol_sim::{SimDuration, SimTime};
+use babol_ufsm::{execute, Transaction};
+
+use crate::sched::{TaskMeta, TaskPolicy, TxnMeta, TxnPolicy};
+use crate::system::{Controller, Event, IoRequest, System};
+
+/// Task identifier inside a runtime.
+pub type TaskId = usize;
+
+/// Result of one completed transaction, delivered to the owning task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnResult {
+    /// Bytes returned inline (status bytes, feature values, IDs).
+    pub inline: Vec<u8>,
+    /// When the transaction finished on the bus.
+    pub end: SimTime,
+}
+
+/// Why an operation finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpError {
+    /// The LUN reported FAIL status.
+    Failed {
+        /// The raw status byte.
+        status: u8,
+    },
+    /// Data failed ECC even after retries.
+    Uncorrectable,
+    /// The operation gave up waiting.
+    Timeout,
+}
+
+impl fmt::Display for OpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpError::Failed { status } => write!(f, "operation failed, status {status:#04x}"),
+            OpError::Uncorrectable => write!(f, "uncorrectable data"),
+            OpError::Timeout => write!(f, "operation timed out"),
+        }
+    }
+}
+
+impl std::error::Error for OpError {}
+
+/// Per-task communication area between the runtime and the operation body.
+#[derive(Debug, Default)]
+pub struct Mailbox {
+    /// Simulated time at the start of the current advance.
+    pub now: SimTime,
+    next_local: u64,
+    /// Transactions built during the current advance (local ticket, txn).
+    pub outbox: Vec<(u64, Transaction)>,
+    /// Results delivered by the runtime, keyed by local ticket.
+    pub results: HashMap<u64, TxnResult>,
+    /// Sleep request set during the current advance.
+    pub sleep: Option<SimDuration>,
+    /// DRAM staging writes requested during the current advance (the CPU
+    /// preparing buffers the Packetizer will read).
+    pub staged: Vec<(u64, Vec<u8>)>,
+    /// Straight-line work steps performed during the current advance.
+    pub steps: u32,
+    /// Final outcome, set by the operation before finishing.
+    pub outcome: Option<Result<(), OpError>>,
+    /// Poll-pacing interval inherited from the runtime configuration.
+    pub poll_backoff: SimDuration,
+    /// The LUN the operation targets (scheduling metadata).
+    pub lun: u32,
+    /// Task priority (scheduling metadata).
+    pub priority: u8,
+}
+
+impl Mailbox {
+    /// Allocates a local ticket and queues `txn` for submission.
+    pub fn submit(&mut self, txn: Transaction) -> u64 {
+        let t = self.next_local;
+        self.next_local += 1;
+        self.outbox.push((t, txn));
+        t
+    }
+
+    /// Takes the result for `ticket` if it has been delivered.
+    pub fn take_result(&mut self, ticket: u64) -> Option<TxnResult> {
+        self.results.remove(&ticket)
+    }
+}
+
+/// Progress of a task after one advance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskStatus {
+    /// Blocked on a transaction result or a timer.
+    Blocked,
+    /// Ran to completion.
+    Finished,
+}
+
+/// A schedulable operation. Implemented by coroutine tasks ([`coro`]) and
+/// RTOS state-machine tasks ([`rtos`]).
+pub trait SoftTask {
+    /// Runs the task until it blocks or finishes. `now` is the simulated
+    /// time of this scheduling slot.
+    fn advance(&mut self, now: SimTime) -> TaskStatus;
+    /// Drains transactions built during the last advance.
+    fn drain_outbox(&mut self) -> Vec<(u64, Transaction)>;
+    /// Delivers a transaction result.
+    fn deliver(&mut self, local_ticket: u64, result: TxnResult);
+    /// Takes a pending sleep request.
+    fn take_sleep(&mut self) -> Option<SimDuration>;
+    /// Drains DRAM staging writes requested during the last advance.
+    fn drain_staged(&mut self) -> Vec<(u64, Vec<u8>)>;
+    /// Takes the count of body steps executed during the last advance.
+    fn take_steps(&mut self) -> u32;
+    /// Takes the final outcome (valid once finished).
+    fn take_outcome(&mut self) -> Option<Result<(), OpError>>;
+    /// Scheduling metadata.
+    fn meta(&self) -> TaskMeta;
+}
+
+/// Configuration of a software runtime instance.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Cycle costs of software actions (coroutine vs RTOS).
+    pub cost: babol_sim::CostModel,
+    /// Task scheduling policy.
+    pub task_policy: TaskPolicy,
+    /// Transaction scheduling policy.
+    pub txn_policy: TxnPolicy,
+    /// Hardware instruction queue depth (transaction look-ahead).
+    pub lookahead: usize,
+    /// Hardware issue latency between queued transactions.
+    pub issue_gap: SimDuration,
+    /// Maximum concurrently admitted operations.
+    pub admission: usize,
+    /// Pacing interval of status-poll loops: after a busy status, the
+    /// operation is rescheduled after this long rather than hot-spinning.
+    /// This quantum plus the per-action cycle costs produce the polling
+    /// periods of the paper's Fig. 11 (~30 µs coroutine, ~2.5 µs RTOS at
+    /// 1 GHz).
+    pub poll_backoff: SimDuration,
+}
+
+impl RuntimeConfig {
+    /// The coroutine software environment, as configured in the paper's
+    /// experiments.
+    pub fn coroutine() -> Self {
+        RuntimeConfig {
+            cost: babol_sim::CostModel::coroutine(),
+            task_policy: TaskPolicy::RoundRobinLun,
+            txn_policy: TxnPolicy::RoundRobinLun,
+            lookahead: 4,
+            issue_gap: SimDuration::from_nanos(150),
+            admission: 64,
+            poll_backoff: SimDuration::from_nanos(24_000),
+        }
+    }
+
+    /// The RTOS software environment.
+    pub fn rtos() -> Self {
+        RuntimeConfig {
+            cost: babol_sim::CostModel::rtos(),
+            task_policy: TaskPolicy::RoundRobinLun,
+            txn_policy: TxnPolicy::RoundRobinLun,
+            lookahead: 4,
+            issue_gap: SimDuration::from_nanos(150),
+            admission: 64,
+            poll_backoff: SimDuration::from_nanos(1_400),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ReadyTxn {
+    ticket: u64,
+    txn: Transaction,
+    meta: TxnMeta,
+    avail: SimTime,
+}
+
+#[derive(Debug)]
+struct HwEntry {
+    ticket: u64,
+    txn: Transaction,
+    avail: SimTime,
+}
+
+/// The shared software runtime: task scheduling, transaction scheduling,
+/// hardware instruction queue, completion routing.
+pub struct SoftRuntime {
+    cfg: RuntimeConfig,
+    tasks: Vec<Option<Box<dyn SoftTask>>>,
+    free_ids: Vec<TaskId>,
+    active: usize,
+    runnable: VecDeque<TaskId>,
+    waiting: HashMap<u64, (TaskId, u64)>,
+    sleeping: HashMap<u64, TaskId>,
+    ready: Vec<ReadyTxn>,
+    hw_queue: VecDeque<HwEntry>,
+    in_flight: Option<u64>,
+    outcomes: HashMap<u64, (SimTime, Vec<u8>)>,
+    next_ticket: u64,
+    next_timer: u64,
+    last_task_lun: u32,
+    last_txn_lun: u32,
+    /// LUNs with an operation currently admitted (the task scheduler admits
+    /// "an operation when a given package is available", paper §V).
+    lun_active: HashMap<u32, TaskId>,
+    /// Tasks parked until their LUN frees up.
+    lun_parked: HashMap<u32, VecDeque<TaskId>>,
+    finished: Vec<(TaskId, SimTime, Option<Result<(), OpError>>)>,
+    /// Cumulative count of issued transactions (stats).
+    pub txns_issued: u64,
+}
+
+impl fmt::Debug for SoftRuntime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SoftRuntime")
+            .field("active", &self.active)
+            .field("runnable", &self.runnable.len())
+            .field("hw_queue", &self.hw_queue.len())
+            .finish()
+    }
+}
+
+impl SoftRuntime {
+    /// Creates an empty runtime.
+    pub fn new(cfg: RuntimeConfig) -> Self {
+        SoftRuntime {
+            cfg,
+            tasks: Vec::new(),
+            free_ids: Vec::new(),
+            active: 0,
+            runnable: VecDeque::new(),
+            waiting: HashMap::new(),
+            sleeping: HashMap::new(),
+            ready: Vec::new(),
+            hw_queue: VecDeque::new(),
+            in_flight: None,
+            outcomes: HashMap::new(),
+            next_ticket: 0,
+            next_timer: 0,
+            last_task_lun: 0,
+            last_txn_lun: 0,
+            lun_active: HashMap::new(),
+            lun_parked: HashMap::new(),
+            finished: Vec::new(),
+            txns_issued: 0,
+        }
+    }
+
+    /// The runtime's configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    /// Number of admitted, unfinished tasks.
+    pub fn active_tasks(&self) -> usize {
+        self.active
+    }
+
+    /// Admits a task; returns its id. The caller should schedule a
+    /// zero-delay [`Event::CpuDone`] so the pump runs.
+    pub fn spawn(&mut self, task: Box<dyn SoftTask>) -> TaskId {
+        let lun = task.meta().lun;
+        let tid = if let Some(tid) = self.free_ids.pop() {
+            self.tasks[tid] = Some(task);
+            tid
+        } else {
+            self.tasks.push(Some(task));
+            self.tasks.len() - 1
+        };
+        self.active += 1;
+        // One operation per LUN at a time: a LUN has one page register, so
+        // overlapping operations would corrupt each other. Later arrivals
+        // park until the LUN frees up.
+        if self.lun_active.contains_key(&lun) {
+            self.lun_parked.entry(lun).or_default().push_back(tid);
+        } else {
+            self.lun_active.insert(lun, tid);
+            self.runnable.push_back(tid);
+        }
+        tid
+    }
+
+    /// Drains tasks that finished since the last call.
+    pub fn drain_finished(
+        &mut self,
+        out: &mut Vec<(TaskId, SimTime, Option<Result<(), OpError>>)>,
+    ) {
+        out.append(&mut self.finished);
+    }
+
+    /// Routes one system event into the runtime.
+    pub fn on_event(&mut self, sys: &mut System, ev: Event) {
+        match ev {
+            Event::TxnDone { ticket } => self.on_txn_done(sys, ticket),
+            Event::CpuDone => self.pump(sys),
+            Event::IssueCheck => {
+                self.try_issue(sys);
+            }
+            Event::Timer { tag } => self.on_timer(sys, tag),
+            Event::RbEdge { .. } => {
+                // Software environments poll via READ STATUS; R/B# edges are
+                // for the hardware baselines.
+            }
+        }
+    }
+
+    fn on_timer(&mut self, sys: &mut System, tag: u64) {
+        if let Some(tid) = self.sleeping.remove(&tag) {
+            self.runnable.push_back(tid);
+            self.pump(sys);
+        }
+    }
+
+    fn on_txn_done(&mut self, sys: &mut System, ticket: u64) {
+        debug_assert_eq!(self.in_flight, Some(ticket));
+        self.in_flight = None;
+        let (end, data) = self
+            .outcomes
+            .remove(&ticket)
+            .expect("completion for unknown transaction");
+        sys.cpu.charge(sys.now, self.cfg.cost.completion_irq);
+        if let Some((tid, local)) = self.waiting.remove(&ticket) {
+            if let Some(task) = self.tasks[tid].as_mut() {
+                task.deliver(local, TxnResult { inline: data, end });
+                self.runnable.push_back(tid);
+            }
+        }
+        // The hardware proceeds to the next queued transaction regardless of
+        // what the software does with the completion.
+        self.try_issue(sys);
+        self.pump(sys);
+    }
+
+    /// Runs every runnable task, moving built transactions toward the
+    /// hardware queue, charging the CPU for each step.
+    fn pump(&mut self, sys: &mut System) {
+        let cost = self.cfg.cost;
+        while let Some(tid) = self.pick_runnable(sys) {
+            sys.cpu.charge(sys.now, cost.resume);
+            let task = self.tasks[tid].as_mut().expect("runnable task exists");
+            let status = task.advance(sys.now);
+            let steps = task.take_steps();
+            if steps > 0 {
+                sys.cpu.charge(sys.now, steps as u64 * cost.op_body_step);
+            }
+            for (addr, bytes) in task.drain_staged() {
+                sys.cpu.charge(sys.now, cost.op_body_step);
+                sys.dram.write(addr, &bytes);
+            }
+            for (local, txn) in task.drain_outbox() {
+                sys.cpu.charge(sys.now, cost.enqueue_txn);
+                let ticket = self.next_ticket;
+                self.next_ticket += 1;
+                self.waiting.insert(ticket, (tid, local));
+                let meta = TxnMeta {
+                    lun: task.meta().lun,
+                    data_bytes: txn.data_bytes(),
+                    priority: task.meta().priority,
+                };
+                self.ready.push(ReadyTxn {
+                    ticket,
+                    txn,
+                    meta,
+                    avail: sys.cpu.busy_until(),
+                });
+            }
+            if let Some(dur) = task.take_sleep() {
+                let tag = self.next_timer;
+                self.next_timer += 1;
+                self.sleeping.insert(tag, tid);
+                sys.schedule(sys.cpu.busy_until() + dur, Event::Timer { tag });
+            }
+            sys.cpu.charge(sys.now, cost.suspend);
+            if status == TaskStatus::Finished {
+                let outcome = task.take_outcome();
+                let lun = task.meta().lun;
+                self.finished.push((tid, sys.cpu.busy_until(), outcome));
+                self.tasks[tid] = None;
+                self.free_ids.push(tid);
+                self.active -= 1;
+                // Release the LUN and admit the next parked operation —
+                // highest priority first, FIFO among equals (the task
+                // scheduler's admission decision, paper §V).
+                self.lun_active.remove(&lun);
+                let by_priority = self.cfg.task_policy == TaskPolicy::Priority;
+                let next = self.lun_parked.get_mut(&lun).and_then(|q| {
+                    if by_priority {
+                        let best = q
+                            .iter()
+                            .enumerate()
+                            .max_by_key(|(i, &tid)| {
+                                let prio = self.tasks[tid]
+                                    .as_ref()
+                                    .map(|t| t.meta().priority)
+                                    .unwrap_or(0);
+                                (prio, usize::MAX - i) // FIFO tie-break
+                            })
+                            .map(|(i, _)| i);
+                        best.and_then(|i| q.remove(i))
+                    } else {
+                        q.pop_front()
+                    }
+                });
+                if let Some(next) = next {
+                    self.lun_active.insert(lun, next);
+                    self.runnable.push_back(next);
+                }
+            }
+        }
+        // Transaction scheduler: refill the hardware instruction queue.
+        let mut pushed = false;
+        while self.hw_queue.len() < self.cfg.lookahead && !self.ready.is_empty() {
+            sys.cpu.charge(sys.now, cost.txn_sched_pass);
+            let metas: Vec<TxnMeta> = self.ready.iter().map(|r| r.meta).collect();
+            let idx = self.cfg.txn_policy.pick(&metas, self.last_txn_lun);
+            let r = self.ready.remove(idx);
+            self.last_txn_lun = r.meta.lun;
+            self.hw_queue.push_back(HwEntry {
+                ticket: r.ticket,
+                txn: r.txn,
+                avail: r.avail.max(sys.cpu.busy_until()),
+            });
+            pushed = true;
+        }
+        if pushed && self.in_flight.is_none() {
+            sys.schedule(sys.cpu.busy_until().max(sys.now), Event::IssueCheck);
+        }
+    }
+
+    fn pick_runnable(&mut self, _sys: &mut System) -> Option<TaskId> {
+        if self.runnable.is_empty() {
+            return None;
+        }
+        let metas: Vec<TaskMeta> = self
+            .runnable
+            .iter()
+            .map(|&tid| self.tasks[tid].as_ref().expect("runnable").meta())
+            .collect();
+        let idx = self.cfg.task_policy.pick(&metas, self.last_task_lun);
+        self.last_task_lun = metas[idx].lun;
+        self.runnable.remove(idx)
+    }
+
+    /// Hardware side: starts the next queued transaction if the bus is free.
+    /// Costs no CPU.
+    fn try_issue(&mut self, sys: &mut System) {
+        if self.in_flight.is_some() {
+            return;
+        }
+        let Some(front) = self.hw_queue.front() else { return };
+        if front.avail > sys.now {
+            let at = front.avail;
+            sys.schedule(at, Event::IssueCheck);
+            return;
+        }
+        let entry = self.hw_queue.pop_front().expect("front exists");
+        let start = sys.now.max(sys.channel.busy_until()) + self.cfg.issue_gap;
+        let outcome = execute(&mut sys.channel, &mut sys.dram, &sys.emit, start, &entry.txn)
+            .unwrap_or_else(|e| panic!("operation logic drove an illegal waveform: {e}"));
+        self.txns_issued += 1;
+        self.outcomes
+            .insert(entry.ticket, (outcome.end, outcome.inline));
+        self.in_flight = Some(entry.ticket);
+        sys.schedule(outcome.end, Event::TxnDone { ticket: entry.ticket });
+    }
+}
+
+/// A [`Controller`] wrapping a [`SoftRuntime`] plus a task factory: this is
+/// a complete BABOL software-defined controller.
+pub struct SoftController {
+    name: &'static str,
+    rt: SoftRuntime,
+    factory: Box<dyn FnMut(&IoRequest) -> Box<dyn SoftTask>>,
+    req_of: HashMap<TaskId, IoRequest>,
+    done: Vec<(IoRequest, SimTime)>,
+    scratch: Vec<(TaskId, SimTime, Option<Result<(), OpError>>)>,
+    /// Operations that finished with an error (visible to experiments).
+    pub errors: Vec<(IoRequest, OpError)>,
+}
+
+impl SoftController {
+    /// Builds a controller: `factory` turns each admitted request into a
+    /// task for the runtime.
+    pub fn new(
+        name: &'static str,
+        cfg: RuntimeConfig,
+        factory: impl FnMut(&IoRequest) -> Box<dyn SoftTask> + 'static,
+    ) -> Self {
+        SoftController {
+            name,
+            rt: SoftRuntime::new(cfg),
+            factory: Box::new(factory),
+            req_of: HashMap::new(),
+            done: Vec::new(),
+            scratch: Vec::new(),
+            errors: Vec::new(),
+        }
+    }
+
+    /// The wrapped runtime (stats, configuration).
+    pub fn runtime(&self) -> &SoftRuntime {
+        &self.rt
+    }
+
+    fn harvest(&mut self) {
+        let mut fin = std::mem::take(&mut self.scratch);
+        self.rt.drain_finished(&mut fin);
+        for (tid, at, outcome) in fin.drain(..) {
+            if let Some(req) = self.req_of.remove(&tid) {
+                if let Some(Err(e)) = outcome {
+                    self.errors.push((req, e));
+                }
+                self.done.push((req, at));
+            }
+        }
+        self.scratch = fin;
+    }
+}
+
+impl Controller for SoftController {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn submit(&mut self, sys: &mut System, req: IoRequest) -> bool {
+        if self.rt.active_tasks() >= self.rt.config().admission {
+            return false;
+        }
+        let task = (self.factory)(&req);
+        let tid = self.rt.spawn(task);
+        self.req_of.insert(tid, req);
+        sys.schedule(sys.now, Event::CpuDone);
+        true
+    }
+
+    fn on_event(&mut self, sys: &mut System, ev: Event) {
+        self.rt.on_event(sys, ev);
+        self.harvest();
+    }
+
+    fn take_completions(&mut self, out: &mut Vec<(IoRequest, SimTime)>) {
+        out.append(&mut self.done);
+    }
+
+    fn in_flight(&self) -> usize {
+        self.req_of.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Target;
+    use crate::runtime::coro::{CoroTask, OpCtx};
+    use babol_channel::Channel;
+    use babol_flash::lun::LunConfig;
+    use babol_flash::{Lun, PackageProfile};
+    use babol_onfi::bus::ChipMask;
+    use babol_onfi::opcode::op;
+    use babol_sim::{Cpu, Freq};
+    use babol_ufsm::{DmaDest, EmitConfig, Latch, PostWait};
+
+    fn sys(luns: u32) -> System {
+        let l = (0..luns)
+            .map(|i| {
+                let mut cfg = LunConfig::test_default();
+                cfg.seed = i as u64 + 1;
+                Lun::new(cfg)
+            })
+            .collect();
+        System::new(
+            Channel::new(l),
+            EmitConfig::nv_ddr2(200),
+            Cpu::new(Freq::from_ghz(1), babol_sim::CostModel::rtos()),
+        )
+    }
+
+    fn status_task(lun: u32) -> Box<dyn SoftTask> {
+        let ctx = OpCtx::new(lun, 0);
+        let c = ctx.clone();
+        let t = Target { chip: lun, layout: PackageProfile::test_tiny().layout() };
+        let fut = async move {
+            let st = crate::ops::read_status(&c, &t).await;
+            c.set_outcome(if st & 0x40 != 0 { Ok(()) } else { Err(OpError::Timeout) });
+        };
+        Box::new(CoroTask::new(&ctx, fut))
+    }
+
+    /// Drains the event queue, routing everything into the runtime.
+    fn drain(rt: &mut SoftRuntime, sys: &mut System) {
+        while let Some((at, ev)) = sys.pop_event() {
+            sys.now = at;
+            rt.on_event(sys, ev);
+        }
+    }
+
+    #[test]
+    fn spawn_run_finish_cycle() {
+        let mut s = sys(1);
+        let mut rt = SoftRuntime::new(RuntimeConfig::rtos());
+        rt.spawn(status_task(0));
+        assert_eq!(rt.active_tasks(), 1);
+        s.schedule(s.now, Event::CpuDone);
+        drain(&mut rt, &mut s);
+        let mut fin = Vec::new();
+        rt.drain_finished(&mut fin);
+        assert_eq!(fin.len(), 1);
+        assert_eq!(fin[0].2, Some(Ok(())));
+        assert_eq!(rt.active_tasks(), 0);
+        assert_eq!(rt.txns_issued, 1);
+    }
+
+    #[test]
+    fn same_lun_tasks_serialize_different_luns_overlap() {
+        let mut s = sys(2);
+        let mut rt = SoftRuntime::new(RuntimeConfig::rtos());
+        // Two tasks on LUN 0 (must serialize) and one on LUN 1.
+        rt.spawn(status_task(0));
+        rt.spawn(status_task(0));
+        rt.spawn(status_task(1));
+        assert_eq!(rt.active_tasks(), 3);
+        s.schedule(s.now, Event::CpuDone);
+        drain(&mut rt, &mut s);
+        let mut fin = Vec::new();
+        rt.drain_finished(&mut fin);
+        assert_eq!(fin.len(), 3);
+        assert!(fin.iter().all(|(_, _, o)| *o == Some(Ok(()))));
+    }
+
+    #[test]
+    fn lookahead_queue_respects_configured_depth() {
+        let mut cfg = RuntimeConfig::rtos();
+        cfg.lookahead = 1;
+        let mut s = sys(4);
+        let mut rt = SoftRuntime::new(cfg);
+        for lun in 0..4 {
+            rt.spawn(status_task(lun));
+        }
+        // Run one pump only: all four tasks submit, but the hardware queue
+        // holds at most one transaction; the rest wait in `ready`.
+        rt.pump(&mut s);
+        assert!(rt.hw_queue.len() <= 1);
+        assert_eq!(rt.hw_queue.len() + rt.ready.len(), 4);
+        drain(&mut rt, &mut s);
+        let mut fin = Vec::new();
+        rt.drain_finished(&mut fin);
+        assert_eq!(fin.len(), 4);
+    }
+
+    #[test]
+    fn cpu_is_charged_for_software_actions() {
+        let mut s = sys(1);
+        let mut rt = SoftRuntime::new(RuntimeConfig::rtos());
+        rt.spawn(status_task(0));
+        s.schedule(s.now, Event::CpuDone);
+        drain(&mut rt, &mut s);
+        // At minimum: task sched + resume + enqueue + suspend + txn sched +
+        // completion + final resume/suspend.
+        assert!(s.cpu.busy_cycles() > 1_000, "{}", s.cpu.busy_cycles());
+    }
+
+    #[test]
+    fn runtime_level_transaction_roundtrip() {
+        // A raw task that submits a hand-built transaction and checks the
+        // inline result, exercising deliver() plumbing end to end.
+        let ctx = OpCtx::new(0, 0);
+        let c = ctx.clone();
+        let fut = async move {
+            let txn = babol_ufsm::Transaction::new(ChipMask::single(0))
+                .ca(vec![Latch::Cmd(op::READ_STATUS)], PostWait::Whr)
+                .read(1, DmaDest::Inline);
+            let r = c.submit(txn).await;
+            c.set_outcome(if r.inline == vec![0xE0] { Ok(()) } else { Err(OpError::Timeout) });
+        };
+        let mut s = sys(1);
+        let mut rt = SoftRuntime::new(RuntimeConfig::rtos());
+        rt.spawn(Box::new(CoroTask::new(&ctx, fut)));
+        s.schedule(s.now, Event::CpuDone);
+        drain(&mut rt, &mut s);
+        let mut fin = Vec::new();
+        rt.drain_finished(&mut fin);
+        assert_eq!(fin[0].2, Some(Ok(())));
+    }
+}

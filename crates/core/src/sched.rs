@@ -1,0 +1,194 @@
+//! Task and transaction scheduling policies.
+//!
+//! "BABOL does not mandate or enforce any objective for these schedulers...
+//! It is the job of an SSD Architect to make decisions about scheduling
+//! strategy" (paper §V). Policies here are deliberately small, pluggable
+//! values: the task scheduler picks which admitted operation runs next; the
+//! transaction scheduler picks which built transaction is pushed to the
+//! hardware instruction queue next.
+
+/// Metadata a policy can see about a runnable task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskMeta {
+    /// The LUN the task's operation targets.
+    pub lun: u32,
+    /// Task priority (higher runs first under the priority policy).
+    pub priority: u8,
+}
+
+/// Which runnable task gets the CPU next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TaskPolicy {
+    /// First come, first served.
+    #[default]
+    Fifo,
+    /// Fair rotation across LUNs (the paper's "simple version ... implement
+    /// fair scheduling among the running operations").
+    RoundRobinLun,
+    /// Highest priority first; FIFO among equals (the paper's example of
+    /// prioritizing latency-sensitive workloads such as database logging).
+    Priority,
+}
+
+impl TaskPolicy {
+    /// Picks the index of the next task from `candidates`; `last_lun` is the
+    /// LUN served by the previous pick (for rotation).
+    pub fn pick(&self, candidates: &[TaskMeta], last_lun: u32) -> usize {
+        assert!(!candidates.is_empty(), "no runnable task");
+        match self {
+            TaskPolicy::Fifo => 0,
+            TaskPolicy::RoundRobinLun => {
+                // First candidate whose LUN is strictly "after" the last
+                // served LUN in circular order.
+                let mut best = 0usize;
+                let mut best_key = u32::MAX;
+                for (i, c) in candidates.iter().enumerate() {
+                    let key = (c.lun.wrapping_sub(last_lun + 1)) % 64;
+                    if key < best_key {
+                        best_key = key;
+                        best = i;
+                    }
+                }
+                best
+            }
+            TaskPolicy::Priority => {
+                let mut best = 0usize;
+                for (i, c) in candidates.iter().enumerate() {
+                    if c.priority > candidates[best].priority {
+                        best = i;
+                    }
+                }
+                best
+            }
+        }
+    }
+}
+
+/// Metadata a policy can see about a built transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxnMeta {
+    /// Target LUN.
+    pub lun: u32,
+    /// Data bytes the transaction moves (0 for pure command segments).
+    pub data_bytes: usize,
+    /// Priority inherited from the owning task.
+    pub priority: u8,
+}
+
+/// Which built transaction is pushed to the hardware queue next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TxnPolicy {
+    /// First built, first issued.
+    #[default]
+    Fifo,
+    /// Rotate across LUNs (the paper's "simple version of this scheduler can
+    /// implement a round-robin approach").
+    RoundRobinLun,
+    /// Prefer command segments over bulk data: starts array work (tR) on
+    /// idle LUNs before occupying the bus for a long transfer.
+    CommandsFirst,
+    /// Highest priority first (the paper's "more advanced transaction
+    /// scheduler could prioritize commands for different LUNs").
+    Priority,
+}
+
+impl TxnPolicy {
+    /// Picks the index of the next transaction from `candidates`.
+    pub fn pick(&self, candidates: &[TxnMeta], last_lun: u32) -> usize {
+        assert!(!candidates.is_empty(), "no pending transaction");
+        match self {
+            TxnPolicy::Fifo => 0,
+            TxnPolicy::RoundRobinLun => {
+                let mut best = 0usize;
+                let mut best_key = u32::MAX;
+                for (i, c) in candidates.iter().enumerate() {
+                    let key = (c.lun.wrapping_sub(last_lun + 1)) % 64;
+                    if key < best_key {
+                        best_key = key;
+                        best = i;
+                    }
+                }
+                best
+            }
+            TxnPolicy::CommandsFirst => {
+                // Smallest data footprint first; FIFO among equals.
+                let mut best = 0usize;
+                for (i, c) in candidates.iter().enumerate() {
+                    if c.data_bytes < candidates[best].data_bytes {
+                        best = i;
+                    }
+                }
+                best
+            }
+            TxnPolicy::Priority => {
+                let mut best = 0usize;
+                for (i, c) in candidates.iter().enumerate() {
+                    if c.priority > candidates[best].priority {
+                        best = i;
+                    }
+                }
+                best
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(lun: u32) -> TaskMeta {
+        TaskMeta { lun, priority: 0 }
+    }
+
+    #[test]
+    fn fifo_takes_head() {
+        assert_eq!(TaskPolicy::Fifo.pick(&[t(3), t(1)], 0), 0);
+        let x = TxnMeta { lun: 0, data_bytes: 9, priority: 0 };
+        assert_eq!(TxnPolicy::Fifo.pick(&[x, x], 5), 0);
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let cands = [t(0), t(1), t(2)];
+        assert_eq!(TaskPolicy::RoundRobinLun.pick(&cands, 0), 1);
+        assert_eq!(TaskPolicy::RoundRobinLun.pick(&cands, 2), 0);
+        // Missing LUN wraps to the next present one.
+        let cands = [t(0), t(5)];
+        assert_eq!(TaskPolicy::RoundRobinLun.pick(&cands, 1), 1);
+    }
+
+    #[test]
+    fn priority_wins_and_fifo_breaks_ties() {
+        let cands = [
+            TaskMeta { lun: 0, priority: 1 },
+            TaskMeta { lun: 1, priority: 3 },
+            TaskMeta { lun: 2, priority: 3 },
+        ];
+        assert_eq!(TaskPolicy::Priority.pick(&cands, 0), 1);
+    }
+
+    #[test]
+    fn commands_first_prefers_small_segments() {
+        let cands = [
+            TxnMeta { lun: 0, data_bytes: 16384, priority: 0 },
+            TxnMeta { lun: 1, data_bytes: 0, priority: 0 },
+            TxnMeta { lun: 2, data_bytes: 1, priority: 0 },
+        ];
+        assert_eq!(TxnPolicy::CommandsFirst.pick(&cands, 0), 1);
+    }
+
+    #[test]
+    fn txn_round_robin_rotates() {
+        let m = |lun| TxnMeta { lun, data_bytes: 0, priority: 0 };
+        let cands = [m(0), m(4), m(7)];
+        assert_eq!(TxnPolicy::RoundRobinLun.pick(&cands, 4), 2);
+        assert_eq!(TxnPolicy::RoundRobinLun.pick(&cands, 7), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no runnable task")]
+    fn empty_candidates_panics() {
+        TaskPolicy::Fifo.pick(&[], 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Workload generation for the paper's microbenchmarks.
+//!
+//! "We use a workload generator that injects requests directly into the
+//! storage controllers as if they were coming from the FTL" (§VI). Requests
+//! are page reads (the hardest case for a software controller, because tR is
+//! the shortest array time), either sequential or uniformly random, spread
+//! across the channel's LUNs.
+
+use babol_flash::Geometry;
+use babol_sim::rng::SplitMix64;
+
+use crate::system::{IoKind, IoRequest};
+
+/// Request ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Order {
+    /// Pages in ascending (block, page) order per LUN.
+    Sequential,
+    /// Uniformly random pages, deterministic per seed.
+    Random {
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// A read workload over one channel.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadWorkload {
+    /// Number of LUNs targeted (requests round-robin across them).
+    pub luns: u32,
+    /// Total requests.
+    pub count: u64,
+    /// Ordering.
+    pub order: Order,
+    /// Bytes read per request (usually the full page).
+    pub len: usize,
+}
+
+impl ReadWorkload {
+    /// Materializes the request list for packages of `geometry`. DRAM
+    /// buffers are laid out back to back per request, wrapping at 64 MiB so
+    /// long runs do not grow the sparse DRAM unboundedly.
+    pub fn generate(&self, geometry: &Geometry) -> Vec<IoRequest> {
+        assert!(self.luns >= 1);
+        assert!(self.len <= geometry.page_size);
+        let mut rng = match self.order {
+            Order::Random { seed } => SplitMix64::new(seed),
+            Order::Sequential => SplitMix64::new(0),
+        };
+        let pages_per_block = geometry.pages_per_block;
+        let blocks = geometry.blocks_per_lun();
+        let mut next_seq: Vec<u64> = vec![0; self.luns as usize];
+        let dram_window = 64 * 1024 * 1024 / self.len.max(1) as u64;
+        (0..self.count)
+            .map(|i| {
+                let lun = (i % self.luns as u64) as u32;
+                let (block, page) = match self.order {
+                    Order::Sequential => {
+                        let idx = next_seq[lun as usize];
+                        next_seq[lun as usize] += 1;
+                        let block = (idx / pages_per_block as u64) % blocks as u64;
+                        let page = idx % pages_per_block as u64;
+                        (block as u32, page as u32)
+                    }
+                    Order::Random { .. } => (
+                        rng.next_below(blocks as u64) as u32,
+                        rng.next_below(pages_per_block as u64) as u32,
+                    ),
+                };
+                IoRequest {
+                    id: i,
+                    kind: IoKind::Read,
+                    lun,
+                    block,
+                    page,
+                    col: 0,
+                    len: self.len,
+                    dram_addr: (i % dram_window) * self.len as u64,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wl(order: Order) -> ReadWorkload {
+        ReadWorkload { luns: 4, count: 64, order, len: 16384 }
+    }
+
+    #[test]
+    fn sequential_covers_pages_in_order_per_lun() {
+        let reqs = wl(Order::Sequential).generate(&Geometry::paper_16k());
+        // Per LUN, (block, page) must be non-decreasing and start at 0.
+        for lun in 0..4 {
+            let mine: Vec<_> = reqs.iter().filter(|r| r.lun == lun).collect();
+            assert_eq!(mine[0].block, 0);
+            assert_eq!(mine[0].page, 0);
+            for pair in mine.windows(2) {
+                let a = (pair[0].block, pair[0].page);
+                let b = (pair[1].block, pair[1].page);
+                assert!(b > a, "{a:?} -> {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let a = wl(Order::Random { seed: 5 }).generate(&Geometry::paper_16k());
+        let b = wl(Order::Random { seed: 5 }).generate(&Geometry::paper_16k());
+        let c = wl(Order::Random { seed: 6 }).generate(&Geometry::paper_16k());
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn requests_round_robin_across_luns() {
+        let reqs = wl(Order::Sequential).generate(&Geometry::paper_16k());
+        for (i, r) in reqs.iter().enumerate() {
+            assert_eq!(r.lun, (i % 4) as u32);
+        }
+    }
+
+    #[test]
+    fn addresses_stay_in_bounds() {
+        let g = Geometry::tiny();
+        let reqs = ReadWorkload {
+            luns: 2,
+            count: 500,
+            order: Order::Random { seed: 1 },
+            len: 512,
+        }
+        .generate(&g);
+        for r in &reqs {
+            assert!(r.block < g.blocks_per_lun());
+            assert!(r.page < g.pages_per_block);
+        }
+    }
+}

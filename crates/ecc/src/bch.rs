@@ -1,0 +1,396 @@
+//! A binary BCH encoder/decoder over GF(2^13).
+//!
+//! The code is the classic NAND-controller construction: a systematic,
+//! shortened binary BCH code correcting `t` bit errors per sector. Encoding
+//! is polynomial division by the generator (an LFSR in hardware — cf. the
+//! BCH circuits cited by the paper \[7\]); decoding computes syndromes, runs
+//! Berlekamp–Massey to find the error-locator polynomial, and locates the
+//! errors with a Chien search.
+
+use crate::gf::{Gf, N};
+
+/// A binary BCH code instance: `data_bits` payload bits, correcting up to
+/// `t` errors.
+#[derive(Debug, Clone)]
+pub struct Bch {
+    gf: Gf,
+    t: u32,
+    data_bits: usize,
+    parity_bits: usize,
+    /// Generator polynomial as a bitmask, LSB = x^0.
+    generator: u128,
+}
+
+impl Bch {
+    /// Constructs the code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shortened codeword would exceed the natural length
+    /// (8191 bits) or the parity would not fit the internal 128-bit LFSR.
+    pub fn new(data_bits: usize, t: u32) -> Self {
+        assert!(t >= 1, "t must be at least 1");
+        let gf = Gf::new();
+        let generator = generator_poly(&gf, t);
+        let parity_bits = (127 - generator.leading_zeros()) as usize;
+        assert!(parity_bits < 128, "generator exceeds LFSR width");
+        assert!(
+            data_bits + parity_bits <= N,
+            "shortened length {} exceeds natural length {}",
+            data_bits + parity_bits,
+            N
+        );
+        Bch {
+            gf,
+            t,
+            data_bits,
+            parity_bits,
+            generator,
+        }
+    }
+
+    /// Correctable errors per codeword.
+    pub fn t(&self) -> u32 {
+        self.t
+    }
+
+    /// Parity size in bits.
+    pub fn parity_bits(&self) -> usize {
+        self.parity_bits
+    }
+
+    /// Parity size in whole bytes.
+    pub fn parity_bytes(&self) -> usize {
+        self.parity_bits.div_ceil(8)
+    }
+
+    /// Encodes `data` (exactly `data_bits/8` bytes), returning the parity.
+    pub fn encode(&self, data: &[u8]) -> Vec<u8> {
+        assert_eq!(data.len() * 8, self.data_bits, "data size mismatch");
+        let p = self.parity_bits;
+        // g without its leading x^p term, for the feedback xor.
+        let g_low = self.generator & !(1u128 << p);
+        let top = 1u128 << (p - 1);
+        let mask = (1u128 << p) - 1;
+        let mut rem: u128 = 0;
+        // Process data coefficients from the highest exponent down.
+        for i in (0..self.data_bits).rev() {
+            let d = (data[i / 8] >> (i % 8)) & 1;
+            let feedback = (d as u128) ^ (if rem & top != 0 { 1 } else { 0 });
+            rem = (rem << 1) & mask;
+            if feedback != 0 {
+                rem ^= g_low;
+            }
+        }
+        let mut parity = vec![0u8; self.parity_bytes()];
+        for j in 0..p {
+            if rem & (1u128 << j) != 0 {
+                parity[j / 8] |= 1 << (j % 8);
+            }
+        }
+        parity
+    }
+
+    /// Decodes in place: corrects up to `t` bit errors in `data` and returns
+    /// the number of errors found (including errors in the parity region),
+    /// or `None` if the pattern is uncorrectable.
+    pub fn decode(&self, data: &mut [u8], parity: &[u8]) -> Option<u32> {
+        assert_eq!(data.len() * 8, self.data_bits, "data size mismatch");
+        assert_eq!(parity.len(), self.parity_bytes(), "parity size mismatch");
+        let syndromes = self.syndromes(data, parity);
+        if syndromes.iter().all(|&s| s == 0) {
+            return Some(0);
+        }
+        let lambda = self.berlekamp_massey(&syndromes);
+        let positions = self.chien_search(&lambda)?;
+        let p = self.parity_bits;
+        let mut fixed_parity = parity.to_vec();
+        let mut count = 0u32;
+        for e in positions {
+            if e >= p {
+                let i = e - p;
+                if i >= self.data_bits {
+                    // Error located outside the shortened codeword:
+                    // miscorrection; the pattern exceeded t errors.
+                    return None;
+                }
+                data[i / 8] ^= 1 << (i % 8);
+            } else {
+                // Parity-region error: repair a local copy for verification;
+                // the caller's parity is read-only and needs no data repair.
+                fixed_parity[e / 8] ^= 1 << (e % 8);
+            }
+            count += 1;
+        }
+        // Verify the corrected word is a codeword; a residual syndrome means
+        // the error pattern exceeded t and the "correction" was spurious.
+        if self.syndromes(data, &fixed_parity).iter().any(|&s| s != 0) {
+            return None;
+        }
+        Some(count)
+    }
+
+    /// Syndromes S_1..S_2t of the received word.
+    fn syndromes(&self, data: &[u8], parity: &[u8]) -> Vec<u16> {
+        let p = self.parity_bits;
+        let mut s = vec![0u16; 2 * self.t as usize];
+        let add_bit = |s: &mut Vec<u16>, exponent: usize| {
+            for (j, sj) in s.iter_mut().enumerate() {
+                *sj ^= self.gf.alpha_pow(exponent * (j + 1));
+            }
+        };
+        for (byte_idx, &b) in parity.iter().enumerate() {
+            if b == 0 {
+                continue;
+            }
+            for bit in 0..8 {
+                let j = byte_idx * 8 + bit;
+                if j < p && b & (1 << bit) != 0 {
+                    add_bit(&mut s, j);
+                }
+            }
+        }
+        for (byte_idx, &b) in data.iter().enumerate() {
+            if b == 0 {
+                continue;
+            }
+            for bit in 0..8 {
+                if b & (1 << bit) != 0 {
+                    add_bit(&mut s, p + byte_idx * 8 + bit);
+                }
+            }
+        }
+        s
+    }
+
+    /// Berlekamp–Massey: returns the error-locator polynomial Λ, lowest
+    /// coefficient first (Λ[0] = 1).
+    fn berlekamp_massey(&self, s: &[u16]) -> Vec<u16> {
+        let gf = &self.gf;
+        let n = s.len();
+        let mut lambda = vec![0u16; n + 1];
+        let mut b = vec![0u16; n + 1];
+        lambda[0] = 1;
+        b[0] = 1;
+        let mut l = 0usize;
+        let mut m = 1usize;
+        let mut bb: u16 = 1;
+        for r in 0..n {
+            // Discrepancy.
+            let mut delta = s[r];
+            for i in 1..=l {
+                delta ^= gf.mul(lambda[i], s[r - i]);
+            }
+            if delta == 0 {
+                m += 1;
+            } else if 2 * l <= r {
+                let t_poly = lambda.clone();
+                let coef = gf.div(delta, bb);
+                for i in 0..=n - m {
+                    lambda[i + m] ^= gf.mul(coef, b[i]);
+                }
+                l = r + 1 - l;
+                b = t_poly;
+                bb = delta;
+                m = 1;
+            } else {
+                let coef = gf.div(delta, bb);
+                for i in 0..=n - m {
+                    lambda[i + m] ^= gf.mul(coef, b[i]);
+                }
+                m += 1;
+            }
+        }
+        lambda.truncate(l + 1);
+        lambda
+    }
+
+    /// Chien search: finds error positions (codeword exponents). Returns
+    /// `None` if the locator degree exceeds `t` or the root count does not
+    /// match the degree.
+    fn chien_search(&self, lambda: &[u16]) -> Option<Vec<usize>> {
+        let deg = lambda.len() - 1;
+        if deg == 0 || deg > self.t as usize {
+            return None;
+        }
+        let gf = &self.gf;
+        let total = self.parity_bits + self.data_bits;
+        let mut positions = Vec::with_capacity(deg);
+        // Λ(α^{-i}) == 0 ⇔ error at position i. Evaluate incrementally:
+        // term_j starts at Λ_j and is multiplied by α^{-j} each step.
+        let mut terms: Vec<u16> = lambda.to_vec();
+        for i in 0..N {
+            let mut sum = 0u16;
+            for t in terms.iter() {
+                sum ^= *t;
+            }
+            if sum == 0 {
+                if i >= total {
+                    // Root outside the shortened codeword: miscorrection.
+                    return None;
+                }
+                positions.push(i);
+                if positions.len() == deg {
+                    break;
+                }
+            }
+            for (j, t) in terms.iter_mut().enumerate().skip(1) {
+                // Multiply by α^{-j} = α^{N-j}.
+                *t = gf.mul(*t, gf.alpha_pow(N - j));
+            }
+        }
+        if positions.len() == deg {
+            Some(positions)
+        } else {
+            None
+        }
+    }
+}
+
+/// Builds the generator polynomial g(x) = lcm of the minimal polynomials of
+/// α, α^2, ..., α^2t.
+fn generator_poly(gf: &Gf, t: u32) -> u128 {
+    // Collect the cyclotomic cosets covering exponents 1..=2t.
+    let mut covered = std::collections::HashSet::new();
+    // g as polynomial coefficients over GF(2), stored as u128 bitmask.
+    let mut g: u128 = 1;
+    for s in 1..=(2 * t as usize) {
+        if covered.contains(&s) {
+            continue;
+        }
+        // The coset of s.
+        let mut coset = Vec::new();
+        let mut x = s;
+        loop {
+            coset.push(x);
+            covered.insert(x);
+            x = (x * 2) % N;
+            if x == s {
+                break;
+            }
+        }
+        // Minimal polynomial: Π (x - α^i) for i in the coset, computed over
+        // GF(2^13); the result has binary coefficients.
+        let mut min_poly: Vec<u16> = vec![1];
+        for &i in &coset {
+            let root = gf.alpha_pow(i);
+            // Multiply min_poly by (x + root).
+            let mut next = vec![0u16; min_poly.len() + 1];
+            for (d, &c) in min_poly.iter().enumerate() {
+                next[d + 1] ^= c; // times x
+                next[d] ^= gf.mul(c, root); // times root
+            }
+            min_poly = next;
+        }
+        // Multiply g by min_poly (binary coefficients).
+        let mut new_g: u128 = 0;
+        for (d, &c) in min_poly.iter().enumerate() {
+            debug_assert!(c == 0 || c == 1, "minimal polynomial not binary");
+            if c == 1 {
+                new_g ^= g << d;
+            }
+        }
+        g = new_g;
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_degree_is_reasonable() {
+        let gf = Gf::new();
+        for t in 1..=8u32 {
+            let g = generator_poly(&gf, t);
+            let deg = 127 - g.leading_zeros();
+            // Binary BCH: deg(g) <= m*t, and for these t usually equals it.
+            assert!(deg <= 13 * t, "t={t}: deg {deg}");
+            assert!(deg >= 13 * t - 13, "t={t}: deg {deg} suspiciously small");
+            // g(x) must have a constant term (x does not divide g).
+            assert_eq!(g & 1, 1);
+        }
+    }
+
+    #[test]
+    fn encode_is_deterministic_and_sized() {
+        let bch = Bch::new(4096, 8);
+        assert_eq!(bch.parity_bits(), 104);
+        assert_eq!(bch.parity_bytes(), 13);
+        let data = vec![0xABu8; 512];
+        assert_eq!(bch.encode(&data), bch.encode(&data));
+    }
+
+    #[test]
+    fn zero_data_has_zero_parity() {
+        let bch = Bch::new(4096, 4);
+        let parity = bch.encode(&vec![0u8; 512]);
+        assert!(parity.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn clean_word_decodes_with_zero_errors() {
+        let bch = Bch::new(1024, 4);
+        let data = vec![0x5Au8; 128];
+        let parity = bch.encode(&data);
+        let mut copy = data.clone();
+        assert_eq!(bch.decode(&mut copy, &parity), Some(0));
+        assert_eq!(copy, data);
+    }
+
+    #[test]
+    fn corrects_exactly_t_errors() {
+        let bch = Bch::new(1024, 4);
+        let data: Vec<u8> = (0..128u8).collect();
+        let parity = bch.encode(&data);
+        let mut corrupted = data.clone();
+        for bit in [0usize, 333, 700, 1023] {
+            corrupted[bit / 8] ^= 1 << (bit % 8);
+        }
+        assert_eq!(bch.decode(&mut corrupted, &parity), Some(4));
+        assert_eq!(corrupted, data);
+    }
+
+    #[test]
+    fn single_error_every_region() {
+        let bch = Bch::new(512, 2);
+        let data = vec![0xF0u8; 64];
+        let parity = bch.encode(&data);
+        for bit in [0usize, 255, 511] {
+            let mut corrupted = data.clone();
+            corrupted[bit / 8] ^= 1 << (bit % 8);
+            assert_eq!(bch.decode(&mut corrupted, &parity), Some(1), "bit {bit}");
+            assert_eq!(corrupted, data, "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn parity_region_errors_are_counted() {
+        let bch = Bch::new(512, 2);
+        let data = vec![0x11u8; 64];
+        let mut parity = bch.encode(&data);
+        parity[0] ^= 0x01;
+        let mut copy = data.clone();
+        assert_eq!(bch.decode(&mut copy, &parity), Some(1));
+        assert_eq!(copy, data); // data untouched
+    }
+
+    #[test]
+    fn beyond_t_errors_detected() {
+        let bch = Bch::new(1024, 2);
+        let data = vec![0u8; 128];
+        let parity = bch.encode(&data);
+        let mut corrupted = data.clone();
+        for bit in [3usize, 99, 500, 800, 1001] {
+            corrupted[bit / 8] ^= 1 << (bit % 8);
+        }
+        assert_eq!(bch.decode(&mut corrupted, &parity), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "data size mismatch")]
+    fn wrong_data_size_panics() {
+        Bch::new(1024, 2).encode(&[0u8; 4]);
+    }
+}

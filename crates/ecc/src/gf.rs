@@ -1,0 +1,174 @@
+//! Arithmetic over GF(2^13).
+//!
+//! BCH codes for 512-byte sectors need a field larger than the 4096+parity
+//! bit codeword; GF(2^13) (8191 nonzero elements) is the standard choice.
+//! Multiplication and inversion run through log/antilog tables built once
+//! per field instance.
+
+/// The field order exponent: GF(2^M).
+pub const M: u32 = 13;
+/// Number of nonzero field elements (also the natural BCH code length).
+pub const N: usize = (1 << M) - 1; // 8191
+/// Primitive polynomial x^13 + x^4 + x^3 + x + 1 (0x201B).
+const PRIM_POLY: u32 = 0x201B;
+
+/// GF(2^13) with precomputed log/antilog tables.
+#[derive(Debug, Clone)]
+pub struct Gf {
+    exp: Vec<u16>,
+    log: Vec<u16>,
+}
+
+impl Gf {
+    /// Builds the field tables.
+    pub fn new() -> Self {
+        let mut exp = vec![0u16; 2 * N];
+        let mut log = vec![0u16; N + 1];
+        let mut x: u32 = 1;
+        for i in 0..N {
+            exp[i] = x as u16;
+            log[x as usize] = i as u16;
+            x <<= 1;
+            if x & (1 << M) != 0 {
+                x ^= PRIM_POLY;
+            }
+        }
+        // Duplicate for mod-free indexing.
+        for i in N..2 * N {
+            exp[i] = exp[i - N];
+        }
+        Gf { exp, log }
+    }
+
+    /// α^i.
+    #[inline]
+    pub fn alpha_pow(&self, i: usize) -> u16 {
+        self.exp[i % N]
+    }
+
+    /// log_α(x); `x` must be nonzero.
+    #[inline]
+    pub fn log(&self, x: u16) -> usize {
+        debug_assert!(x != 0, "log of zero");
+        self.log[x as usize] as usize
+    }
+
+    /// Field multiplication.
+    #[inline]
+    pub fn mul(&self, a: u16, b: u16) -> u16 {
+        if a == 0 || b == 0 {
+            0
+        } else {
+            self.exp[self.log[a as usize] as usize + self.log[b as usize] as usize]
+        }
+    }
+
+    /// Multiplicative inverse; `a` must be nonzero.
+    #[inline]
+    pub fn inv(&self, a: u16) -> u16 {
+        debug_assert!(a != 0, "inverse of zero");
+        self.exp[N - self.log[a as usize] as usize]
+    }
+
+    /// Field division `a / b`; `b` must be nonzero.
+    #[inline]
+    pub fn div(&self, a: u16, b: u16) -> u16 {
+        if a == 0 {
+            0
+        } else {
+            self.exp[self.log[a as usize] as usize + N - self.log[b as usize] as usize]
+        }
+    }
+
+    /// a^k.
+    pub fn pow(&self, a: u16, k: usize) -> u16 {
+        if a == 0 {
+            return if k == 0 { 1 } else { 0 };
+        }
+        self.exp[(self.log[a as usize] as usize * k) % N]
+    }
+}
+
+impl Default for Gf {
+    fn default() -> Self {
+        Gf::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_bijective() {
+        let gf = Gf::new();
+        let mut seen = vec![false; N + 1];
+        for i in 0..N {
+            let v = gf.alpha_pow(i);
+            assert!(v != 0 && !seen[v as usize], "alpha^{i} duplicate");
+            seen[v as usize] = true;
+        }
+    }
+
+    #[test]
+    fn mul_identity_and_zero() {
+        let gf = Gf::new();
+        for a in [1u16, 2, 1000, 8000] {
+            assert_eq!(gf.mul(a, 1), a);
+            assert_eq!(gf.mul(a, 0), 0);
+            assert_eq!(gf.mul(0, a), 0);
+        }
+    }
+
+    #[test]
+    fn mul_is_commutative_and_associative() {
+        let gf = Gf::new();
+        let samples = [3u16, 17, 500, 4097, 8190];
+        for &a in &samples {
+            for &b in &samples {
+                assert_eq!(gf.mul(a, b), gf.mul(b, a));
+                for &c in &samples {
+                    assert_eq!(gf.mul(gf.mul(a, b), c), gf.mul(a, gf.mul(b, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_really_inverts() {
+        let gf = Gf::new();
+        for a in 1..=200u16 {
+            assert_eq!(gf.mul(a, gf.inv(a)), 1, "a={a}");
+        }
+        assert_eq!(gf.mul(8191, gf.inv(8191)), 1);
+    }
+
+    #[test]
+    fn div_agrees_with_inv() {
+        let gf = Gf::new();
+        for (a, b) in [(5u16, 7u16), (100, 9), (8190, 4095)] {
+            assert_eq!(gf.div(a, b), gf.mul(a, gf.inv(b)));
+        }
+        assert_eq!(gf.div(0, 5), 0);
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let gf = Gf::new();
+        let a = 123u16;
+        let mut acc = 1u16;
+        for k in 0..20 {
+            assert_eq!(gf.pow(a, k), acc, "k={k}");
+            acc = gf.mul(acc, a);
+        }
+        assert_eq!(gf.pow(0, 0), 1);
+        assert_eq!(gf.pow(0, 5), 0);
+    }
+
+    #[test]
+    fn alpha_order_is_n() {
+        let gf = Gf::new();
+        assert_eq!(gf.alpha_pow(N), gf.alpha_pow(0));
+        assert_eq!(gf.alpha_pow(0), 1);
+    }
+}

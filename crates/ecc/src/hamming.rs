@@ -1,0 +1,148 @@
+//! A (72,64) SEC-DED Hamming code.
+//!
+//! Controllers protect small metadata (mapping entries, superblock headers)
+//! with cheap single-error-correct / double-error-detect codes rather than
+//! full BCH. This is the classic extended Hamming construction over 64-bit
+//! words: 7 parity bits plus one overall parity bit.
+
+/// Outcome of decoding one word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HammingVerdict {
+    /// The word was clean.
+    Clean,
+    /// A single bit error was corrected (bit index within the 64-bit word,
+    /// or `None` if the error was in the parity bits).
+    Corrected(Option<u8>),
+    /// A double error was detected; the word is unreliable.
+    DoubleError,
+}
+
+/// Parity-check masks: `MASKS[i]` selects the data bits participating in
+/// parity bit `i`. Data bit `d` participates in parity `i` iff bit `i` of
+/// `position(d)` is set, where positions skip the power-of-two slots of the
+/// classic Hamming layout.
+fn position(d: u32) -> u32 {
+    // Map data bit index 0..64 to its Hamming position (1-based, skipping
+    // powers of two).
+    let mut pos = 1u32;
+    let mut seen = 0u32;
+    loop {
+        pos += 1;
+        if pos.is_power_of_two() {
+            continue;
+        }
+        if seen == d {
+            return pos;
+        }
+        seen += 1;
+    }
+}
+
+/// Encodes a 64-bit word into its 8 check bits (7 Hamming + overall).
+pub fn encode(word: u64) -> u8 {
+    let mut parity = 0u8;
+    for d in 0..64 {
+        if word >> d & 1 == 1 {
+            let pos = position(d);
+            for i in 0..7 {
+                if pos >> i & 1 == 1 {
+                    parity ^= 1 << i;
+                }
+            }
+        }
+    }
+    // Overall parity over data + the 7 check bits.
+    let overall = (word.count_ones() + (parity & 0x7F).count_ones()) & 1;
+    parity | ((overall as u8) << 7)
+}
+
+/// Decodes a word in place given its check bits.
+pub fn decode(word: &mut u64, check: u8) -> HammingVerdict {
+    // The 7 Hamming bits are linear in the data, so recomputing them over the
+    // received word and XORing with the received check bits yields the error
+    // position directly.
+    let syndrome = (encode(*word) ^ check) & 0x7F;
+    // SEC-DED discriminator: the overall parity of *everything received*
+    // (data plus all 8 check bits) is even for a codeword, odd after any
+    // single flip, and even again after a double flip.
+    let total_odd = (word.count_ones() + check.count_ones()) & 1 == 1;
+    match (syndrome, total_odd) {
+        (0, false) => HammingVerdict::Clean,
+        (0, true) => {
+            // Only the overall parity bit itself flipped.
+            HammingVerdict::Corrected(None)
+        }
+        (s, true) => {
+            // Single error at Hamming position s: find which data bit.
+            for d in 0..64 {
+                if position(d) == s as u32 {
+                    *word ^= 1 << d;
+                    return HammingVerdict::Corrected(Some(d as u8));
+                }
+            }
+            // Position belongs to a check bit.
+            HammingVerdict::Corrected(None)
+        }
+        (_, false) => HammingVerdict::DoubleError,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_roundtrip() {
+        for w in [0u64, u64::MAX, 0xDEAD_BEEF_CAFE_F00D] {
+            let c = encode(w);
+            let mut copy = w;
+            assert_eq!(decode(&mut copy, c), HammingVerdict::Clean);
+            assert_eq!(copy, w);
+        }
+    }
+
+    #[test]
+    fn corrects_every_single_data_bit() {
+        let w = 0x0123_4567_89AB_CDEFu64;
+        let c = encode(w);
+        for bit in 0..64 {
+            let mut corrupted = w ^ (1 << bit);
+            assert_eq!(
+                decode(&mut corrupted, c),
+                HammingVerdict::Corrected(Some(bit as u8)),
+                "bit {bit}"
+            );
+            assert_eq!(corrupted, w, "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn corrects_check_bit_errors() {
+        let w = 42u64;
+        let c = encode(w);
+        for bit in 0..8 {
+            let mut copy = w;
+            let verdict = decode(&mut copy, c ^ (1 << bit));
+            assert_eq!(verdict, HammingVerdict::Corrected(None), "check bit {bit}");
+            assert_eq!(copy, w);
+        }
+    }
+
+    #[test]
+    fn detects_double_errors() {
+        let w = 0xFFFF_0000_FFFF_0000u64;
+        let c = encode(w);
+        let mut corrupted = w ^ 0b11; // two data bits
+        assert_eq!(decode(&mut corrupted, c), HammingVerdict::DoubleError);
+    }
+
+    #[test]
+    fn positions_are_distinct_and_skip_powers_of_two() {
+        let mut seen = std::collections::HashSet::new();
+        for d in 0..64 {
+            let p = position(d);
+            assert!(!p.is_power_of_two());
+            assert!(seen.insert(p));
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! The raw bit-error-rate model.
+//!
+//! NAND flash is a faulty medium; the controller stack exists in part to
+//! hide that (paper §II: "ECC techniques are necessary to identify and fix
+//! some of the errors"). The reproduction models the *raw* BER a page
+//! exhibits when read, as a function of:
+//!
+//! * cell technology — SLC cells are orders of magnitude more reliable than
+//!   TLC/QLC;
+//! * wear — BER grows with a block's program/erase count;
+//! * read level — vendor read-retry levels step the sensing voltage and can
+//!   reduce the error rate of a marginal page (this is what READs with
+//!   retries exploit);
+//! * pSLC mode — using TLC cells as SLC buys both speed and reliability
+//!   (paper's Algorithm 3 motivation).
+//!
+//! The absolute values are representative of published characterization
+//! studies (Cai et al., Proc. IEEE 2017) rather than any specific part; the
+//! ECC tests only rely on the *ordering* of regimes.
+
+/// Cell technology of a flash array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellType {
+    /// One bit per cell.
+    Slc,
+    /// Two bits per cell.
+    Mlc,
+    /// Three bits per cell.
+    Tlc,
+    /// Four bits per cell.
+    Qlc,
+}
+
+impl CellType {
+    /// Bits stored per cell.
+    pub const fn bits(self) -> u32 {
+        match self {
+            CellType::Slc => 1,
+            CellType::Mlc => 2,
+            CellType::Tlc => 3,
+            CellType::Qlc => 4,
+        }
+    }
+
+    /// Raw BER of a fresh (unworn) block at the default read level.
+    pub const fn base_ber(self) -> f64 {
+        match self {
+            CellType::Slc => 1e-9,
+            CellType::Mlc => 1e-7,
+            CellType::Tlc => 5e-6,
+            CellType::Qlc => 5e-5,
+        }
+    }
+
+    /// Rated program/erase endurance.
+    pub const fn endurance(self) -> u64 {
+        match self {
+            CellType::Slc => 100_000,
+            CellType::Mlc => 10_000,
+            CellType::Tlc => 3_000,
+            CellType::Qlc => 1_000,
+        }
+    }
+}
+
+/// Parameters of one raw-BER evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BerContext {
+    /// Cell technology the page was programmed with.
+    pub cell: CellType,
+    /// Program/erase cycles the block has endured.
+    pub pe_cycles: u64,
+    /// Vendor read-retry level in effect (0 = default sensing voltage).
+    pub retry_level: u8,
+    /// Whether the page was programmed in pSLC mode.
+    pub pslc: bool,
+}
+
+/// Number of distinct read-retry levels the model recognises.
+pub const MAX_RETRY_LEVEL: u8 = 7;
+
+/// Computes the raw bit error rate for a read performed under `ctx`.
+///
+/// Monotonic in wear; minimized at a part-specific "best" retry level
+/// (level 3 here) so retry loops have something to find.
+///
+/// # Examples
+///
+/// ```
+/// use babol_flash::ber::{raw_ber, BerContext, CellType};
+///
+/// let fresh = BerContext { cell: CellType::Tlc, pe_cycles: 0, retry_level: 0, pslc: false };
+/// let worn = BerContext { pe_cycles: 3_000, ..fresh };
+/// assert!(raw_ber(worn) > raw_ber(fresh));
+///
+/// let slc = BerContext { pslc: true, ..worn };
+/// assert!(raw_ber(slc) < raw_ber(worn) / 10.0);
+/// ```
+pub fn raw_ber(ctx: BerContext) -> f64 {
+    let effective_cell = if ctx.pslc { CellType::Slc } else { ctx.cell };
+    let base = effective_cell.base_ber();
+    // Wear term: quadratic growth normalized to the rated endurance, a shape
+    // consistent with published P/E characterization.
+    let wear = ctx.pe_cycles as f64 / effective_cell.endurance() as f64;
+    let wear_factor = 1.0 + 40.0 * wear * wear + 4.0 * wear;
+    // Retry term: level 3 is optimal and halves the BER twice; levels beyond
+    // overshoot the threshold and make things worse again.
+    let retry = ctx.retry_level.min(MAX_RETRY_LEVEL) as f64;
+    let retry_factor = 0.25 + 0.75 * ((retry - 3.0) / 3.0).powi(2);
+    base * wear_factor * retry_factor
+}
+
+/// The retry level minimizing BER for this model (used by tests and by the
+/// read-retry example).
+pub const BEST_RETRY_LEVEL: u8 = 3;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> BerContext {
+        BerContext {
+            cell: CellType::Tlc,
+            pe_cycles: 1_000,
+            retry_level: 0,
+            pslc: false,
+        }
+    }
+
+    #[test]
+    fn cell_ordering() {
+        assert!(CellType::Slc.base_ber() < CellType::Mlc.base_ber());
+        assert!(CellType::Mlc.base_ber() < CellType::Tlc.base_ber());
+        assert!(CellType::Tlc.base_ber() < CellType::Qlc.base_ber());
+    }
+
+    #[test]
+    fn endurance_ordering_is_inverse_of_density() {
+        assert!(CellType::Slc.endurance() > CellType::Mlc.endurance());
+        assert!(CellType::Tlc.endurance() > CellType::Qlc.endurance());
+        assert_eq!(CellType::Qlc.bits(), 4);
+    }
+
+    #[test]
+    fn wear_increases_ber_monotonically() {
+        let mut prev = 0.0;
+        for pe in [0u64, 500, 1_000, 2_000, 3_000, 6_000] {
+            let b = raw_ber(BerContext { pe_cycles: pe, ..ctx() });
+            assert!(b > prev, "pe={pe}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn best_retry_level_minimizes_ber() {
+        let bers: Vec<f64> = (0..=MAX_RETRY_LEVEL)
+            .map(|lvl| raw_ber(BerContext { retry_level: lvl, ..ctx() }))
+            .collect();
+        let min_idx = bers
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(min_idx as u8, BEST_RETRY_LEVEL);
+        // And the improvement is substantial (the point of retry reads).
+        assert!(bers[BEST_RETRY_LEVEL as usize] < bers[0] / 2.0);
+    }
+
+    #[test]
+    fn pslc_beats_native_tlc_dramatically() {
+        let native = raw_ber(ctx());
+        let pslc = raw_ber(BerContext { pslc: true, ..ctx() });
+        assert!(pslc < native / 100.0);
+    }
+
+    #[test]
+    fn retry_level_saturates() {
+        let at_max = raw_ber(BerContext { retry_level: MAX_RETRY_LEVEL, ..ctx() });
+        let beyond = raw_ber(BerContext { retry_level: 200, ..ctx() });
+        assert_eq!(at_max, beyond);
+    }
+}

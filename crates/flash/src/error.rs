@@ -1,0 +1,147 @@
+//! Error types for the flash substrate.
+
+use std::fmt;
+
+use babol_onfi::addr::RowAddr;
+
+/// Physical-layer errors from the array itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlashError {
+    /// The row address does not exist in this geometry.
+    AddressOutOfRange {
+        /// The offending address.
+        row: RowAddr,
+    },
+    /// Programming a page that is already programmed (no erase in between).
+    ProgramOnProgrammed {
+        /// The offending address.
+        row: RowAddr,
+    },
+    /// Programming pages of a block out of ascending order.
+    OutOfOrderProgram {
+        /// The offending address.
+        row: RowAddr,
+        /// The page index the block expected next.
+        expected: u32,
+    },
+    /// Program data exceeds the raw page size.
+    DataTooLong {
+        /// Supplied length.
+        len: usize,
+        /// Raw page size (data + spare).
+        max: usize,
+    },
+}
+
+impl fmt::Display for FlashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlashError::AddressOutOfRange { row } => {
+                write!(f, "address {row} out of range")
+            }
+            FlashError::ProgramOnProgrammed { row } => {
+                write!(f, "program on already-programmed page {row}")
+            }
+            FlashError::OutOfOrderProgram { row, expected } => write!(
+                f,
+                "out-of-order program at {row}: block expects page {expected} next"
+            ),
+            FlashError::DataTooLong { len, max } => {
+                write!(f, "program data of {len} bytes exceeds raw page size {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlashError {}
+
+/// Protocol-layer errors: the controller drove an illegal waveform at the
+/// LUN. On real silicon these would be undefined behaviour; the model makes
+/// them loud so controller bugs are caught in tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LunError {
+    /// A phase arrived that the current decode state cannot accept.
+    UnexpectedPhase {
+        /// Decode state the LUN was in.
+        state: &'static str,
+        /// Label of the offending phase.
+        phase: String,
+    },
+    /// A command arrived while the LUN was busy and the command is not one
+    /// of the busy-legal ones (READ STATUS, suspend, RESET).
+    BusyViolation {
+        /// Mnemonic of the offending command.
+        mnemonic: &'static str,
+    },
+    /// An address latch carried the wrong number of cycles.
+    BadAddressLength {
+        /// Cycles received.
+        got: usize,
+        /// Cycles required.
+        want: usize,
+    },
+    /// A data phase was attempted at NV-DDR2 speed before the interface was
+    /// configured and calibrated (paper §IV-C boot requirements).
+    NotInitialized,
+    /// The physical layer refused the operation.
+    Flash(FlashError),
+}
+
+impl fmt::Display for LunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LunError::UnexpectedPhase { state, phase } => {
+                write!(f, "unexpected phase {phase} in decode state {state}")
+            }
+            LunError::BusyViolation { mnemonic } => {
+                write!(f, "command {mnemonic} issued while LUN busy")
+            }
+            LunError::BadAddressLength { got, want } => {
+                write!(f, "address latch of {got} cycles where {want} expected")
+            }
+            LunError::NotInitialized => {
+                write!(f, "high-speed data phase before init/calibration")
+            }
+            LunError::Flash(e) => write!(f, "flash: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LunError::Flash(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FlashError> for LunError {
+    fn from(e: FlashError) -> Self {
+        LunError::Flash(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let row = RowAddr { lun: 0, block: 1, page: 2 };
+        assert!(FlashError::AddressOutOfRange { row }.to_string().contains("L0/B1/P2"));
+        assert!(LunError::NotInitialized.to_string().contains("calibration"));
+        assert!(LunError::from(FlashError::ProgramOnProgrammed { row })
+            .to_string()
+            .starts_with("flash:"));
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error;
+        let row = RowAddr { lun: 0, block: 0, page: 0 };
+        let e = LunError::Flash(FlashError::ProgramOnProgrammed { row });
+        assert!(e.source().is_some());
+        assert!(LunError::NotInitialized.source().is_none());
+    }
+}

@@ -1,0 +1,35 @@
+//! NAND flash package substrate.
+//!
+//! The BABOL paper drives real commercial flash packages (Hynix, Toshiba,
+//! Micron SO-DIMMs on the Cosmos+ OpenSSD board). This crate substitutes
+//! them with an event-driven model faithful to what the controller can
+//! observe: the ONFI command decode at the pins, the busy times of array
+//! operations (tR/tPROG/tBERS with per-package values from the paper's
+//! Table I), the page/cache register pipeline, status reporting, vendor
+//! extensions (pSLC, read retry, suspend), and a raw bit-error process for
+//! the ECC path.
+//!
+//! Module map:
+//!
+//! * [`geometry`] — page/block/plane/LUN geometry and capacity math.
+//! * [`profile`] — the three commercial package profiles used in the paper
+//!   plus a tiny test profile.
+//! * [`ber`] — the raw bit-error-rate model (cell type, P/E wear, read-retry
+//!   level, pSLC).
+//! * [`mod@array`] — the stored bits: block/page state machine, erase counts,
+//!   sparse content with deterministic preload.
+//! * [`lun`] — the LUN: an ONFI command decoder plus array timing engine;
+//!   the thing a channel talks to.
+//! * [`error`] — error types shared by the crate.
+
+pub mod array;
+pub mod ber;
+pub mod error;
+pub mod geometry;
+pub mod lun;
+pub mod profile;
+
+pub use error::{FlashError, LunError};
+pub use geometry::Geometry;
+pub use lun::{BusyKind, Lun, LunResponse};
+pub use profile::PackageProfile;

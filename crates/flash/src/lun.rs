@@ -1,0 +1,1554 @@
+//! The LUN: an ONFI command decoder wired to a timed flash array.
+//!
+//! A LUN is what a channel controller actually converses with. It receives
+//! waveform phases (command latches, address latches, data bursts), decodes
+//! them according to the ONFI operation grammar, runs array operations that
+//! take real time (tR, tPROG, tBERS — Table I of the paper), and reports
+//! progress through its status register and the R/B# line.
+//!
+//! The model is *lazy*: a busy period is represented as a deadline, and the
+//! next interaction resolves it if the deadline has passed. Callers that
+//! need the R/B# edge (the hardware-baseline controllers watch the pin
+//! directly) read [`Lun::busy_until`].
+//!
+//! Supported operation grammar (beyond the basic READ/PROGRAM/ERASE):
+//! CHANGE READ/WRITE COLUMN, RANDOM DATA OUT (plane select), READ CACHE
+//! (sequential and end), CACHE PROGRAM, multi-plane queueing, READ STATUS
+//! (plain and enhanced), READ ID, READ PARAMETER PAGE, GET/SET FEATURES
+//! (including timing-mode switches), RESET, and the vendor extensions the
+//! paper highlights: pSLC prefix, read-retry prefix, program/erase suspend
+//! and resume.
+
+use babol_onfi::addr::{AddrLayout, RowAddr};
+use babol_onfi::bus::PhaseKind;
+use babol_onfi::feature::{addr as feat, FeatureSet};
+use babol_onfi::opcode::{mnemonic, op};
+use babol_onfi::status::Status;
+use babol_onfi::timing::DataInterface;
+use babol_sim::rng::SplitMix64;
+use babol_sim::{SimDuration, SimTime};
+
+use crate::array::{ArrayStore, ContentMode};
+use crate::ber::{raw_ber, BerContext};
+use crate::error::LunError;
+use crate::profile::PackageProfile;
+
+/// Configuration of one LUN instance.
+#[derive(Debug, Clone)]
+pub struct LunConfig {
+    /// The package this LUN belongs to.
+    pub profile: PackageProfile,
+    /// What unwritten pages contain.
+    pub content: ContentMode,
+    /// Seed for latency jitter, error injection, and the hidden DQS phase.
+    pub seed: u64,
+    /// Whether reads suffer raw bit errors (off for throughput experiments,
+    /// on for the ECC path).
+    pub inject_errors: bool,
+    /// Whether the boot contract is enforced: RESET plus DQS-phase
+    /// calibration before high-speed bulk data phases (paper §IV-C).
+    pub require_init: bool,
+}
+
+impl LunConfig {
+    /// A convenient test configuration: tiny geometry, pristine content, no
+    /// error injection, no boot contract.
+    pub fn test_default() -> Self {
+        LunConfig {
+            profile: PackageProfile::test_tiny(),
+            content: ContentMode::Pristine,
+            seed: 1,
+            inject_errors: false,
+            require_init: false,
+        }
+    }
+}
+
+/// Why a LUN is busy; exposed for traces and tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BusyKind {
+    /// Array fetch into the page register (tR).
+    Read,
+    /// Array fetch of the *next* page while the cache register streams
+    /// (cache read; LUN stays command-ready).
+    CacheRead,
+    /// Page program (tPROG).
+    Program,
+    /// Page program with cache handoff (status ready early).
+    CacheProgram,
+    /// Block erase (tBERS).
+    Erase,
+    /// RESET recovery.
+    Reset,
+    /// Parameter-page fetch.
+    ParamPage,
+    /// Short interleave window of a multi-plane queue cycle.
+    PlaneQueue,
+    /// Suspend latency window.
+    Suspending,
+}
+
+impl BusyKind {
+    /// Whether the LUN still accepts data-out phases during this busy kind.
+    fn allows_data_out(&self) -> bool {
+        matches!(self, BusyKind::CacheRead | BusyKind::CacheProgram)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Busy {
+    until: SimTime,
+    kind: BusyKind,
+    /// Action to apply when the deadline passes.
+    effect: Effect,
+}
+
+#[derive(Debug, Clone)]
+enum Effect {
+    LoadPage {
+        rows: Vec<RowAddr>,
+        col: u32,
+        pslc: bool,
+        into_cache_next: Option<RowAddr>,
+    },
+    CommitProgram {
+        row: RowAddr,
+        pslc: bool,
+    },
+    CommitErase {
+        row: RowAddr,
+    },
+    FinishReset,
+    LoadParamPage,
+    None,
+}
+
+#[derive(Debug, Clone)]
+struct Suspended {
+    remaining: SimDuration,
+    kind: BusyKind,
+    effect: Effect,
+}
+
+/// Decode state of the ONFI grammar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Decode {
+    Idle,
+    ReadAddr,
+    ReadConfirm { row: RowAddr, col: u32 },
+    ChgRdColAddr { full: bool },
+    ChgRdColConfirm { row: Option<RowAddr>, col: u32 },
+    ProgAddr,
+    ProgData { row: RowAddr },
+    ChgWrColAddr { row: RowAddr },
+    EraseAddr,
+    EraseConfirm { row: RowAddr },
+    FeatAddrSet,
+    FeatData { feature: u8 },
+    FeatAddrGet,
+    IdAddr,
+    ParamAddr,
+}
+
+impl Decode {
+    fn name(&self) -> &'static str {
+        match self {
+            Decode::Idle => "Idle",
+            Decode::ReadAddr => "ReadAddr",
+            Decode::ReadConfirm { .. } => "ReadConfirm",
+            Decode::ChgRdColAddr { .. } => "ChgRdColAddr",
+            Decode::ChgRdColConfirm { .. } => "ChgRdColConfirm",
+            Decode::ProgAddr => "ProgAddr",
+            Decode::ProgData { .. } => "ProgData",
+            Decode::ChgWrColAddr { .. } => "ChgWrColAddr",
+            Decode::EraseAddr => "EraseAddr",
+            Decode::EraseConfirm { .. } => "EraseConfirm",
+            Decode::FeatAddrSet => "FeatAddrSet",
+            Decode::FeatData { .. } => "FeatData",
+            Decode::FeatAddrGet => "FeatAddrGet",
+            Decode::IdAddr => "IdAddr",
+            Decode::ParamAddr => "ParamAddr",
+        }
+    }
+}
+
+/// Where data-out phases currently stream from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OutSource {
+    None,
+    Status,
+    Features(u8),
+    Id,
+    ParamPage,
+    PageRegister,
+    CacheRegister,
+}
+
+/// The LUN's reply to a delivered phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LunResponse {
+    /// Phase consumed; nothing flows back.
+    Accepted,
+    /// Bytes flowing back to the controller (data-out phases).
+    Data(Vec<u8>),
+}
+
+/// Running statistics, used by experiments and assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LunStats {
+    /// Completed array reads (pages fetched).
+    pub reads: u64,
+    /// Completed page programs.
+    pub programs: u64,
+    /// Completed block erases.
+    pub erases: u64,
+    /// Status queries served.
+    pub status_polls: u64,
+    /// Data bytes streamed out.
+    pub bytes_out: u64,
+    /// Data bytes streamed in.
+    pub bytes_in: u64,
+}
+
+/// One logical unit of a flash package.
+pub struct Lun {
+    cfg: LunConfig,
+    layout: AddrLayout,
+    array: ArrayStore,
+    features: FeatureSet,
+    iface: DataInterface,
+    decode: Decode,
+    out: OutSource,
+    out_before_status: OutSource,
+    col: u32,
+    active_plane: u32,
+    page_regs: Vec<Vec<u8>>,
+    cache_reg: Vec<u8>,
+    param_buf: Vec<u8>,
+    busy: Option<Busy>,
+    suspended: Option<Suspended>,
+    pslc_armed: bool,
+    retry_armed: bool,
+    queued_rows: Vec<RowAddr>,
+    initialized: bool,
+    configured_phase: Option<u8>,
+    required_phase: u8,
+    last_fail: bool,
+    last_row: Option<RowAddr>,
+    rng: SplitMix64,
+    stats: LunStats,
+}
+
+impl std::fmt::Debug for Lun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lun")
+            .field("profile", &self.cfg.profile.name)
+            .field("decode", &self.decode.name())
+            .field("busy", &self.busy.as_ref().map(|b| b.kind.clone()))
+            .finish()
+    }
+}
+
+impl Lun {
+    /// Creates a LUN from its configuration.
+    pub fn new(cfg: LunConfig) -> Self {
+        let geometry = cfg.profile.geometry;
+        let mut rng = SplitMix64::new(cfg.seed);
+        let required_phase = rng.next_below(8) as u8;
+        let raw = geometry.raw_page_size();
+        Lun {
+            layout: geometry.addr_layout(16),
+            array: ArrayStore::new(geometry, cfg.content),
+            features: FeatureSet::new(),
+            iface: DataInterface::Sdr { mode: 0 },
+            decode: Decode::Idle,
+            out: OutSource::None,
+            out_before_status: OutSource::None,
+            col: 0,
+            active_plane: 0,
+            page_regs: vec![vec![0xFF; raw]; geometry.planes as usize],
+            cache_reg: vec![0xFF; raw],
+            param_buf: Vec::new(),
+            busy: None,
+            suspended: None,
+            pslc_armed: false,
+            retry_armed: false,
+            queued_rows: Vec::new(),
+            initialized: !cfg.require_init,
+            configured_phase: None,
+            required_phase,
+            last_fail: false,
+            last_row: None,
+            rng,
+            stats: LunStats::default(),
+            cfg,
+        }
+    }
+
+    /// The package profile this LUN instantiates.
+    pub fn profile(&self) -> &PackageProfile {
+        &self.cfg.profile
+    }
+
+    /// Direct array access for workload setup and assertions.
+    pub fn array(&self) -> &ArrayStore {
+        &self.array
+    }
+
+    /// Mutable array access for test/workload preparation.
+    pub fn array_mut(&mut self) -> &mut ArrayStore {
+        &mut self.array
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> LunStats {
+        self.stats
+    }
+
+    /// The interface the LUN currently operates at (starts as SDR mode 0,
+    /// raised via SET FEATURES).
+    pub fn interface(&self) -> DataInterface {
+        self.iface
+    }
+
+    /// Deadline of the current busy period — the time R/B# will rise — or
+    /// `None` if the LUN is ready. Cache-busy periods report their deadline
+    /// too, even though the LUN accepts commands during them.
+    pub fn busy_until(&self) -> Option<SimTime> {
+        self.busy.as_ref().map(|b| b.until)
+    }
+
+    /// Kind of the current busy period.
+    pub fn busy_kind(&self) -> Option<BusyKind> {
+        self.busy.as_ref().map(|b| b.kind.clone())
+    }
+
+    /// Sets the controller-side DQS drive phase for this LUN (the result of
+    /// running the calibration tool; see `babol::calib`).
+    pub fn set_drive_phase(&mut self, phase: u8) {
+        self.configured_phase = Some(phase % 8);
+    }
+
+    /// The hidden board-trace phase the calibration must discover. Exposed
+    /// for tests only; the calibration tool must *not* read this.
+    pub fn required_phase_for_tests(&self) -> u8 {
+        self.required_phase
+    }
+
+    /// The LUN's status register as of `now`.
+    pub fn status(&mut self, now: SimTime) -> Status {
+        self.refresh(now);
+        self.current_status()
+    }
+
+    fn current_status(&self) -> Status {
+        let mut st = match &self.busy {
+            Some(b) if b.kind.allows_data_out() => Status::cache_busy(),
+            Some(_) => Status::busy(),
+            None => Status::ready(),
+        };
+        if self.last_fail {
+            st = st.with_fail();
+        }
+        st
+    }
+
+    /// Delivers one waveform phase to the LUN. `now` is the time the phase
+    /// *completes* on the bus (information is latched on trailing edges).
+    pub fn phase(&mut self, now: SimTime, kind: &PhaseKind) -> Result<LunResponse, LunError> {
+        self.refresh(now);
+        match kind {
+            PhaseKind::CmdLatch(opcode) => self.on_command(now, *opcode),
+            PhaseKind::AddrLatch(bytes) => self.on_address(now, bytes),
+            PhaseKind::DataIn(data) => self.on_data_in(now, data),
+            PhaseKind::DataOut { bytes } => self.on_data_out(now, *bytes),
+            PhaseKind::Pause => Ok(LunResponse::Accepted),
+        }
+    }
+
+    /// Resolves a completed busy period, applying its effect.
+    fn refresh(&mut self, now: SimTime) {
+        let Some(busy) = &self.busy else { return };
+        if now < busy.until {
+            return;
+        }
+        let busy = self.busy.take().expect("just checked");
+        match busy.effect {
+            Effect::LoadPage { rows, col, pslc, into_cache_next } => {
+                for row in &rows {
+                    let plane = self.array.geometry().plane_of(row.block) as usize;
+                    let data = self.fetch_with_errors(*row, pslc);
+                    self.page_regs[plane] = data;
+                    self.stats.reads += 1;
+                }
+                if let Some(last) = rows.last() {
+                    self.active_plane = self.array.geometry().plane_of(last.block);
+                    self.last_row = Some(*last);
+                }
+                self.col = col;
+                // In a cache read the freshly fetched page lands in the page
+                // register while the previously moved page keeps streaming
+                // from the cache register.
+                if into_cache_next.is_none() {
+                    self.set_bulk_out(OutSource::PageRegister);
+                }
+            }
+            Effect::CommitProgram { row, pslc } => {
+                let plane = self.array.geometry().plane_of(row.block) as usize;
+                let data = self.page_regs[plane].clone();
+                match self.array.program_page(row, &data, pslc) {
+                    Ok(()) => {
+                        self.last_fail = false;
+                        self.stats.programs += 1;
+                    }
+                    Err(_) => self.last_fail = true,
+                }
+            }
+            Effect::CommitErase { row } => {
+                match self.array.erase_block(row) {
+                    Ok(()) => {
+                        self.last_fail = false;
+                        self.stats.erases += 1;
+                    }
+                    Err(_) => self.last_fail = true,
+                }
+            }
+            Effect::FinishReset => {
+                self.initialized = true;
+            }
+            Effect::LoadParamPage => {
+                // ONFI mandates at least three copies of the page.
+                let one = self.cfg.profile.param_page().to_bytes();
+                let mut buf = Vec::with_capacity(one.len() * 3);
+                for _ in 0..3 {
+                    buf.extend_from_slice(&one);
+                }
+                self.param_buf = buf;
+                self.col = 0;
+                self.set_bulk_out(OutSource::ParamPage);
+            }
+            Effect::None => {}
+        }
+    }
+
+    /// Selects the bulk data-output source. If a status readout is in
+    /// progress (READ STATUS issued, not yet restored with 0x00), the new
+    /// source is parked behind it instead of clobbering the status mode.
+    fn set_bulk_out(&mut self, src: OutSource) {
+        if self.out == OutSource::Status {
+            self.out_before_status = src;
+        } else {
+            self.out = src;
+        }
+    }
+
+    /// Array fetch plus the raw-bit-error process.
+    fn fetch_with_errors(&mut self, row: RowAddr, pslc_read: bool) -> Vec<u8> {
+        let mut data = self
+            .array
+            .read_page(row)
+            .unwrap_or_else(|_| vec![0xFF; self.array.geometry().raw_page_size()]);
+        if !self.cfg.inject_errors {
+            return data;
+        }
+        let page_pslc = matches!(
+            self.array.page_state(row),
+            Ok(crate::array::PageState::Programmed { pslc: true })
+        );
+        let ctx = BerContext {
+            cell: self.cfg.profile.cell,
+            pe_cycles: self.array.erase_count(row.block),
+            retry_level: self.features.read_retry_level(),
+            pslc: page_pslc || pslc_read,
+        };
+        let bits = data.len() as f64 * 8.0;
+        let lambda = raw_ber(ctx) * bits;
+        let flips = poisson(&mut self.rng, lambda);
+        for _ in 0..flips {
+            let bit = self.rng.next_below(data.len() as u64 * 8);
+            data[(bit / 8) as usize] ^= 1 << (bit % 8);
+        }
+        data
+    }
+
+    fn jittered(&mut self, nominal: SimDuration) -> SimDuration {
+        let pct = self.cfg.profile.jitter_pct as u64;
+        if pct == 0 {
+            return nominal;
+        }
+        let span = nominal.as_picos() * pct / 100;
+        let offset = self.rng.next_below(2 * span + 1);
+        SimDuration::from_picos(nominal.as_picos() - span + offset)
+    }
+
+    fn begin_busy(&mut self, now: SimTime, dur: SimDuration, kind: BusyKind, effect: Effect) {
+        self.busy = Some(Busy {
+            until: now + dur,
+            kind,
+            effect,
+        });
+    }
+
+    fn on_command(&mut self, now: SimTime, opcode: u8) -> Result<LunResponse, LunError> {
+        // Commands legal while busy.
+        if let Some(busy) = &self.busy {
+            let legal = matches!(
+                opcode,
+                op::READ_STATUS | op::READ_STATUS_ENHANCED | op::RESET | op::SYNC_RESET
+                    | op::PROGRAM_SUSPEND
+                    | op::ERASE_SUSPEND
+            ) || busy.kind.allows_data_out();
+            if !legal {
+                return Err(LunError::BusyViolation {
+                    mnemonic: mnemonic(opcode),
+                });
+            }
+        }
+        match opcode {
+            op::READ_STATUS | op::READ_STATUS_ENHANCED => {
+                if self.out != OutSource::Status {
+                    self.out_before_status = self.out;
+                }
+                self.out = OutSource::Status;
+                self.decode = if opcode == op::READ_STATUS_ENHANCED {
+                    // Enhanced form expects a row address before data-out;
+                    // single-LUN model treats it as plain status.
+                    Decode::Idle
+                } else {
+                    Decode::Idle
+                };
+                Ok(LunResponse::Accepted)
+            }
+            op::RESET | op::SYNC_RESET => {
+                self.decode = Decode::Idle;
+                self.out = OutSource::None;
+                self.suspended = None;
+                self.queued_rows.clear();
+                self.pslc_armed = false;
+                self.retry_armed = false;
+                self.features.reset();
+                self.iface = DataInterface::Sdr { mode: 0 };
+                let dur = self.jittered(self.cfg.profile.t_rst);
+                self.begin_busy(now, dur, BusyKind::Reset, Effect::FinishReset);
+                Ok(LunResponse::Accepted)
+            }
+            op::PROGRAM_SUSPEND | op::ERASE_SUSPEND => self.on_suspend(now, opcode),
+            op::SUSPEND_RESUME => self.on_resume(now),
+            op::PSLC_PREFIX => {
+                self.pslc_armed = true;
+                Ok(LunResponse::Accepted)
+            }
+            op::READ_RETRY_PREFIX => {
+                self.retry_armed = true;
+                Ok(LunResponse::Accepted)
+            }
+            op::READ_1 => {
+                // Either a new read sequence or a return-to-data-output after
+                // a READ STATUS (ONFI 0x00 restore).
+                if self.out == OutSource::Status {
+                    self.out = match self.out_before_status {
+                        OutSource::None | OutSource::Status => {
+                            if matches!(self.busy_kind(), Some(k) if k.allows_data_out()) {
+                                OutSource::CacheRegister
+                            } else {
+                                OutSource::PageRegister
+                            }
+                        }
+                        other => other,
+                    };
+                }
+                self.decode = Decode::ReadAddr;
+                Ok(LunResponse::Accepted)
+            }
+            op::READ_2 => match std::mem::replace(&mut self.decode, Decode::Idle) {
+                Decode::ReadConfirm { row, col } => {
+                    let pslc = self.take_pslc(row);
+                    let dur = self.jittered(if pslc {
+                        self.cfg.profile.t_r_slc
+                    } else {
+                        self.cfg.profile.t_r
+                    });
+                    let mut rows = std::mem::take(&mut self.queued_rows);
+                    rows.push(row);
+                    self.out = OutSource::None;
+                    self.begin_busy(
+                        now,
+                        dur,
+                        BusyKind::Read,
+                        Effect::LoadPage {
+                            rows,
+                            col,
+                            pslc,
+                            into_cache_next: None,
+                        },
+                    );
+                    Ok(LunResponse::Accepted)
+                }
+                other => Err(unexpected(&other, "CMD READ(2)")),
+            },
+            op::MULTI_PLANE_NEXT => match std::mem::replace(&mut self.decode, Decode::Idle) {
+                // 0x00 <addr> 0x32: queue this plane's fetch, stay ready for
+                // the next 0x00.
+                Decode::ReadConfirm { row, .. } => {
+                    self.queued_rows.push(row);
+                    self.begin_busy(
+                        now,
+                        SimDuration::from_micros(1),
+                        BusyKind::PlaneQueue,
+                        Effect::None,
+                    );
+                    Ok(LunResponse::Accepted)
+                }
+                other => Err(unexpected(&other, "CMD MP-NEXT")),
+            },
+            op::READ_CACHE_SEQ => {
+                // Move the just-read page to the cache register and fetch the
+                // next sequential page in the background.
+                if self.decode != Decode::Idle {
+                    return Err(unexpected(&self.decode.clone(), "CMD READ-CACHE-SEQ"));
+                }
+                let Some(last) = self.last_loaded_row() else {
+                    return Err(LunError::UnexpectedPhase {
+                        state: "Idle(no page loaded)",
+                        phase: "CMD READ-CACHE-SEQ".into(),
+                    });
+                };
+                self.cache_reg = self.page_regs[self.active_plane as usize].clone();
+                self.out = OutSource::CacheRegister;
+                self.col = 0;
+                let next = RowAddr {
+                    page: (last.page + 1).min(self.array.geometry().pages_per_block - 1),
+                    ..last
+                };
+                let dur = self.jittered(self.cfg.profile.t_r);
+                self.begin_busy(
+                    now,
+                    dur,
+                    BusyKind::CacheRead,
+                    Effect::LoadPage {
+                        rows: vec![next],
+                        col: 0,
+                        pslc: false,
+                        into_cache_next: Some(next),
+                    },
+                );
+                Ok(LunResponse::Accepted)
+            }
+            op::READ_CACHE_END => {
+                if self.decode != Decode::Idle {
+                    return Err(unexpected(&self.decode.clone(), "CMD READ-CACHE-END"));
+                }
+                self.cache_reg = self.page_regs[self.active_plane as usize].clone();
+                self.out = OutSource::CacheRegister;
+                self.col = 0;
+                self.begin_busy(
+                    now,
+                    SimDuration::from_micros(3),
+                    BusyKind::CacheRead,
+                    Effect::None,
+                );
+                Ok(LunResponse::Accepted)
+            }
+            op::CHANGE_READ_COL_1 => {
+                self.decode = Decode::ChgRdColAddr { full: false };
+                Ok(LunResponse::Accepted)
+            }
+            op::RANDOM_DATA_OUT_1 => {
+                self.decode = Decode::ChgRdColAddr { full: true };
+                Ok(LunResponse::Accepted)
+            }
+            op::CHANGE_READ_COL_2 => match std::mem::replace(&mut self.decode, Decode::Idle) {
+                Decode::ChgRdColConfirm { row, col } => {
+                    if let Some(row) = row {
+                        self.active_plane = self.array.geometry().plane_of(row.block);
+                    }
+                    self.col = col;
+                    if self.out != OutSource::CacheRegister && self.out != OutSource::ParamPage {
+                        self.out = OutSource::PageRegister;
+                    }
+                    Ok(LunResponse::Accepted)
+                }
+                other => Err(unexpected(&other, "CMD CHG-RD-COL(2)")),
+            },
+            op::PROGRAM_1 => {
+                self.decode = Decode::ProgAddr;
+                Ok(LunResponse::Accepted)
+            }
+            op::CHANGE_WRITE_COL => match std::mem::replace(&mut self.decode, Decode::Idle) {
+                Decode::ProgData { row } => {
+                    self.decode = Decode::ChgWrColAddr { row };
+                    Ok(LunResponse::Accepted)
+                }
+                other => Err(unexpected(&other, "CMD CHG-WR-COL")),
+            },
+            op::PROGRAM_2 | op::PROGRAM_CACHE => {
+                match std::mem::replace(&mut self.decode, Decode::Idle) {
+                    Decode::ProgData { row } => {
+                        let pslc = self.take_pslc(row);
+                        let dur = self.jittered(if pslc {
+                            self.cfg.profile.t_prog_slc
+                        } else {
+                            self.cfg.profile.t_prog
+                        });
+                        let kind = if opcode == op::PROGRAM_CACHE {
+                            BusyKind::CacheProgram
+                        } else {
+                            BusyKind::Program
+                        };
+                        self.begin_busy(now, dur, kind, Effect::CommitProgram { row, pslc });
+                        Ok(LunResponse::Accepted)
+                    }
+                    other => Err(unexpected(&other, "CMD PROGRAM(2)")),
+                }
+            }
+            op::ERASE_1 => {
+                self.decode = Decode::EraseAddr;
+                Ok(LunResponse::Accepted)
+            }
+            op::ERASE_2 => match std::mem::replace(&mut self.decode, Decode::Idle) {
+                Decode::EraseConfirm { row } => {
+                    let dur = self.jittered(self.cfg.profile.t_bers);
+                    self.begin_busy(now, dur, BusyKind::Erase, Effect::CommitErase { row });
+                    Ok(LunResponse::Accepted)
+                }
+                other => Err(unexpected(&other, "CMD ERASE(2)")),
+            },
+            op::SET_FEATURES => {
+                self.decode = Decode::FeatAddrSet;
+                Ok(LunResponse::Accepted)
+            }
+            op::GET_FEATURES => {
+                self.decode = Decode::FeatAddrGet;
+                Ok(LunResponse::Accepted)
+            }
+            op::READ_ID => {
+                self.decode = Decode::IdAddr;
+                Ok(LunResponse::Accepted)
+            }
+            op::READ_PARAM_PAGE => {
+                self.decode = Decode::ParamAddr;
+                Ok(LunResponse::Accepted)
+            }
+            other => Err(LunError::UnexpectedPhase {
+                state: self.decode.name(),
+                phase: format!("CMD {}", mnemonic(other)),
+            }),
+        }
+    }
+
+    fn on_address(&mut self, now: SimTime, bytes: &[u8]) -> Result<LunResponse, LunError> {
+        match std::mem::replace(&mut self.decode, Decode::Idle) {
+            Decode::ReadAddr => {
+                let want = self.layout.full_cycles();
+                if bytes.len() != want {
+                    return Err(LunError::BadAddressLength { got: bytes.len(), want });
+                }
+                let col = self.layout.unpack_col(&bytes[..self.layout.col_cycles]).0;
+                let row = self.layout.unpack_row(&bytes[self.layout.col_cycles..]);
+                self.decode = Decode::ReadConfirm { row, col };
+                Ok(LunResponse::Accepted)
+            }
+            Decode::ChgRdColAddr { full } => {
+                if full {
+                    let want = self.layout.full_cycles();
+                    if bytes.len() != want {
+                        return Err(LunError::BadAddressLength { got: bytes.len(), want });
+                    }
+                    let col = self.layout.unpack_col(&bytes[..self.layout.col_cycles]).0;
+                    let row = self.layout.unpack_row(&bytes[self.layout.col_cycles..]);
+                    self.decode = Decode::ChgRdColConfirm { row: Some(row), col };
+                } else {
+                    let want = self.layout.col_cycles;
+                    if bytes.len() != want {
+                        return Err(LunError::BadAddressLength { got: bytes.len(), want });
+                    }
+                    let col = self.layout.unpack_col(bytes).0;
+                    self.decode = Decode::ChgRdColConfirm { row: None, col };
+                }
+                Ok(LunResponse::Accepted)
+            }
+            Decode::ProgAddr => {
+                let want = self.layout.full_cycles();
+                if bytes.len() != want {
+                    return Err(LunError::BadAddressLength { got: bytes.len(), want });
+                }
+                let col = self.layout.unpack_col(&bytes[..self.layout.col_cycles]).0;
+                let row = self.layout.unpack_row(&bytes[self.layout.col_cycles..]);
+                self.active_plane = self.array.geometry().plane_of(row.block);
+                let raw = self.array.geometry().raw_page_size();
+                self.page_regs[self.active_plane as usize] = vec![0xFF; raw];
+                self.col = col;
+                self.decode = Decode::ProgData { row };
+                Ok(LunResponse::Accepted)
+            }
+            Decode::ChgWrColAddr { row } => {
+                let want = self.layout.col_cycles;
+                if bytes.len() != want {
+                    return Err(LunError::BadAddressLength { got: bytes.len(), want });
+                }
+                self.col = self.layout.unpack_col(bytes).0;
+                self.decode = Decode::ProgData { row };
+                Ok(LunResponse::Accepted)
+            }
+            Decode::EraseAddr => {
+                let want = self.layout.row_cycles;
+                if bytes.len() != want {
+                    return Err(LunError::BadAddressLength { got: bytes.len(), want });
+                }
+                let row = self.layout.unpack_row(bytes);
+                self.decode = Decode::EraseConfirm { row };
+                Ok(LunResponse::Accepted)
+            }
+            Decode::FeatAddrSet => {
+                if bytes.len() != 1 {
+                    return Err(LunError::BadAddressLength { got: bytes.len(), want: 1 });
+                }
+                self.decode = Decode::FeatData { feature: bytes[0] };
+                Ok(LunResponse::Accepted)
+            }
+            Decode::FeatAddrGet => {
+                if bytes.len() != 1 {
+                    return Err(LunError::BadAddressLength { got: bytes.len(), want: 1 });
+                }
+                self.out = OutSource::Features(bytes[0]);
+                Ok(LunResponse::Accepted)
+            }
+            Decode::IdAddr => {
+                if bytes.len() != 1 {
+                    return Err(LunError::BadAddressLength { got: bytes.len(), want: 1 });
+                }
+                self.out = OutSource::Id;
+                self.col = 0;
+                Ok(LunResponse::Accepted)
+            }
+            Decode::ParamAddr => {
+                if bytes.len() != 1 {
+                    return Err(LunError::BadAddressLength { got: bytes.len(), want: 1 });
+                }
+                let dur = self.jittered(self.cfg.profile.t_param);
+                self.begin_busy(now, dur, BusyKind::ParamPage, Effect::LoadParamPage);
+                Ok(LunResponse::Accepted)
+            }
+            other => Err(unexpected(&other, &format!("ADDR[{}]", bytes.len()))),
+        }
+    }
+
+    fn on_data_in(&mut self, _now: SimTime, data: &[u8]) -> Result<LunResponse, LunError> {
+        self.check_bulk_data_allowed()?;
+        match std::mem::replace(&mut self.decode, Decode::Idle) {
+            Decode::ProgData { row } => {
+                let reg = &mut self.page_regs[self.active_plane as usize];
+                let start = self.col as usize;
+                let end = (start + data.len()).min(reg.len());
+                if end > start {
+                    reg[start..end].copy_from_slice(&data[..end - start]);
+                }
+                self.col = end as u32;
+                self.stats.bytes_in += data.len() as u64;
+                self.decode = Decode::ProgData { row };
+                Ok(LunResponse::Accepted)
+            }
+            Decode::FeatData { feature } => {
+                if data.len() != 4 {
+                    return Err(LunError::BadAddressLength { got: data.len(), want: 4 });
+                }
+                let value = [data[0], data[1], data[2], data[3]];
+                self.features.set(feature, value);
+                if feature == feat::TIMING_MODE {
+                    self.apply_timing_mode(value);
+                }
+                Ok(LunResponse::Accepted)
+            }
+            other => Err(unexpected(&other, &format!("DIN[{}]", data.len()))),
+        }
+    }
+
+    fn on_data_out(&mut self, now: SimTime, bytes: usize) -> Result<LunResponse, LunError> {
+        if let Some(busy) = &self.busy {
+            if !busy.kind.allows_data_out() && self.out != OutSource::Status {
+                return Err(LunError::BusyViolation { mnemonic: "DATA-OUT" });
+            }
+        }
+        let data = match self.out {
+            OutSource::Status => {
+                self.stats.status_polls += 1;
+                let st = self.current_status();
+                vec![st.bits(); bytes.max(1)]
+            }
+            OutSource::Features(f) => {
+                let v = self.features.get(f);
+                v.iter().copied().cycle().take(bytes.max(1)).collect()
+            }
+            OutSource::Id => {
+                let id = [
+                    self.cfg.profile.manufacturer_id,
+                    self.cfg.profile.device_id,
+                    self.cfg.profile.geometry.planes as u8,
+                    self.cfg.profile.geometry.luns as u8,
+                    0x51, // ONFI 5.1 marker byte
+                ];
+                id.iter().copied().cycle().take(bytes.max(1)).collect()
+            }
+            OutSource::ParamPage => {
+                self.check_bulk_data_allowed()?;
+                let out = slice_register(&self.param_buf, &mut self.col, bytes);
+                self.maybe_scramble(now, out)
+            }
+            OutSource::PageRegister => {
+                self.check_bulk_data_allowed()?;
+                let reg = &self.page_regs[self.active_plane as usize];
+                let out = slice_register(reg, &mut self.col, bytes);
+                self.maybe_scramble(now, out)
+            }
+            OutSource::CacheRegister => {
+                self.check_bulk_data_allowed()?;
+                let reg = self.cache_reg.clone();
+                let out = slice_register(&reg, &mut self.col, bytes);
+                self.maybe_scramble(now, out)
+            }
+            OutSource::None => {
+                return Err(LunError::UnexpectedPhase {
+                    state: self.decode.name(),
+                    phase: format!("DOUT[{bytes}]"),
+                })
+            }
+        };
+        self.stats.bytes_out += data.len() as u64;
+        Ok(LunResponse::Data(data))
+    }
+
+    /// Bulk data phases require the boot contract to have been honoured.
+    fn check_bulk_data_allowed(&self) -> Result<(), LunError> {
+        if !self.cfg.require_init {
+            return Ok(());
+        }
+        if !self.initialized {
+            return Err(LunError::NotInitialized);
+        }
+        Ok(())
+    }
+
+    /// Corrupts bulk data deterministically when the controller's DQS phase
+    /// does not match the board trace (until calibration fixes it).
+    fn maybe_scramble(&mut self, _now: SimTime, data: Vec<u8>) -> Vec<u8> {
+        if !self.cfg.require_init {
+            return data;
+        }
+        if matches!(self.iface, DataInterface::Sdr { .. }) {
+            return data; // SDR is slow enough to be phase-insensitive.
+        }
+        if self.configured_phase == Some(self.required_phase) {
+            return data;
+        }
+        data.into_iter()
+            .enumerate()
+            .map(|(i, b)| b ^ 0xA5 ^ (i as u8).rotate_left(3))
+            .collect()
+    }
+
+    fn apply_timing_mode(&mut self, value: [u8; 4]) {
+        /// NV-DDR2 timing-mode to MT/s mapping (ONFI 5.x Table 81).
+        const NV_DDR2_MTS: [u32; 9] = [30, 40, 50, 66, 83, 100, 133, 166, 200];
+        match value[1] {
+            0 => {
+                self.iface = DataInterface::Sdr { mode: value[0].min(5) };
+            }
+            2 => {
+                let mode = (value[0] as usize).min(8);
+                let mts = NV_DDR2_MTS[mode].min(self.cfg.profile.max_mts);
+                self.iface = DataInterface::NvDdr2 { mts };
+            }
+            _ => {}
+        }
+    }
+
+    fn on_suspend(&mut self, now: SimTime, opcode: u8) -> Result<LunResponse, LunError> {
+        let Some(busy) = &self.busy else {
+            // Suspending an idle LUN is a no-op on real parts.
+            return Ok(LunResponse::Accepted);
+        };
+        let matches_kind = matches!(
+            (&busy.kind, opcode),
+            (BusyKind::Program | BusyKind::CacheProgram, op::PROGRAM_SUSPEND)
+                | (BusyKind::Erase, op::ERASE_SUSPEND)
+        );
+        if !matches_kind {
+            return Err(LunError::BusyViolation { mnemonic: mnemonic(opcode) });
+        }
+        let busy = self.busy.take().expect("just checked");
+        let remaining = busy.until.saturating_since(now);
+        self.suspended = Some(Suspended {
+            remaining,
+            kind: busy.kind,
+            effect: busy.effect,
+        });
+        // The suspend itself takes a short latency window before the LUN is
+        // usable (datasheet tESPD/tPSPD, ~20 us).
+        self.begin_busy(
+            now,
+            SimDuration::from_micros(20),
+            BusyKind::Suspending,
+            Effect::None,
+        );
+        Ok(LunResponse::Accepted)
+    }
+
+    fn on_resume(&mut self, now: SimTime) -> Result<LunResponse, LunError> {
+        let Some(s) = self.suspended.take() else {
+            return Ok(LunResponse::Accepted);
+        };
+        // Resume penalty: re-ramping the program/erase voltages costs a
+        // little extra on top of the remaining time.
+        let penalty = SimDuration::from_micros(10);
+        self.begin_busy(now, s.remaining + penalty, s.kind, s.effect);
+        Ok(LunResponse::Accepted)
+    }
+
+    fn take_pslc(&mut self, _row: RowAddr) -> bool {
+        let armed = self.pslc_armed || self.features.pslc_enabled();
+        self.pslc_armed = false;
+        self.retry_armed = false;
+        armed
+    }
+
+    fn last_loaded_row(&self) -> Option<RowAddr> {
+        self.last_row
+    }
+}
+
+/// Copies `bytes` from `reg[*col..]`, padding past-the-end with `0xFF`, and
+/// advances the column pointer.
+fn slice_register(reg: &[u8], col: &mut u32, bytes: usize) -> Vec<u8> {
+    let start = (*col as usize).min(reg.len());
+    let end = (start + bytes).min(reg.len());
+    let mut out = reg[start..end].to_vec();
+    out.resize(bytes, 0xFF);
+    *col = (start + bytes) as u32;
+    out
+}
+
+fn unexpected(state: &Decode, phase: &str) -> LunError {
+    LunError::UnexpectedPhase {
+        state: state.name(),
+        phase: phase.to_string(),
+    }
+}
+
+/// Knuth's Poisson sampler, adequate for the small λ of page reads.
+fn poisson(rng: &mut SplitMix64, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda > 100.0 {
+        // Normal approximation for heavily worn pages.
+        let u = rng.next_f64().max(1e-12);
+        let v = rng.next_f64();
+        let z = (-2.0 * u.ln()).sqrt() * (2.0 * std::f64::consts::PI * v).cos();
+        return (lambda + z * lambda.sqrt()).max(0.0) as u64;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.next_f64();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Geometry;
+
+    /// Drives phases into a LUN with a manually advanced clock.
+    struct Driver {
+        lun: Lun,
+        now: SimTime,
+    }
+
+    impl Driver {
+        fn new(cfg: LunConfig) -> Self {
+            Driver { lun: Lun::new(cfg), now: SimTime::ZERO }
+        }
+
+        fn tick(&mut self, d: SimDuration) {
+            self.now = self.now + d;
+        }
+
+        fn cmd(&mut self, opcode: u8) -> LunResponse {
+            self.tick(SimDuration::from_nanos(50));
+            self.lun.phase(self.now, &PhaseKind::CmdLatch(opcode)).unwrap()
+        }
+
+        fn try_cmd(&mut self, opcode: u8) -> Result<LunResponse, LunError> {
+            self.tick(SimDuration::from_nanos(50));
+            self.lun.phase(self.now, &PhaseKind::CmdLatch(opcode))
+        }
+
+        fn addr(&mut self, bytes: Vec<u8>) -> LunResponse {
+            self.tick(SimDuration::from_nanos(150));
+            self.lun.phase(self.now, &PhaseKind::AddrLatch(bytes)).unwrap()
+        }
+
+        fn din(&mut self, data: Vec<u8>) -> LunResponse {
+            self.tick(SimDuration::from_nanos(100));
+            self.lun.phase(self.now, &PhaseKind::DataIn(data)).unwrap()
+        }
+
+        fn dout(&mut self, bytes: usize) -> Vec<u8> {
+            self.tick(SimDuration::from_nanos(100));
+            match self.lun.phase(self.now, &PhaseKind::DataOut { bytes }).unwrap() {
+                LunResponse::Data(d) => d,
+                other => panic!("expected data, got {other:?}"),
+            }
+        }
+
+        fn wait_ready(&mut self) {
+            if let Some(until) = self.lun.busy_until() {
+                self.now = self.now.max(until) + SimDuration::from_nanos(1);
+            }
+        }
+
+        fn full_addr(&self, row: RowAddr, col: u32) -> Vec<u8> {
+            let layout = self.lun.profile().geometry.addr_layout(16);
+            layout.pack_full(babol_onfi::addr::ColumnAddr(col), row)
+        }
+
+        fn row_addr(&self, row: RowAddr) -> Vec<u8> {
+            self.lun.profile().geometry.addr_layout(16).pack_row(row)
+        }
+
+        fn col_addr(&self, col: u32) -> Vec<u8> {
+            self.lun
+                .profile()
+                .geometry
+                .addr_layout(16)
+                .pack_col(babol_onfi::addr::ColumnAddr(col))
+        }
+
+        /// Full page program sequence.
+        fn program(&mut self, row: RowAddr, data: &[u8]) {
+            self.cmd(op::PROGRAM_1);
+            let a = self.full_addr(row, 0);
+            self.addr(a);
+            self.din(data.to_vec());
+            self.cmd(op::PROGRAM_2);
+            self.wait_ready();
+        }
+
+        /// Full page read sequence; returns `n` bytes from column 0.
+        fn read(&mut self, row: RowAddr, n: usize) -> Vec<u8> {
+            self.cmd(op::READ_1);
+            let a = self.full_addr(row, 0);
+            self.addr(a);
+            self.cmd(op::READ_2);
+            self.wait_ready();
+            self.dout(n)
+        }
+    }
+
+    fn row(block: u32, page: u32) -> RowAddr {
+        RowAddr { lun: 0, block, page }
+    }
+
+    #[test]
+    fn read_sequence_times_and_streams() {
+        let mut d = Driver::new(LunConfig::test_default());
+        d.cmd(op::READ_1);
+        let a = d.full_addr(row(0, 0), 0);
+        d.addr(a);
+        assert!(d.lun.busy_until().is_none());
+        d.cmd(op::READ_2);
+        // Busy for exactly tR (no jitter in the test profile).
+        let until = d.lun.busy_until().expect("busy after confirm");
+        assert_eq!(until - d.now, PackageProfile::test_tiny().t_r);
+        assert!(!d.lun.status(d.now).is_ready());
+        d.wait_ready();
+        assert!(d.lun.status(d.now).is_ready());
+        let bytes = d.dout(16);
+        assert_eq!(bytes, vec![0xFF; 16]); // pristine page
+        assert_eq!(d.lun.stats().reads, 1);
+    }
+
+    #[test]
+    fn program_read_roundtrip_with_column() {
+        let mut d = Driver::new(LunConfig::test_default());
+        d.program(row(0, 0), b"abcdef");
+        let got = d.read(row(0, 0), 6);
+        assert_eq!(&got, b"abcdef");
+        // Change read column to offset 2.
+        d.cmd(op::CHANGE_READ_COL_1);
+        let c = d.col_addr(2);
+        d.addr(c);
+        d.cmd(op::CHANGE_READ_COL_2);
+        assert_eq!(d.dout(4), b"cdef".to_vec());
+    }
+
+    #[test]
+    fn status_poll_loop_matches_paper_algorithm() {
+        let mut d = Driver::new(LunConfig::test_default());
+        d.cmd(op::READ_1);
+        let a = d.full_addr(row(1, 0), 0);
+        d.addr(a);
+        d.cmd(op::READ_2);
+        // Poll READ STATUS like Algorithm 1/2: issue 0x70, read one byte.
+        let mut polls = 0;
+        loop {
+            d.cmd(op::READ_STATUS);
+            let st = d.dout(1)[0];
+            polls += 1;
+            if st & 0x40 != 0 {
+                break;
+            }
+            d.tick(SimDuration::from_micros(2));
+        }
+        assert!(polls > 1, "tR should take several polls");
+        // Restore data output with 0x00 and stream.
+        d.cmd(op::READ_1);
+        // ONFI: a bare 0x00 after status restores output; simulate via
+        // data-out directly (decode state tolerates it).
+        let data = d.dout(8);
+        assert_eq!(data.len(), 8);
+        assert_eq!(d.lun.stats().status_polls, polls);
+    }
+
+    #[test]
+    fn busy_violation_rejected() {
+        let mut d = Driver::new(LunConfig::test_default());
+        d.cmd(op::READ_1);
+        let a = d.full_addr(row(0, 0), 0);
+        d.addr(a);
+        d.cmd(op::READ_2);
+        let err = d.try_cmd(op::READ_1).unwrap_err();
+        assert!(matches!(err, LunError::BusyViolation { .. }));
+    }
+
+    #[test]
+    fn pslc_prefix_speeds_up_read() {
+        let mut d = Driver::new(LunConfig::test_default());
+        d.cmd(op::PSLC_PREFIX);
+        d.cmd(op::READ_1);
+        let a = d.full_addr(row(0, 0), 0);
+        d.addr(a);
+        d.cmd(op::READ_2);
+        let until = d.lun.busy_until().unwrap();
+        assert_eq!(until - d.now, PackageProfile::test_tiny().t_r_slc);
+    }
+
+    #[test]
+    fn pslc_program_records_mode() {
+        let mut d = Driver::new(LunConfig::test_default());
+        d.cmd(op::PSLC_PREFIX);
+        d.cmd(op::PROGRAM_1);
+        let a = d.full_addr(row(2, 0), 0);
+        d.addr(a);
+        d.din(vec![1, 2, 3]);
+        d.cmd(op::PROGRAM_2);
+        let until = d.lun.busy_until().unwrap();
+        assert_eq!(until - d.now, PackageProfile::test_tiny().t_prog_slc);
+        d.wait_ready();
+        d.lun.status(d.now);
+        assert_eq!(
+            d.lun.array().page_state(row(2, 0)).unwrap(),
+            crate::array::PageState::Programmed { pslc: true }
+        );
+    }
+
+    #[test]
+    fn erase_sequence() {
+        let mut d = Driver::new(LunConfig::test_default());
+        d.program(row(0, 0), &[9]);
+        d.cmd(op::ERASE_1);
+        let a = d.row_addr(row(0, 0));
+        d.addr(a);
+        d.cmd(op::ERASE_2);
+        assert_eq!(d.lun.busy_kind(), Some(BusyKind::Erase));
+        d.wait_ready();
+        d.lun.status(d.now);
+        assert_eq!(d.lun.array().erase_count(0), 1);
+        assert_eq!(d.read(row(0, 0), 1), vec![0xFF]);
+    }
+
+    #[test]
+    fn program_status_reports_failure_on_reprogram() {
+        let mut d = Driver::new(LunConfig::test_default());
+        d.program(row(0, 0), &[1]);
+        // Program the same page again without erase: must FAIL via status.
+        d.program(row(0, 0), &[2]);
+        let st = d.lun.status(d.now);
+        assert!(st.failed());
+        // Content unchanged.
+        assert_eq!(d.read(row(0, 0), 1), vec![1]);
+    }
+
+    #[test]
+    fn set_features_switches_interface() {
+        let mut d = Driver::new(LunConfig::test_default());
+        assert_eq!(d.lun.interface(), DataInterface::Sdr { mode: 0 });
+        d.cmd(op::SET_FEATURES);
+        d.addr(vec![feat::TIMING_MODE]);
+        d.din(vec![8, 2, 0, 0]); // NV-DDR2 mode 8 = 200 MT/s
+        assert_eq!(d.lun.interface(), DataInterface::NvDdr2 { mts: 200 });
+        // GET FEATURES reads it back.
+        d.cmd(op::GET_FEATURES);
+        d.addr(vec![feat::TIMING_MODE]);
+        assert_eq!(d.dout(4), vec![8, 2, 0, 0]);
+    }
+
+    #[test]
+    fn read_id_returns_profile_ids() {
+        let mut d = Driver::new(LunConfig::test_default());
+        d.cmd(op::READ_ID);
+        d.addr(vec![0x00]);
+        let id = d.dout(2);
+        assert_eq!(id[0], PackageProfile::test_tiny().manufacturer_id);
+        assert_eq!(id[1], PackageProfile::test_tiny().device_id);
+    }
+
+    #[test]
+    fn param_page_has_three_valid_copies() {
+        let mut d = Driver::new(LunConfig::test_default());
+        d.cmd(op::READ_PARAM_PAGE);
+        d.addr(vec![0x00]);
+        assert_eq!(d.lun.busy_kind(), Some(BusyKind::ParamPage));
+        d.wait_ready();
+        let buf = d.dout(256 * 3);
+        for copy in 0..3 {
+            let page = babol_onfi::param_page::ParamPage::from_bytes(
+                &buf[copy * 256..(copy + 1) * 256],
+            )
+            .unwrap();
+            assert_eq!(page.page_size as usize, Geometry::tiny().page_size);
+        }
+    }
+
+    #[test]
+    fn cache_read_streams_while_fetching() {
+        let mut d = Driver::new(LunConfig::test_default());
+        d.program(row(0, 0), b"page-zero");
+        d.program(row(0, 1), b"page-one!");
+        // Normal read of page 0.
+        d.read(row(0, 0), 1);
+        // Kick a cache read: page 0 moves to cache, page 1 fetch starts.
+        d.cmd(op::READ_CACHE_SEQ);
+        assert_eq!(d.lun.busy_kind(), Some(BusyKind::CacheRead));
+        let st = d.lun.status(d.now);
+        assert!(st.is_ready() && !st.array_ready());
+        // Data-out during cache busy streams the *cached* page 0.
+        assert_eq!(d.dout(9), b"page-zero".to_vec());
+        d.wait_ready();
+        // Terminate: page 1 moves to cache.
+        d.cmd(op::READ_CACHE_END);
+        d.wait_ready();
+        d.lun.status(d.now);
+        assert_eq!(d.dout(9), b"page-one!".to_vec());
+    }
+
+    #[test]
+    fn erase_suspend_and_resume() {
+        let mut d = Driver::new(LunConfig::test_default());
+        d.program(row(1, 0), &[7]);
+        d.cmd(op::ERASE_1);
+        let a = d.row_addr(row(1, 0));
+        d.addr(a);
+        d.cmd(op::ERASE_2);
+        // Part-way through the erase, suspend it.
+        d.tick(SimDuration::from_micros(30));
+        d.cmd(op::ERASE_SUSPEND);
+        assert_eq!(d.lun.busy_kind(), Some(BusyKind::Suspending));
+        d.wait_ready();
+        assert!(d.lun.status(d.now).is_ready());
+        // A read can happen while the erase is suspended (different block).
+        d.program(row(2, 0), b"interleaved");
+        assert_eq!(d.read(row(2, 0), 11), b"interleaved".to_vec());
+        // The suspended block has NOT been erased yet.
+        assert_eq!(d.lun.array().erase_count(1), 0);
+        // Resume and let it finish.
+        d.cmd(op::SUSPEND_RESUME);
+        assert_eq!(d.lun.busy_kind(), Some(BusyKind::Erase));
+        d.wait_ready();
+        d.lun.status(d.now);
+        assert_eq!(d.lun.array().erase_count(1), 1);
+    }
+
+    #[test]
+    fn reset_clears_features_and_interface() {
+        let mut d = Driver::new(LunConfig::test_default());
+        d.cmd(op::SET_FEATURES);
+        d.addr(vec![feat::TIMING_MODE]);
+        d.din(vec![8, 2, 0, 0]);
+        d.cmd(op::RESET);
+        assert_eq!(d.lun.busy_kind(), Some(BusyKind::Reset));
+        d.wait_ready();
+        d.lun.status(d.now);
+        assert_eq!(d.lun.interface(), DataInterface::Sdr { mode: 0 });
+    }
+
+    #[test]
+    fn reset_is_legal_while_busy() {
+        let mut d = Driver::new(LunConfig::test_default());
+        d.cmd(op::READ_1);
+        let a = d.full_addr(row(0, 0), 0);
+        d.addr(a);
+        d.cmd(op::READ_2);
+        // RESET mid-tR aborts the read.
+        d.cmd(op::RESET);
+        assert_eq!(d.lun.busy_kind(), Some(BusyKind::Reset));
+    }
+
+    #[test]
+    fn multi_plane_read_loads_both_planes() {
+        let mut d = Driver::new(LunConfig::test_default());
+        // Blocks 0 and 1 are on planes 0 and 1.
+        d.program(row(0, 0), b"plane-zero");
+        d.program(row(1, 0), b"plane-one!");
+        // Queue plane 0, then confirm with plane 1.
+        d.cmd(op::READ_1);
+        let a0 = d.full_addr(row(0, 0), 0);
+        d.addr(a0);
+        d.cmd(op::MULTI_PLANE_NEXT);
+        d.wait_ready();
+        d.lun.status(d.now);
+        d.cmd(op::READ_1);
+        let a1 = d.full_addr(row(1, 0), 0);
+        d.addr(a1);
+        d.cmd(op::READ_2);
+        d.wait_ready();
+        d.lun.status(d.now);
+        // Active plane is the last addressed one (plane 1).
+        assert_eq!(d.dout(10), b"plane-one!".to_vec());
+        // RANDOM DATA OUT selects plane 0.
+        d.cmd(op::RANDOM_DATA_OUT_1);
+        let sel = d.full_addr(row(0, 0), 0);
+        d.addr(sel);
+        d.cmd(op::CHANGE_READ_COL_2);
+        assert_eq!(d.dout(10), b"plane-zero".to_vec());
+    }
+
+    #[test]
+    fn error_injection_flips_bits_on_worn_blocks() {
+        let mut cfg = LunConfig::test_default();
+        cfg.inject_errors = true;
+        cfg.profile.cell = crate::ber::CellType::Qlc;
+        let mut d = Driver::new(cfg);
+        // Wear block 0 out heavily.
+        for _ in 0..2000 {
+            d.cmd(op::ERASE_1);
+            let a = d.row_addr(row(0, 0));
+            d.addr(a);
+            d.cmd(op::ERASE_2);
+            d.wait_ready();
+            d.lun.status(d.now);
+        }
+        d.program(row(0, 0), &vec![0u8; 512]);
+        let got = d.read(row(0, 0), 512);
+        let flipped: u32 = got.iter().map(|&b| b.count_ones()).sum();
+        assert!(flipped > 0, "expected bit errors on a worn QLC block");
+    }
+
+    #[test]
+    fn clean_reads_without_injection() {
+        let mut d = Driver::new(LunConfig::test_default());
+        d.program(row(0, 0), &vec![0u8; 128]);
+        let got = d.read(row(0, 0), 128);
+        assert!(got.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn boot_contract_blocks_uninitialized_bulk_data() {
+        let mut cfg = LunConfig::test_default();
+        cfg.require_init = true;
+        let mut d = Driver::new(cfg);
+        d.cmd(op::READ_1);
+        let a = d.full_addr(row(0, 0), 0);
+        d.addr(a);
+        d.cmd(op::READ_2);
+        d.wait_ready();
+        d.lun.status(d.now);
+        d.tick(SimDuration::from_nanos(100));
+        let err = d
+            .lun
+            .phase(d.now, &PhaseKind::DataOut { bytes: 4 })
+            .unwrap_err();
+        assert_eq!(err, LunError::NotInitialized);
+        // Status remains readable before init.
+        d.cmd(op::READ_STATUS);
+        let _ = d.dout(1);
+    }
+
+    #[test]
+    fn calibration_phase_scrambles_high_speed_data() {
+        let mut cfg = LunConfig::test_default();
+        cfg.require_init = true;
+        cfg.seed = 42;
+        let mut d = Driver::new(cfg);
+        // Boot: RESET, then raise the interface to NV-DDR2.
+        d.cmd(op::RESET);
+        d.wait_ready();
+        d.lun.status(d.now);
+        d.cmd(op::SET_FEATURES);
+        d.addr(vec![feat::TIMING_MODE]);
+        d.din(vec![8, 2, 0, 0]);
+        d.program(row(0, 0), b"calibrate-me");
+        let required = d.lun.required_phase_for_tests();
+        // Wrong phase: scrambled.
+        d.lun.set_drive_phase(required.wrapping_add(1) % 8);
+        let garbled = d.read(row(0, 0), 12);
+        assert_ne!(garbled, b"calibrate-me".to_vec());
+        // Right phase: clean.
+        d.lun.set_drive_phase(required);
+        let clean = d.read(row(0, 0), 12);
+        assert_eq!(clean, b"calibrate-me".to_vec());
+    }
+
+    #[test]
+    fn sdr_data_is_phase_insensitive() {
+        let mut cfg = LunConfig::test_default();
+        cfg.require_init = true;
+        let mut d = Driver::new(cfg);
+        d.cmd(op::RESET);
+        d.wait_ready();
+        d.lun.status(d.now);
+        // Still in SDR mode 0; no calibration done, reads are clean.
+        d.program(row(0, 0), b"sdr-boot");
+        assert_eq!(d.read(row(0, 0), 8), b"sdr-boot".to_vec());
+    }
+
+    #[test]
+    fn data_out_past_register_end_pads_ff() {
+        let mut d = Driver::new(LunConfig::test_default());
+        d.program(row(0, 0), &[1, 2, 3]);
+        d.read(row(0, 0), 1);
+        // Jump to the last byte of the raw page and over-read.
+        let raw = Geometry::tiny().raw_page_size() as u32;
+        d.cmd(op::CHANGE_READ_COL_1);
+        let c = d.col_addr(raw - 2);
+        d.addr(c);
+        d.cmd(op::CHANGE_READ_COL_2);
+        let tail = d.dout(6);
+        assert_eq!(tail.len(), 6);
+        assert_eq!(&tail[2..], &[0xFF; 4]);
+    }
+
+    #[test]
+    fn jitter_bounds_hold() {
+        let mut cfg = LunConfig::test_default();
+        cfg.profile.jitter_pct = 10;
+        let nominal = cfg.profile.t_r;
+        let mut d = Driver::new(cfg);
+        for i in 0..50 {
+            d.cmd(op::READ_1);
+            let a = d.full_addr(row(0, i % 8), 0);
+            d.addr(a);
+            d.cmd(op::READ_2);
+            let dur = d.lun.busy_until().unwrap() - d.now;
+            assert!(dur >= nominal - nominal / 10, "iter {i}: {dur}");
+            assert!(dur <= nominal + nominal / 10, "iter {i}: {dur}");
+            d.wait_ready();
+            d.lun.status(d.now);
+        }
+    }
+}

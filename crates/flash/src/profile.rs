@@ -1,0 +1,207 @@
+//! Commercial package profiles.
+//!
+//! The paper's Table I lists the three SO-DIMM package types used in its
+//! experiments. The timing numbers below are lifted from that table; the
+//! program/erase times and jitter are taken from the same parts' public
+//! datasheet ranges (the paper's workloads are read-only because tR is the
+//! *shortest* array time and therefore the hardest case for a software
+//! controller — see §VI, Workloads).
+
+use babol_sim::SimDuration;
+
+use crate::ber::CellType;
+use crate::geometry::Geometry;
+
+/// Everything package-specific a LUN model needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackageProfile {
+    /// Human-readable name used in experiment output.
+    pub name: &'static str,
+    /// JEDEC manufacturer id returned by READ ID.
+    pub manufacturer_id: u8,
+    /// Device id returned by READ ID.
+    pub device_id: u8,
+    /// Physical geometry.
+    pub geometry: Geometry,
+    /// Cell technology (determines BER base and pSLC speedup).
+    pub cell: CellType,
+    /// Page read time tR (array to page register), nominal.
+    pub t_r: SimDuration,
+    /// tR in pSLC mode.
+    pub t_r_slc: SimDuration,
+    /// Page program time tPROG, nominal.
+    pub t_prog: SimDuration,
+    /// tPROG in pSLC mode.
+    pub t_prog_slc: SimDuration,
+    /// Block erase time tBERS, nominal.
+    pub t_bers: SimDuration,
+    /// RESET recovery time tRST (idle case).
+    pub t_rst: SimDuration,
+    /// Parameter-page fetch time.
+    pub t_param: SimDuration,
+    /// Relative jitter on array times, in percent (uniform ±).
+    pub jitter_pct: u32,
+    /// LUNs wired per channel on this SO-DIMM (Hynix/Toshiba: 8, Micron: 2).
+    pub luns_per_channel: u32,
+    /// Maximum NV-DDR2 rate the part supports, MT/s.
+    pub max_mts: u32,
+}
+
+impl PackageProfile {
+    /// The Hynix package: tR = 100 µs, 8 LUNs per channel.
+    pub fn hynix() -> Self {
+        PackageProfile {
+            name: "Hynix",
+            manufacturer_id: 0xAD,
+            device_id: 0xDE,
+            geometry: Geometry::paper_16k(),
+            cell: CellType::Tlc,
+            t_r: SimDuration::from_micros(100),
+            t_r_slc: SimDuration::from_micros(35),
+            t_prog: SimDuration::from_micros(700),
+            t_prog_slc: SimDuration::from_micros(200),
+            t_bers: SimDuration::from_millis(5),
+            t_rst: SimDuration::from_micros(50),
+            t_param: SimDuration::from_micros(25),
+            jitter_pct: 8,
+            luns_per_channel: 8,
+            max_mts: 200,
+        }
+    }
+
+    /// The Toshiba package: tR = 78 µs, 8 LUNs per channel.
+    pub fn toshiba() -> Self {
+        PackageProfile {
+            name: "Toshiba",
+            manufacturer_id: 0x98,
+            device_id: 0x3A,
+            geometry: Geometry::paper_16k(),
+            cell: CellType::Tlc,
+            t_r: SimDuration::from_micros(78),
+            t_r_slc: SimDuration::from_micros(28),
+            t_prog: SimDuration::from_micros(560),
+            t_prog_slc: SimDuration::from_micros(170),
+            t_bers: SimDuration::from_millis(4),
+            t_rst: SimDuration::from_micros(50),
+            t_param: SimDuration::from_micros(25),
+            jitter_pct: 8,
+            luns_per_channel: 8,
+            max_mts: 200,
+        }
+    }
+
+    /// The Micron package: tR = 53 µs, only 2 LUNs wired per channel.
+    pub fn micron() -> Self {
+        PackageProfile {
+            name: "Micron",
+            manufacturer_id: 0x2C,
+            device_id: 0xB7,
+            geometry: Geometry::paper_16k(),
+            cell: CellType::Mlc,
+            t_r: SimDuration::from_micros(53),
+            t_r_slc: SimDuration::from_micros(22),
+            t_prog: SimDuration::from_micros(420),
+            t_prog_slc: SimDuration::from_micros(140),
+            t_bers: SimDuration::from_millis(3),
+            t_rst: SimDuration::from_micros(50),
+            t_param: SimDuration::from_micros(25),
+            jitter_pct: 8,
+            luns_per_channel: 2,
+            max_mts: 200,
+        }
+    }
+
+    /// A miniature package for unit tests: tiny geometry, microsecond-scale
+    /// timings, no jitter.
+    pub fn test_tiny() -> Self {
+        PackageProfile {
+            name: "TestTiny",
+            manufacturer_id: 0x01,
+            device_id: 0x02,
+            geometry: Geometry::tiny(),
+            cell: CellType::Slc,
+            t_r: SimDuration::from_micros(10),
+            t_r_slc: SimDuration::from_micros(5),
+            t_prog: SimDuration::from_micros(40),
+            t_prog_slc: SimDuration::from_micros(15),
+            t_bers: SimDuration::from_micros(100),
+            t_rst: SimDuration::from_micros(5),
+            t_param: SimDuration::from_micros(2),
+            jitter_pct: 0,
+            luns_per_channel: 4,
+            max_mts: 200,
+        }
+    }
+
+    /// The canonical address-cycle layout controllers must use with this
+    /// package. LUN models always decode with the 16-LUN channel layout, so
+    /// controllers must pack with the same one.
+    pub fn layout(&self) -> babol_onfi::addr::AddrLayout {
+        self.geometry.addr_layout(16)
+    }
+
+    /// The three packages evaluated in the paper, in Table I order.
+    pub fn paper_set() -> Vec<PackageProfile> {
+        vec![Self::hynix(), Self::toshiba(), Self::micron()]
+    }
+
+    /// The ONFI parameter page this package reports.
+    pub fn param_page(&self) -> babol_onfi::param_page::ParamPage {
+        babol_onfi::param_page::ParamPage {
+            manufacturer: self.name.to_uppercase(),
+            model: format!("{}-16K", self.name.to_uppercase()),
+            page_size: self.geometry.page_size as u32,
+            spare_size: self.geometry.spare_size as u16,
+            pages_per_block: self.geometry.pages_per_block,
+            blocks_per_lun: self.geometry.blocks_per_lun(),
+            luns: self.geometry.luns as u8,
+            nv_ddr2_modes: 0b0011_1111,
+            max_mts: self.max_mts as u16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_read_times() {
+        assert_eq!(PackageProfile::hynix().t_r, SimDuration::from_micros(100));
+        assert_eq!(PackageProfile::toshiba().t_r, SimDuration::from_micros(78));
+        assert_eq!(PackageProfile::micron().t_r, SimDuration::from_micros(53));
+    }
+
+    #[test]
+    fn table1_page_size() {
+        for p in PackageProfile::paper_set() {
+            assert_eq!(p.geometry.page_size, 16384, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn channel_wiring_matches_paper() {
+        assert_eq!(PackageProfile::hynix().luns_per_channel, 8);
+        assert_eq!(PackageProfile::toshiba().luns_per_channel, 8);
+        assert_eq!(PackageProfile::micron().luns_per_channel, 2);
+    }
+
+    #[test]
+    fn slc_mode_is_faster() {
+        for p in PackageProfile::paper_set() {
+            assert!(p.t_r_slc < p.t_r, "{}", p.name);
+            assert!(p.t_prog_slc < p.t_prog, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn param_page_roundtrips() {
+        let p = PackageProfile::hynix();
+        let page = p.param_page();
+        let parsed =
+            babol_onfi::param_page::ParamPage::from_bytes(&page.to_bytes()).unwrap();
+        assert_eq!(parsed.page_size, 16384);
+        assert_eq!(parsed.manufacturer, "HYNIX");
+        assert_eq!(parsed.max_mts, 200);
+    }
+}

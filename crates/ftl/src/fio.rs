@@ -1,0 +1,142 @@
+//! fio-like workload definitions.
+//!
+//! The paper drives its end-to-end experiment with fio: "We initialized the
+//! baseline and the modified OpenSSDs with data and issued two READ
+//! workloads against them: one sequential and one random" (§VI-C). The
+//! types here describe such a job; the [`crate::ssd`] driver executes it.
+
+use babol_sim::rng::SplitMix64;
+use babol_sim::SimDuration;
+
+/// Access pattern of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoPattern {
+    /// Ascending logical pages, wrapping at the end of the device.
+    SequentialRead,
+    /// Uniformly random logical pages.
+    RandomRead,
+    /// Ascending writes.
+    SequentialWrite,
+    /// Uniformly random writes.
+    RandomWrite,
+}
+
+impl IoPattern {
+    /// True for write patterns.
+    pub fn is_write(self) -> bool {
+        matches!(self, IoPattern::SequentialWrite | IoPattern::RandomWrite)
+    }
+}
+
+/// One fio job.
+#[derive(Debug, Clone, Copy)]
+pub struct FioWorkload {
+    /// Access pattern.
+    pub pattern: IoPattern,
+    /// Number of I/Os to issue (each one logical page).
+    pub total_ios: u64,
+    /// Host queue depth (outstanding I/Os).
+    pub queue_depth: usize,
+    /// RNG seed for random patterns.
+    pub seed: u64,
+}
+
+impl FioWorkload {
+    /// Produces the logical page of I/O number `i`.
+    pub fn lpn_of(&self, i: u64, logical_pages: u64, rng: &mut SplitMix64) -> u64 {
+        match self.pattern {
+            IoPattern::SequentialRead | IoPattern::SequentialWrite => i % logical_pages,
+            IoPattern::RandomRead | IoPattern::RandomWrite => rng.next_below(logical_pages),
+        }
+    }
+}
+
+/// Result of one fio job.
+#[derive(Debug, Clone)]
+pub struct FioReport {
+    /// I/Os completed.
+    pub ios: u64,
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Job wall time (simulated).
+    pub elapsed: SimDuration,
+    /// Mean per-I/O latency.
+    pub mean_latency: SimDuration,
+    /// 99th-percentile latency.
+    pub p99_latency: SimDuration,
+    /// Garbage-collection cycles the job triggered.
+    pub gc_cycles: u64,
+}
+
+impl FioReport {
+    /// Bandwidth in MB/s (10^6 bytes per second).
+    pub fn bandwidth_mbps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.bytes as f64 / 1e6 / self.elapsed.as_secs_f64()
+    }
+
+    /// I/O operations per second.
+    pub fn iops(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.ios as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_wraps() {
+        let w = FioWorkload {
+            pattern: IoPattern::SequentialRead,
+            total_ios: 10,
+            queue_depth: 1,
+            seed: 0,
+        };
+        let mut rng = SplitMix64::new(0);
+        assert_eq!(w.lpn_of(0, 4, &mut rng), 0);
+        assert_eq!(w.lpn_of(5, 4, &mut rng), 1);
+    }
+
+    #[test]
+    fn random_stays_in_range_and_is_seeded() {
+        let w = FioWorkload {
+            pattern: IoPattern::RandomRead,
+            total_ios: 10,
+            queue_depth: 1,
+            seed: 7,
+        };
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for i in 0..1000 {
+            let x = w.lpn_of(i, 50, &mut a);
+            assert!(x < 50);
+            assert_eq!(x, w.lpn_of(i, 50, &mut b));
+        }
+    }
+
+    #[test]
+    fn report_math() {
+        let r = FioReport {
+            ios: 100,
+            bytes: 100 * 16384,
+            elapsed: SimDuration::from_millis(10),
+            mean_latency: SimDuration::from_micros(200),
+            p99_latency: SimDuration::from_micros(400),
+            gc_cycles: 0,
+        };
+        assert!((r.bandwidth_mbps() - 163.84).abs() < 0.01);
+        assert!((r.iops() - 10_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pattern_classification() {
+        assert!(IoPattern::RandomWrite.is_write());
+        assert!(!IoPattern::SequentialRead.is_write());
+    }
+}

@@ -1,0 +1,21 @@
+//! A minimal flash translation layer and fio-style host workload driver.
+//!
+//! The paper's end-to-end experiment (§VI-C, Fig. 12) swaps BABOL into the
+//! Cosmos+ OpenSSD and measures fio READ workloads through the whole stack:
+//! host → HIC → FTL → storage controller → flash. This crate supplies the
+//! stack above the storage controller:
+//!
+//! * [`map`] — a page-level logical-to-physical map with per-LUN block
+//!   allocation, validity tracking, and greedy garbage collection.
+//! * [`ssd`] — the SSD assembly: translates host I/O into controller
+//!   requests, charges FTL CPU cycles on the shared processor, runs GC.
+//! * [`fio`] — fio-like workload definitions (sequential/random read/write)
+//!   and the host driver that keeps a queue depth outstanding.
+
+pub mod fio;
+pub mod map;
+pub mod ssd;
+
+pub use fio::{FioReport, FioWorkload, IoPattern};
+pub use map::{GcPlan, PageMap, Ppn};
+pub use ssd::{Ssd, SsdConfig};

@@ -1,0 +1,327 @@
+//! Page-level address translation and garbage collection.
+//!
+//! The classic page-mapping FTL (Chung et al.'s survey, paper \[8\]): every
+//! logical page maps to any physical page; writes go to the active block of
+//! the target LUN; overwritten pages become invalid; when a LUN runs short
+//! of free blocks, the block with the most invalid pages is collected —
+//! its valid pages relocated and the block erased.
+
+use std::collections::VecDeque;
+
+use babol_flash::Geometry;
+
+/// A physical page number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ppn {
+    /// LUN on the channel.
+    pub lun: u32,
+    /// Block within the LUN.
+    pub block: u32,
+    /// Page within the block.
+    pub page: u32,
+}
+
+/// Relocation work needed before a block can be erased.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GcPlan {
+    /// The victim block (page field is zero).
+    pub victim: Ppn,
+    /// Valid pages to relocate: (logical page, old physical page).
+    pub moves: Vec<(u64, Ppn)>,
+}
+
+#[derive(Debug, Clone)]
+struct BlockInfo {
+    valid: u32,
+    next_page: u32,
+    state: BlockState,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockState {
+    Free,
+    Active,
+    Full,
+}
+
+#[derive(Debug, Clone)]
+struct LunAlloc {
+    free: VecDeque<u32>,
+    active: Option<u32>,
+    blocks: Vec<BlockInfo>,
+}
+
+/// The logical-to-physical map plus allocation state.
+#[derive(Debug, Clone)]
+pub struct PageMap {
+    geometry: Geometry,
+    luns: u32,
+    l2p: Vec<Option<Ppn>>,
+    p2l: std::collections::HashMap<Ppn, u64>,
+    alloc: Vec<LunAlloc>,
+    next_lun: u32,
+    /// GC kicks in when a LUN's free-block count drops below this.
+    pub gc_threshold: u32,
+}
+
+impl PageMap {
+    /// Creates a map over `luns` LUNs of `geometry`, exporting
+    /// `logical_pages` logical pages (must leave over-provisioning room).
+    pub fn new(geometry: Geometry, luns: u32, logical_pages: u64) -> Self {
+        let physical = geometry.pages_per_lun() * luns as u64;
+        assert!(
+            logical_pages <= physical * 9 / 10,
+            "need at least ~10% over-provisioning ({logical_pages} of {physical})"
+        );
+        let alloc = (0..luns)
+            .map(|_| LunAlloc {
+                free: (0..geometry.blocks_per_lun()).collect(),
+                active: None,
+                blocks: vec![
+                    BlockInfo { valid: 0, next_page: 0, state: BlockState::Free };
+                    geometry.blocks_per_lun() as usize
+                ],
+            })
+            .collect();
+        PageMap {
+            geometry,
+            luns,
+            l2p: vec![None; logical_pages as usize],
+            p2l: std::collections::HashMap::new(),
+            alloc,
+            next_lun: 0,
+            gc_threshold: 2,
+        }
+    }
+
+    /// Number of exported logical pages.
+    pub fn logical_pages(&self) -> u64 {
+        self.l2p.len() as u64
+    }
+
+    /// Looks up the physical location of a logical page.
+    pub fn translate(&self, lpn: u64) -> Option<Ppn> {
+        self.l2p.get(lpn as usize).copied().flatten()
+    }
+
+    /// Free blocks remaining on `lun`.
+    pub fn free_blocks(&self, lun: u32) -> u32 {
+        self.alloc[lun as usize].free.len() as u32
+            + self.alloc[lun as usize].active.is_some() as u32
+    }
+
+    /// True if `lun` needs garbage collection before further writes.
+    pub fn needs_gc(&self, lun: u32) -> bool {
+        (self.alloc[lun as usize].free.len() as u32) < self.gc_threshold
+    }
+
+    /// Allocates the next physical page for writing `lpn`, striping LUNs
+    /// round-robin. Invalidates any previous mapping. Returns the target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chosen LUN has no free page (callers must run GC when
+    /// [`PageMap::needs_gc`] says so).
+    pub fn allocate_for_write(&mut self, lpn: u64) -> Ppn {
+        let lun = self.next_lun;
+        self.next_lun = (self.next_lun + 1) % self.luns;
+        self.allocate_on_lun(lpn, lun)
+    }
+
+    /// Allocates on a specific LUN (used by GC relocation, which must stay
+    /// on-LUN to preserve parallelism).
+    pub fn allocate_on_lun(&mut self, lpn: u64, lun: u32) -> Ppn {
+        self.invalidate(lpn);
+        let a = &mut self.alloc[lun as usize];
+        let block = match a.active {
+            Some(b) if a.blocks[b as usize].next_page < self.geometry.pages_per_block => b,
+            _ => {
+                let b = a
+                    .free
+                    .pop_front()
+                    .unwrap_or_else(|| panic!("LUN {lun} out of free blocks (run GC)"));
+                if let Some(prev) = a.active {
+                    a.blocks[prev as usize].state = BlockState::Full;
+                }
+                a.blocks[b as usize] = BlockInfo {
+                    valid: 0,
+                    next_page: 0,
+                    state: BlockState::Active,
+                };
+                a.active = Some(b);
+                b
+            }
+        };
+        let info = &mut a.blocks[block as usize];
+        let page = info.next_page;
+        info.next_page += 1;
+        info.valid += 1;
+        if info.next_page == self.geometry.pages_per_block {
+            info.state = BlockState::Full;
+            a.active = None;
+        }
+        let ppn = Ppn { lun, block, page };
+        self.l2p[lpn as usize] = Some(ppn);
+        self.p2l.insert(ppn, lpn);
+        ppn
+    }
+
+    /// The LUN with the most free blocks — the safest relocation target
+    /// during garbage collection. Relocating cross-LUN prevents the
+    /// livelock where a LUN whose blocks are all valid must consume one
+    /// block to free one.
+    pub fn best_relocation_lun(&self) -> u32 {
+        (0..self.luns)
+            .max_by_key(|&l| self.alloc[l as usize].free.len())
+            .expect("at least one LUN")
+    }
+
+    /// Removes the mapping of `lpn`, marking its physical page invalid.
+    pub fn invalidate(&mut self, lpn: u64) {
+        if let Some(old) = self.l2p[lpn as usize].take() {
+            self.p2l.remove(&old);
+            self.alloc[old.lun as usize].blocks[old.block as usize].valid -= 1;
+        }
+    }
+
+    /// Picks the GC victim on `lun` (greedy: most invalid pages among full
+    /// blocks) and lists the relocations required.
+    pub fn plan_gc(&self, lun: u32) -> Option<GcPlan> {
+        let a = &self.alloc[lun as usize];
+        let victim = (0..self.geometry.blocks_per_lun())
+            .filter(|&b| a.blocks[b as usize].state == BlockState::Full)
+            .min_by_key(|&b| a.blocks[b as usize].valid)?;
+        let moves = (0..self.geometry.pages_per_block)
+            .filter_map(|page| {
+                let ppn = Ppn { lun, block: victim, page };
+                self.p2l.get(&ppn).map(|&lpn| (lpn, ppn))
+            })
+            .collect();
+        Some(GcPlan {
+            victim: Ppn { lun, block: victim, page: 0 },
+            moves,
+        })
+    }
+
+    /// Returns the victim block to the free pool after its relocations and
+    /// erase completed.
+    pub fn finish_gc(&mut self, victim: Ppn) {
+        let a = &mut self.alloc[victim.lun as usize];
+        let info = &mut a.blocks[victim.block as usize];
+        debug_assert_eq!(info.valid, 0, "GC finished with valid pages left");
+        *info = BlockInfo { valid: 0, next_page: 0, state: BlockState::Free };
+        a.free.push_back(victim.block);
+    }
+
+    /// Pre-maps the whole logical space linearly (striped across LUNs),
+    /// modelling the paper's "initialized the SSDs with data" step without
+    /// issuing billions of programs.
+    pub fn preload_linear(&mut self) {
+        for lpn in 0..self.l2p.len() as u64 {
+            self.allocate_for_write(lpn);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> PageMap {
+        // tiny: 8 pages/block, 8 blocks/lun, 2 luns = 128 physical pages.
+        PageMap::new(Geometry::tiny(), 2, 96)
+    }
+
+    #[test]
+    fn writes_stripe_across_luns() {
+        let mut m = map();
+        let a = m.allocate_for_write(0);
+        let b = m.allocate_for_write(1);
+        assert_ne!(a.lun, b.lun);
+        assert_eq!(m.translate(0), Some(a));
+        assert_eq!(m.translate(1), Some(b));
+    }
+
+    #[test]
+    fn overwrite_invalidates_old_page() {
+        let mut m = map();
+        let first = m.allocate_for_write(5);
+        let second = m.allocate_for_write(5);
+        assert_ne!(first, second);
+        assert_eq!(m.translate(5), Some(second));
+    }
+
+    #[test]
+    fn pages_fill_blocks_sequentially() {
+        let mut m = map();
+        let ppns: Vec<Ppn> = (0..16).map(|i| m.allocate_on_lun(i, 0)).collect();
+        // First 8 pages fill one block in order, then a new block opens.
+        for (i, p) in ppns.iter().take(8).enumerate() {
+            assert_eq!(p.page, i as u32);
+            assert_eq!(p.block, ppns[0].block);
+        }
+        assert_ne!(ppns[8].block, ppns[0].block);
+        assert_eq!(ppns[8].page, 0);
+    }
+
+    #[test]
+    fn gc_picks_most_invalid_full_block() {
+        let mut m = map();
+        // Fill two blocks on LUN 0.
+        for i in 0..16 {
+            m.allocate_on_lun(i, 0);
+        }
+        // Invalidate most of the first block (rewrite those LPNs elsewhere).
+        for i in 0..6 {
+            m.allocate_on_lun(i, 1);
+        }
+        let plan = m.plan_gc(0).expect("a full block exists");
+        assert_eq!(plan.moves.len(), 2); // pages 6,7 still valid
+        for (lpn, ppn) in &plan.moves {
+            assert_eq!(m.translate(*lpn), Some(*ppn));
+        }
+    }
+
+    #[test]
+    fn gc_cycle_returns_block_to_free_pool() {
+        let mut m = map();
+        for i in 0..8 {
+            m.allocate_on_lun(i, 0);
+        }
+        for i in 0..8 {
+            m.allocate_on_lun(i, 1); // invalidate all of LUN0's block
+        }
+        let before = m.free_blocks(0);
+        let plan = m.plan_gc(0).unwrap();
+        assert!(plan.moves.is_empty());
+        m.finish_gc(plan.victim);
+        assert_eq!(m.free_blocks(0), before + 1);
+    }
+
+    #[test]
+    fn preload_maps_everything() {
+        let mut m = map();
+        m.preload_linear();
+        for lpn in 0..96 {
+            assert!(m.translate(lpn).is_some(), "lpn {lpn}");
+        }
+    }
+
+    #[test]
+    fn needs_gc_tracks_free_pool() {
+        let mut m = map();
+        assert!(!m.needs_gc(0));
+        // Consume all blocks on LUN 0.
+        for i in 0..64 {
+            m.allocate_on_lun(1000 % 96 + i % 30, 0); // overwrites allowed
+        }
+        // 8 blocks of 8 pages: 64 allocations exhaust the pool.
+        assert!(m.needs_gc(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "over-provisioning")]
+    fn rejects_full_logical_mapping() {
+        PageMap::new(Geometry::tiny(), 2, 128);
+    }
+}

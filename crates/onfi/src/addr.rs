@@ -1,0 +1,206 @@
+//! ONFI addressing: packing row/column addresses into address-latch cycles.
+//!
+//! An ONFI address is transmitted one byte per address-latch cycle, least
+//! significant byte first. The *column* address selects a byte offset inside
+//! the page register; the *row* address selects (LUN, block, page). The
+//! paper's Figure 2 shows one such address-latch cycle on the pins; Figure 8
+//! builds full operations out of them via the C/A Writer μFSM.
+
+use std::fmt;
+
+/// How many bits each row-address field occupies for a given package
+/// geometry, and how many latch cycles carry columns and rows.
+///
+/// # Examples
+///
+/// ```
+/// use babol_onfi::addr::{AddrLayout, RowAddr};
+///
+/// let layout = AddrLayout::new(16384, 256, 1024, 8);
+/// let row = RowAddr { lun: 3, block: 700, page: 42 };
+/// let bytes = layout.pack_row(row);
+/// assert_eq!(layout.unpack_row(&bytes), row);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddrLayout {
+    /// Bits for the page-within-block field.
+    pub page_bits: u32,
+    /// Bits for the block field.
+    pub block_bits: u32,
+    /// Bits for the LUN field.
+    pub lun_bits: u32,
+    /// Address-latch cycles carrying the column.
+    pub col_cycles: usize,
+    /// Address-latch cycles carrying the row.
+    pub row_cycles: usize,
+}
+
+impl AddrLayout {
+    /// Derives a layout from package geometry. Field widths round up to the
+    /// next power of two; cycle counts round the packed widths up to whole
+    /// bytes.
+    pub fn new(page_size: usize, pages_per_block: u32, blocks_per_lun: u32, luns: u32) -> Self {
+        fn bits_for(n: u32) -> u32 {
+            if n <= 1 {
+                1
+            } else {
+                32 - (n - 1).leading_zeros()
+            }
+        }
+        let page_bits = bits_for(pages_per_block);
+        let block_bits = bits_for(blocks_per_lun);
+        let lun_bits = bits_for(luns);
+        let col_bits = bits_for(page_size as u32);
+        AddrLayout {
+            page_bits,
+            block_bits,
+            lun_bits,
+            col_cycles: col_bits.div_ceil(8) as usize,
+            row_cycles: (page_bits + block_bits + lun_bits).div_ceil(8) as usize,
+        }
+    }
+
+    /// Packs a row address into latch-cycle bytes (LSB first).
+    pub fn pack_row(&self, row: RowAddr) -> Vec<u8> {
+        let mut v: u64 = row.page as u64;
+        v |= (row.block as u64) << self.page_bits;
+        v |= (row.lun as u64) << (self.page_bits + self.block_bits);
+        (0..self.row_cycles).map(|i| (v >> (8 * i)) as u8).collect()
+    }
+
+    /// Unpacks latch-cycle bytes back into a row address.
+    pub fn unpack_row(&self, bytes: &[u8]) -> RowAddr {
+        let mut v: u64 = 0;
+        for (i, &b) in bytes.iter().enumerate().take(self.row_cycles) {
+            v |= (b as u64) << (8 * i);
+        }
+        let page = (v & ((1 << self.page_bits) - 1)) as u32;
+        let block = ((v >> self.page_bits) & ((1 << self.block_bits) - 1)) as u32;
+        let lun = ((v >> (self.page_bits + self.block_bits)) & ((1 << self.lun_bits) - 1)) as u32;
+        RowAddr { lun, block, page }
+    }
+
+    /// Packs a column address into latch-cycle bytes (LSB first).
+    pub fn pack_col(&self, col: ColumnAddr) -> Vec<u8> {
+        (0..self.col_cycles)
+            .map(|i| (col.0 >> (8 * i)) as u8)
+            .collect()
+    }
+
+    /// Unpacks latch-cycle bytes back into a column address.
+    pub fn unpack_col(&self, bytes: &[u8]) -> ColumnAddr {
+        let mut v: u32 = 0;
+        for (i, &b) in bytes.iter().enumerate().take(self.col_cycles) {
+            v |= (b as u32) << (8 * i);
+        }
+        ColumnAddr(v)
+    }
+
+    /// Packs the full 5-cycle (typical) column+row address of a READ or
+    /// PROGRAM.
+    pub fn pack_full(&self, col: ColumnAddr, row: RowAddr) -> Vec<u8> {
+        let mut bytes = self.pack_col(col);
+        bytes.extend(self.pack_row(row));
+        bytes
+    }
+
+    /// Total latch cycles of a full column+row address.
+    pub fn full_cycles(&self) -> usize {
+        self.col_cycles + self.row_cycles
+    }
+}
+
+/// A row address: which page of which block of which LUN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowAddr {
+    /// Logical unit number within the package/channel.
+    pub lun: u32,
+    /// Block index within the LUN.
+    pub block: u32,
+    /// Page index within the block.
+    pub page: u32,
+}
+
+impl fmt::Display for RowAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}/B{}/P{}", self.lun, self.block, self.page)
+    }
+}
+
+/// A column address: a byte offset within the page register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ColumnAddr(pub u32);
+
+impl fmt::Display for ColumnAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// Convenience alias: the address cycles of a latch, as raw bytes.
+pub type AddressCycles = Vec<u8>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> AddrLayout {
+        AddrLayout::new(16384, 256, 1024, 8)
+    }
+
+    #[test]
+    fn layout_for_paper_geometry() {
+        // 16 KiB page -> 14 column bits -> 2 cycles; 8+10+3=21 row bits -> 3
+        // cycles; total 5 address cycles, matching common 3D NAND parts.
+        let l = layout();
+        assert_eq!(l.col_cycles, 2);
+        assert_eq!(l.row_cycles, 3);
+        assert_eq!(l.full_cycles(), 5);
+    }
+
+    #[test]
+    fn row_roundtrip_all_fields() {
+        let l = layout();
+        for (lun, block, page) in [(0, 0, 0), (7, 1023, 255), (3, 512, 17)] {
+            let r = RowAddr { lun, block, page };
+            assert_eq!(l.unpack_row(&l.pack_row(r)), r);
+        }
+    }
+
+    #[test]
+    fn col_roundtrip() {
+        let l = layout();
+        for c in [0u32, 1, 4096, 16383] {
+            assert_eq!(l.unpack_col(&l.pack_col(ColumnAddr(c))), ColumnAddr(c));
+        }
+    }
+
+    #[test]
+    fn full_pack_concatenates_col_then_row() {
+        let l = layout();
+        let bytes = l.pack_full(ColumnAddr(0x1234), RowAddr { lun: 1, block: 2, page: 3 });
+        assert_eq!(bytes.len(), 5);
+        assert_eq!(l.unpack_col(&bytes[..2]), ColumnAddr(0x1234));
+        assert_eq!(
+            l.unpack_row(&bytes[2..]),
+            RowAddr { lun: 1, block: 2, page: 3 }
+        );
+    }
+
+    #[test]
+    fn tiny_geometry_still_works() {
+        let l = AddrLayout::new(2048, 64, 16, 1);
+        assert_eq!(l.col_cycles, 2);
+        let r = RowAddr { lun: 0, block: 15, page: 63 };
+        assert_eq!(l.unpack_row(&l.pack_row(r)), r);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            RowAddr { lun: 1, block: 2, page: 3 }.to_string(),
+            "L1/B2/P3"
+        );
+        assert_eq!(ColumnAddr(9).to_string(), "C9");
+    }
+}

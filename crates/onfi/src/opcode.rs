@@ -1,0 +1,277 @@
+//! ONFI command opcodes.
+//!
+//! Each ONFI operation begins with a *command latch* carrying a one-byte
+//! opcode. Multi-phase operations (READ, PROGRAM, ERASE) use a confirmation
+//! opcode after the address latches. The paper's point is that beyond this
+//! standard set, every manufacturer ships vendor-specific opcodes (pSLC
+//! prefixes, read-retry knobs, suspend commands) that a rigid hardware
+//! controller cannot easily adopt — which is exactly what BABOL's software
+//! operations make trivial.
+
+/// Standard and vendor-specific ONFI command opcodes.
+///
+/// The constants are grouped by the operation they initiate. Where an
+/// operation needs two command latches, `_2` names the confirmation cycle.
+#[allow(missing_docs)]
+pub mod op {
+    // --- Read path ---
+    /// PAGE READ, first cycle (address follows).
+    pub const READ_1: u8 = 0x00;
+    /// PAGE READ, confirmation cycle (starts the array fetch, tR).
+    pub const READ_2: u8 = 0x30;
+    /// READ CACHE SEQUENTIAL: fetch next page while streaming current.
+    pub const READ_CACHE_SEQ: u8 = 0x31;
+    /// READ CACHE END: terminate a cache read stream.
+    pub const READ_CACHE_END: u8 = 0x3F;
+    /// CHANGE READ COLUMN, first cycle.
+    pub const CHANGE_READ_COL_1: u8 = 0x05;
+    /// CHANGE READ COLUMN, confirmation cycle.
+    pub const CHANGE_READ_COL_2: u8 = 0xE0;
+    /// RANDOM DATA OUT, first cycle: full 5-cycle address form of the column
+    /// change, used to select the plane in multi-plane reads.
+    pub const RANDOM_DATA_OUT_1: u8 = 0x06;
+
+    // --- Program path ---
+    /// PAGE PROGRAM, first cycle (address and data follow).
+    pub const PROGRAM_1: u8 = 0x80;
+    /// PAGE PROGRAM, confirmation cycle (starts tPROG).
+    pub const PROGRAM_2: u8 = 0x10;
+    /// PAGE CACHE PROGRAM confirmation: program while accepting next page.
+    pub const PROGRAM_CACHE: u8 = 0x15;
+    /// CHANGE WRITE COLUMN.
+    pub const CHANGE_WRITE_COL: u8 = 0x85;
+
+    // --- Erase path ---
+    /// BLOCK ERASE, first cycle (row address follows).
+    pub const ERASE_1: u8 = 0x60;
+    /// BLOCK ERASE, confirmation cycle (starts tBERS).
+    pub const ERASE_2: u8 = 0xD0;
+
+    // --- Status / identification ---
+    /// READ STATUS.
+    pub const READ_STATUS: u8 = 0x70;
+    /// READ STATUS ENHANCED (per-LUN status in multi-LUN packages).
+    pub const READ_STATUS_ENHANCED: u8 = 0x78;
+    /// READ ID.
+    pub const READ_ID: u8 = 0x90;
+    /// READ PARAMETER PAGE.
+    pub const READ_PARAM_PAGE: u8 = 0xEC;
+    /// READ UNIQUE ID.
+    pub const READ_UNIQUE_ID: u8 = 0xED;
+
+    // --- Configuration ---
+    /// SET FEATURES.
+    pub const SET_FEATURES: u8 = 0xEF;
+    /// GET FEATURES.
+    pub const GET_FEATURES: u8 = 0xEE;
+    /// RESET.
+    pub const RESET: u8 = 0xFF;
+    /// SYNCHRONOUS RESET (NV-DDR interfaces).
+    pub const SYNC_RESET: u8 = 0xFC;
+
+    // --- Multi-plane ---
+    /// MULTI-PLANE read/program queue cycle.
+    pub const MULTI_PLANE_NEXT: u8 = 0x32;
+    /// MULTI-PLANE program/erase interleave cycle.
+    pub const MULTI_PLANE_QUEUE: u8 = 0x11;
+
+    // --- Vendor-specific (modelled after common 3D NAND parts) ---
+    /// pSLC mode entry prefix: treat the addressed block's cells as SLC.
+    /// Vendor command, matches the paper's Algorithm 3 (`0xA2` prefix).
+    pub const PSLC_PREFIX: u8 = 0xA2;
+    /// Read-retry prefix announcing a retry attempt (vendor).
+    pub const READ_RETRY_PREFIX: u8 = 0x26;
+    /// PROGRAM SUSPEND (vendor; see Kim et al., ATC'19).
+    pub const PROGRAM_SUSPEND: u8 = 0x84;
+    /// ERASE SUSPEND (vendor).
+    pub const ERASE_SUSPEND: u8 = 0x61;
+    /// SUSPEND RESUME (vendor; resumes whichever operation is suspended).
+    pub const SUSPEND_RESUME: u8 = 0xD2;
+}
+
+/// Classification of an opcode, used by the flash package model's command
+/// decoder and by trace pretty-printing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Starts or continues a read sequence.
+    Read,
+    /// Starts or continues a program sequence.
+    Program,
+    /// Starts or continues an erase sequence.
+    Erase,
+    /// Status or identification query.
+    Query,
+    /// SET/GET FEATURES or RESET.
+    Config,
+    /// Vendor-specific prefix or control command.
+    Vendor,
+    /// Not a recognized opcode.
+    Unknown,
+}
+
+/// Classifies an opcode byte.
+///
+/// # Examples
+///
+/// ```
+/// use babol_onfi::opcode::{classify, op, OpClass};
+///
+/// assert_eq!(classify(op::READ_1), OpClass::Read);
+/// assert_eq!(classify(op::READ_STATUS), OpClass::Query);
+/// assert_eq!(classify(op::PSLC_PREFIX), OpClass::Vendor);
+/// assert_eq!(classify(0xA7), OpClass::Unknown);
+/// ```
+pub fn classify(opcode: u8) -> OpClass {
+    use op::*;
+    match opcode {
+        READ_1 | READ_2 | READ_CACHE_SEQ | READ_CACHE_END | CHANGE_READ_COL_1
+        | CHANGE_READ_COL_2 | RANDOM_DATA_OUT_1 => OpClass::Read,
+        PROGRAM_1 | PROGRAM_2 | PROGRAM_CACHE | CHANGE_WRITE_COL => OpClass::Program,
+        ERASE_1 | ERASE_2 => OpClass::Erase,
+        READ_STATUS | READ_STATUS_ENHANCED | READ_ID | READ_PARAM_PAGE | READ_UNIQUE_ID => {
+            OpClass::Query
+        }
+        SET_FEATURES | GET_FEATURES | RESET | SYNC_RESET => OpClass::Config,
+        PSLC_PREFIX | READ_RETRY_PREFIX | PROGRAM_SUSPEND | ERASE_SUSPEND | SUSPEND_RESUME
+        | MULTI_PLANE_NEXT | MULTI_PLANE_QUEUE => OpClass::Vendor,
+        _ => OpClass::Unknown,
+    }
+}
+
+/// Returns a human-readable mnemonic for an opcode (for traces and errors).
+pub fn mnemonic(opcode: u8) -> &'static str {
+    use op::*;
+    match opcode {
+        READ_1 => "READ(1)",
+        READ_2 => "READ(2)",
+        READ_CACHE_SEQ => "READ-CACHE-SEQ",
+        READ_CACHE_END => "READ-CACHE-END",
+        CHANGE_READ_COL_1 => "CHG-RD-COL(1)",
+        CHANGE_READ_COL_2 => "CHG-RD-COL(2)",
+        RANDOM_DATA_OUT_1 => "RND-DOUT(1)",
+        PROGRAM_1 => "PROGRAM(1)",
+        PROGRAM_2 => "PROGRAM(2)",
+        PROGRAM_CACHE => "PROGRAM-CACHE",
+        CHANGE_WRITE_COL => "CHG-WR-COL",
+        ERASE_1 => "ERASE(1)",
+        ERASE_2 => "ERASE(2)",
+        READ_STATUS => "READ-STATUS",
+        READ_STATUS_ENHANCED => "READ-STATUS-ENH",
+        READ_ID => "READ-ID",
+        READ_PARAM_PAGE => "READ-PARAM-PAGE",
+        READ_UNIQUE_ID => "READ-UNIQUE-ID",
+        SET_FEATURES => "SET-FEATURES",
+        GET_FEATURES => "GET-FEATURES",
+        RESET => "RESET",
+        SYNC_RESET => "SYNC-RESET",
+        MULTI_PLANE_NEXT => "MP-NEXT",
+        MULTI_PLANE_QUEUE => "MP-QUEUE",
+        PSLC_PREFIX => "PSLC-PREFIX",
+        READ_RETRY_PREFIX => "RD-RETRY-PREFIX",
+        PROGRAM_SUSPEND => "PGM-SUSPEND",
+        ERASE_SUSPEND => "ERS-SUSPEND",
+        SUSPEND_RESUME => "RESUME",
+        _ => "UNKNOWN",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_covers_all_defined_opcodes() {
+        let all = [
+            op::READ_1,
+            op::READ_2,
+            op::READ_CACHE_SEQ,
+            op::READ_CACHE_END,
+            op::CHANGE_READ_COL_1,
+            op::CHANGE_READ_COL_2,
+            op::RANDOM_DATA_OUT_1,
+            op::PROGRAM_1,
+            op::PROGRAM_2,
+            op::PROGRAM_CACHE,
+            op::CHANGE_WRITE_COL,
+            op::ERASE_1,
+            op::ERASE_2,
+            op::READ_STATUS,
+            op::READ_STATUS_ENHANCED,
+            op::READ_ID,
+            op::READ_PARAM_PAGE,
+            op::READ_UNIQUE_ID,
+            op::SET_FEATURES,
+            op::GET_FEATURES,
+            op::RESET,
+            op::SYNC_RESET,
+            op::MULTI_PLANE_NEXT,
+            op::MULTI_PLANE_QUEUE,
+            op::PSLC_PREFIX,
+            op::READ_RETRY_PREFIX,
+            op::PROGRAM_SUSPEND,
+            op::ERASE_SUSPEND,
+            op::SUSPEND_RESUME,
+        ];
+        for &o in &all {
+            assert_ne!(classify(o), OpClass::Unknown, "opcode {o:#04x}");
+            assert_ne!(mnemonic(o), "UNKNOWN", "opcode {o:#04x}");
+        }
+    }
+
+    #[test]
+    fn opcodes_are_distinct() {
+        let all = [
+            op::READ_1,
+            op::READ_2,
+            op::READ_CACHE_SEQ,
+            op::READ_CACHE_END,
+            op::CHANGE_READ_COL_1,
+            op::CHANGE_READ_COL_2,
+            op::RANDOM_DATA_OUT_1,
+            op::PROGRAM_1,
+            op::PROGRAM_2,
+            op::PROGRAM_CACHE,
+            op::CHANGE_WRITE_COL,
+            op::ERASE_1,
+            op::ERASE_2,
+            op::READ_STATUS,
+            op::READ_STATUS_ENHANCED,
+            op::READ_ID,
+            op::READ_PARAM_PAGE,
+            op::READ_UNIQUE_ID,
+            op::SET_FEATURES,
+            op::GET_FEATURES,
+            op::RESET,
+            op::SYNC_RESET,
+            op::MULTI_PLANE_NEXT,
+            op::MULTI_PLANE_QUEUE,
+            op::PSLC_PREFIX,
+            op::READ_RETRY_PREFIX,
+            op::PROGRAM_SUSPEND,
+            op::ERASE_SUSPEND,
+            op::SUSPEND_RESUME,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for &o in &all {
+            assert!(seen.insert(o), "duplicate opcode {o:#04x}");
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_classified_unknown() {
+        assert_eq!(classify(0xA7), OpClass::Unknown);
+        assert_eq!(mnemonic(0xA7), "UNKNOWN");
+    }
+
+    #[test]
+    fn paper_algorithm_opcodes_match() {
+        // Algorithm 1 uses 0x70 (READ STATUS); Algorithm 2 uses 0x00/0x30 and
+        // 0x05/0xE0; Algorithm 3 prefixes 0xA2.
+        assert_eq!(op::READ_STATUS, 0x70);
+        assert_eq!(op::READ_1, 0x00);
+        assert_eq!(op::READ_2, 0x30);
+        assert_eq!(op::CHANGE_READ_COL_1, 0x05);
+        assert_eq!(op::CHANGE_READ_COL_2, 0xE0);
+        assert_eq!(op::PSLC_PREFIX, 0xA2);
+    }
+}

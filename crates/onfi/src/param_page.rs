@@ -1,0 +1,227 @@
+//! The ONFI parameter page.
+//!
+//! Every ONFI package carries a self-describing 256-byte parameter page,
+//! readable with READ PARAMETER PAGE (`0xEC`). The controller's boot
+//! sequence (paper §IV-C: "each package has unique booting, calibration, and
+//! initialization steps") reads it in SDR mode 0 to discover the geometry and
+//! supported timing modes before switching to a faster interface.
+//!
+//! The layout here follows the ONFI 5.x revision-information block closely
+//! enough for a realistic boot flow: signature, manufacturer, geometry,
+//! timing support, and the ONFI CRC-16 integrity check over bytes 0..254.
+
+use std::fmt;
+
+/// The fields of a parameter page the reproduction uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamPage {
+    /// Device manufacturer (blank-padded in the raw page).
+    pub manufacturer: String,
+    /// Device model (blank-padded in the raw page).
+    pub model: String,
+    /// Data bytes per page.
+    pub page_size: u32,
+    /// Spare (out-of-band) bytes per page.
+    pub spare_size: u16,
+    /// Pages per block.
+    pub pages_per_block: u32,
+    /// Blocks per LUN.
+    pub blocks_per_lun: u32,
+    /// LUNs per package.
+    pub luns: u8,
+    /// Bitmask of supported NV-DDR2 timing modes (bit n ⇒ mode n).
+    pub nv_ddr2_modes: u8,
+    /// Maximum supported transfer rate in MT/s.
+    pub max_mts: u16,
+}
+
+impl ParamPage {
+    /// Size of the raw encoded page.
+    pub const SIZE: usize = 256;
+
+    /// Serializes into the 256-byte wire format (with trailing CRC-16).
+    pub fn to_bytes(&self) -> [u8; Self::SIZE] {
+        let mut b = [0u8; Self::SIZE];
+        b[0..4].copy_from_slice(b"ONFI");
+        // Revision: ONFI 5.1.
+        b[4] = 0x51;
+        write_padded(&mut b[32..44], &self.manufacturer);
+        write_padded(&mut b[44..64], &self.model);
+        b[80..84].copy_from_slice(&self.page_size.to_le_bytes());
+        b[84..86].copy_from_slice(&self.spare_size.to_le_bytes());
+        b[92..96].copy_from_slice(&self.pages_per_block.to_le_bytes());
+        b[96..100].copy_from_slice(&self.blocks_per_lun.to_le_bytes());
+        b[100] = self.luns;
+        b[141] = self.nv_ddr2_modes;
+        b[142..144].copy_from_slice(&self.max_mts.to_le_bytes());
+        let crc = onfi_crc16(&b[..254]);
+        b[254..256].copy_from_slice(&crc.to_le_bytes());
+        b
+    }
+
+    /// Parses the wire format, validating signature and CRC.
+    pub fn from_bytes(b: &[u8]) -> Result<Self, ParamPageError> {
+        if b.len() < Self::SIZE {
+            return Err(ParamPageError::Truncated { len: b.len() });
+        }
+        if &b[0..4] != b"ONFI" {
+            return Err(ParamPageError::BadSignature);
+        }
+        let stored = u16::from_le_bytes([b[254], b[255]]);
+        let computed = onfi_crc16(&b[..254]);
+        if stored != computed {
+            return Err(ParamPageError::BadCrc { stored, computed });
+        }
+        Ok(ParamPage {
+            manufacturer: read_padded(&b[32..44]),
+            model: read_padded(&b[44..64]),
+            page_size: u32::from_le_bytes(b[80..84].try_into().unwrap()),
+            spare_size: u16::from_le_bytes(b[84..86].try_into().unwrap()),
+            pages_per_block: u32::from_le_bytes(b[92..96].try_into().unwrap()),
+            blocks_per_lun: u32::from_le_bytes(b[96..100].try_into().unwrap()),
+            luns: b[100],
+            nv_ddr2_modes: b[141],
+            max_mts: u16::from_le_bytes(b[142..144].try_into().unwrap()),
+        })
+    }
+}
+
+fn write_padded(dst: &mut [u8], s: &str) {
+    let bytes = s.as_bytes();
+    let n = bytes.len().min(dst.len());
+    dst[..n].copy_from_slice(&bytes[..n]);
+    dst[n..].fill(b' ');
+}
+
+fn read_padded(src: &[u8]) -> String {
+    String::from_utf8_lossy(src).trim_end().to_string()
+}
+
+/// The ONFI CRC-16: polynomial `0x8005`, initial value `0x4F4E` ("ON").
+pub fn onfi_crc16(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0x4F4E;
+    for &byte in data {
+        crc ^= (byte as u16) << 8;
+        for _ in 0..8 {
+            if crc & 0x8000 != 0 {
+                crc = (crc << 1) ^ 0x8005;
+            } else {
+                crc <<= 1;
+            }
+        }
+    }
+    crc
+}
+
+/// Errors produced when parsing a parameter page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamPageError {
+    /// Fewer than 256 bytes were supplied.
+    Truncated {
+        /// The number of bytes actually supplied.
+        len: usize,
+    },
+    /// The "ONFI" signature is missing.
+    BadSignature,
+    /// The integrity CRC did not match.
+    BadCrc {
+        /// CRC stored in the page.
+        stored: u16,
+        /// CRC computed over the page contents.
+        computed: u16,
+    },
+}
+
+impl fmt::Display for ParamPageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamPageError::Truncated { len } => {
+                write!(f, "parameter page truncated: {len} < 256 bytes")
+            }
+            ParamPageError::BadSignature => write!(f, "parameter page missing ONFI signature"),
+            ParamPageError::BadCrc { stored, computed } => write!(
+                f,
+                "parameter page CRC mismatch: stored {stored:#06x}, computed {computed:#06x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParamPageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ParamPage {
+        ParamPage {
+            manufacturer: "HYNIX".to_string(),
+            model: "H27Q1T8".to_string(),
+            page_size: 16384,
+            spare_size: 1872,
+            pages_per_block: 256,
+            blocks_per_lun: 1024,
+            luns: 1,
+            nv_ddr2_modes: 0b0011_1111,
+            max_mts: 200,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let p = sample();
+        let bytes = p.to_bytes();
+        assert_eq!(ParamPage::from_bytes(&bytes).unwrap(), p);
+    }
+
+    #[test]
+    fn detects_corruption() {
+        let mut bytes = sample().to_bytes();
+        bytes[81] ^= 0xFF;
+        assert!(matches!(
+            ParamPage::from_bytes(&bytes),
+            Err(ParamPageError::BadCrc { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_bad_signature() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        assert_eq!(
+            ParamPage::from_bytes(&bytes),
+            Err(ParamPageError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let bytes = sample().to_bytes();
+        assert_eq!(
+            ParamPage::from_bytes(&bytes[..100]),
+            Err(ParamPageError::Truncated { len: 100 })
+        );
+    }
+
+    #[test]
+    fn long_strings_are_clipped() {
+        let mut p = sample();
+        p.manufacturer = "A".repeat(40);
+        let parsed = ParamPage::from_bytes(&p.to_bytes()).unwrap();
+        assert_eq!(parsed.manufacturer.len(), 12);
+    }
+
+    #[test]
+    fn crc_known_properties() {
+        // CRC of the empty message is the initial value shifted through, and
+        // appending the CRC makes the check pass - verified via roundtrip.
+        assert_eq!(onfi_crc16(&[]), 0x4F4E);
+        assert_ne!(onfi_crc16(b"a"), onfi_crc16(b"b"));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ParamPageError::BadCrc { stored: 1, computed: 2 };
+        assert!(e.to_string().contains("CRC mismatch"));
+    }
+}

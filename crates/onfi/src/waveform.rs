@@ -1,0 +1,213 @@
+//! Pin-level waveform expansion.
+//!
+//! The channel model moves *phases* (see [`crate::bus`]) for efficiency, but
+//! the paper's Figure 2 and the logic-analyzer screenshots of Figure 11 are
+//! drawn at the level of individual pin edges: CE# dropping, CLE rising, WE#
+//! strobing each latch cycle, DQ changing value. This module expands a small
+//! phase into that edge sequence so tests can assert the exact shape of a
+//! fragment and the Fig. 11 reproduction can print analyzer-style detail.
+
+use std::fmt;
+
+use babol_sim::SimDuration;
+
+use crate::bus::PhaseKind;
+use crate::timing::{DataInterface, TimingParams};
+
+/// The ONFI pins visible on a channel (paper Fig. 2, right edge).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pin {
+    /// Chip enable (active low).
+    CeN,
+    /// Command latch enable.
+    Cle,
+    /// Address latch enable.
+    Ale,
+    /// Write enable (active low); latches C/A cycles on its rising edge.
+    WeN,
+    /// Read enable (active low); paces data-out cycles.
+    ReN,
+    /// Data strobe (NV-DDR2).
+    Dqs,
+    /// The 8-bit data bus, annotated with the byte it carries.
+    Dq(u8),
+    /// Ready/busy (open-drain, driven by the LUN).
+    RbN,
+}
+
+/// One edge (or bus value change) at an offset from the fragment start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Offset from the start of the fragment.
+    pub at: SimDuration,
+    /// Which pin changes.
+    pub pin: Pin,
+    /// New logic level (for `Dq`, `true` means "bus carries this value now").
+    pub level: bool,
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self.pin {
+            Pin::CeN => "CE#".to_string(),
+            Pin::Cle => "CLE".to_string(),
+            Pin::Ale => "ALE".to_string(),
+            Pin::WeN => "WE#".to_string(),
+            Pin::ReN => "RE#".to_string(),
+            Pin::Dqs => "DQS".to_string(),
+            Pin::Dq(v) => format!("DQ={v:#04x}"),
+            Pin::RbN => "R/B#".to_string(),
+        };
+        write!(
+            f,
+            "{:>10}  {} -> {}",
+            format!("{}", self.at),
+            name,
+            if self.level { "1" } else { "0" }
+        )
+    }
+}
+
+/// Expands a phase into pin edges. Data bursts are truncated to their first
+/// `max_data_cycles` cycles (a full 16 KiB burst would be 32k edges; the
+/// analyzer view only needs the leading pattern).
+pub fn expand(
+    phase: &PhaseKind,
+    iface: DataInterface,
+    timing: &TimingParams,
+    max_data_cycles: usize,
+) -> Vec<Edge> {
+    let mut edges = Vec::new();
+    let mut t = SimDuration::ZERO;
+    // Every fragment starts by asserting CE# for the selected chip.
+    edges.push(Edge { at: t, pin: Pin::CeN, level: false });
+    t += timing.t_cs;
+    match phase {
+        PhaseKind::CmdLatch(op) => {
+            edges.push(Edge { at: t, pin: Pin::Cle, level: true });
+            t += timing.t_cals;
+            strobe_cycle(&mut edges, &mut t, iface.ca_cycle(), *op);
+            t += timing.t_calh;
+            edges.push(Edge { at: t, pin: Pin::Cle, level: false });
+        }
+        PhaseKind::AddrLatch(bytes) => {
+            edges.push(Edge { at: t, pin: Pin::Ale, level: true });
+            t += timing.t_cals;
+            for &b in bytes {
+                strobe_cycle(&mut edges, &mut t, iface.ca_cycle(), b);
+            }
+            t += timing.t_calh;
+            edges.push(Edge { at: t, pin: Pin::Ale, level: false });
+        }
+        PhaseKind::DataIn(data) => {
+            edges.push(Edge { at: t, pin: Pin::Dqs, level: false });
+            t += timing.t_wpre;
+            for &b in data.iter().take(max_data_cycles) {
+                edges.push(Edge { at: t, pin: Pin::Dq(b), level: true });
+                edges.push(Edge { at: t, pin: Pin::Dqs, level: true });
+                t += iface.data_cycle();
+                edges.push(Edge { at: t, pin: Pin::Dqs, level: false });
+            }
+        }
+        PhaseKind::DataOut { bytes } => {
+            edges.push(Edge { at: t, pin: Pin::ReN, level: false });
+            t += timing.t_rpre;
+            for _ in 0..(*bytes).min(max_data_cycles) {
+                edges.push(Edge { at: t, pin: Pin::Dqs, level: true });
+                t += iface.data_cycle();
+                edges.push(Edge { at: t, pin: Pin::Dqs, level: false });
+            }
+            edges.push(Edge { at: t, pin: Pin::ReN, level: true });
+        }
+        PhaseKind::Pause => {}
+    }
+    t += timing.t_ch;
+    edges.push(Edge { at: t, pin: Pin::CeN, level: true });
+    edges
+}
+
+/// Emits one WE#-strobed latch cycle carrying `value` on DQ.
+fn strobe_cycle(edges: &mut Vec<Edge>, t: &mut SimDuration, cycle: SimDuration, value: u8) {
+    edges.push(Edge { at: *t, pin: Pin::Dq(value), level: true });
+    edges.push(Edge { at: *t, pin: Pin::WeN, level: false });
+    *t += cycle / 2;
+    // Rising WE# edge latches the value.
+    edges.push(Edge { at: *t, pin: Pin::WeN, level: true });
+    *t += cycle / 2;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::op;
+
+    fn iface() -> DataInterface {
+        DataInterface::NvDdr2 { mts: 200 }
+    }
+
+    #[test]
+    fn cmd_latch_shape_matches_figure2() {
+        let t = TimingParams::nv_ddr2();
+        let edges = expand(&PhaseKind::CmdLatch(op::READ_1), iface(), &t, 64);
+        // CE# falls first, rises last.
+        assert_eq!(edges.first().unwrap().pin, Pin::CeN);
+        assert!(!edges.first().unwrap().level);
+        assert_eq!(edges.last().unwrap().pin, Pin::CeN);
+        assert!(edges.last().unwrap().level);
+        // CLE brackets the WE# strobe.
+        let cle_up = edges.iter().position(|e| e.pin == Pin::Cle && e.level).unwrap();
+        let we_down = edges.iter().position(|e| e.pin == Pin::WeN && !e.level).unwrap();
+        let cle_down = edges.iter().position(|e| e.pin == Pin::Cle && !e.level).unwrap();
+        assert!(cle_up < we_down && we_down < cle_down);
+        // The opcode byte rides DQ.
+        assert!(edges.iter().any(|e| e.pin == Pin::Dq(op::READ_1)));
+    }
+
+    #[test]
+    fn addr_latch_strobes_once_per_byte() {
+        let t = TimingParams::nv_ddr2();
+        let edges = expand(&PhaseKind::AddrLatch(vec![1, 2, 3, 4, 5]), iface(), &t, 64);
+        let we_rises = edges.iter().filter(|e| e.pin == Pin::WeN && e.level).count();
+        assert_eq!(we_rises, 5);
+        // ALE high during the strobes, and each address byte appears.
+        for b in 1..=5u8 {
+            assert!(edges.iter().any(|e| e.pin == Pin::Dq(b)));
+        }
+    }
+
+    #[test]
+    fn data_out_truncates_to_cap() {
+        let t = TimingParams::nv_ddr2();
+        let edges = expand(&PhaseKind::DataOut { bytes: 16384 }, iface(), &t, 8);
+        let dqs_rises = edges.iter().filter(|e| e.pin == Pin::Dqs && e.level).count();
+        assert_eq!(dqs_rises, 8);
+    }
+
+    #[test]
+    fn edges_are_time_ordered() {
+        let t = TimingParams::nv_ddr2();
+        for phase in [
+            PhaseKind::CmdLatch(op::READ_STATUS),
+            PhaseKind::AddrLatch(vec![0, 1]),
+            PhaseKind::DataIn(vec![9; 4]),
+            PhaseKind::DataOut { bytes: 4 },
+            PhaseKind::Pause,
+        ] {
+            let edges = expand(&phase, iface(), &t, 16);
+            for pair in edges.windows(2) {
+                assert!(pair[0].at <= pair[1].at, "{phase:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_display_is_analyzer_like() {
+        let e = Edge {
+            at: SimDuration::from_nanos(25),
+            pin: Pin::WeN,
+            level: true,
+        };
+        let s = e.to_string();
+        assert!(s.contains("WE#") && s.contains("25ns") && s.ends_with('1'));
+    }
+}

@@ -1,0 +1,169 @@
+//! The SSD's DRAM staging buffer.
+//!
+//! In a real SSD (paper Fig. 1, left) the host-interface controller stages
+//! data in DRAM; the storage controller's Packetizer DMA unit moves page data
+//! between that DRAM and the flash channel. This module models the DRAM as a
+//! sparse byte-addressable space: only regions that were actually written
+//! consume host memory, and unwritten bytes read back as zero. The experiments
+//! move hundreds of megabytes of simulated data, so sparseness matters.
+
+use std::collections::BTreeMap;
+
+/// Granularity of the sparse backing chunks.
+const CHUNK: u64 = 4096;
+
+/// A sparse, byte-addressable simulated DRAM.
+///
+/// # Examples
+///
+/// ```
+/// use babol_sim::Dram;
+///
+/// let mut dram = Dram::new();
+/// dram.write(0x1000, b"hello");
+/// let mut buf = [0u8; 5];
+/// dram.read(0x1000, &mut buf);
+/// assert_eq!(&buf, b"hello");
+///
+/// // Unwritten space reads back as zeros without allocating.
+/// let mut far = [0xAAu8; 4];
+/// dram.read(1 << 40, &mut far);
+/// assert_eq!(far, [0, 0, 0, 0]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Dram {
+    chunks: BTreeMap<u64, Box<[u8; CHUNK as usize]>>,
+    bytes_read: u64,
+    bytes_written: u64,
+}
+
+impl Dram {
+    /// Creates an empty DRAM.
+    pub fn new() -> Self {
+        Dram::default()
+    }
+
+    /// Writes `data` starting at byte address `addr`.
+    pub fn write(&mut self, addr: u64, data: &[u8]) {
+        self.bytes_written += data.len() as u64;
+        let mut pos = addr;
+        let mut remaining = data;
+        while !remaining.is_empty() {
+            let chunk_base = pos / CHUNK * CHUNK;
+            let offset = (pos - chunk_base) as usize;
+            let take = remaining.len().min(CHUNK as usize - offset);
+            let chunk = self
+                .chunks
+                .entry(chunk_base)
+                .or_insert_with(|| Box::new([0u8; CHUNK as usize]));
+            chunk[offset..offset + take].copy_from_slice(&remaining[..take]);
+            remaining = &remaining[take..];
+            pos += take as u64;
+        }
+    }
+
+    /// Reads into `buf` starting at byte address `addr`.
+    pub fn read(&mut self, addr: u64, buf: &mut [u8]) {
+        self.bytes_read += buf.len() as u64;
+        let mut pos = addr;
+        let mut remaining: &mut [u8] = buf;
+        while !remaining.is_empty() {
+            let chunk_base = pos / CHUNK * CHUNK;
+            let offset = (pos - chunk_base) as usize;
+            let take = remaining.len().min(CHUNK as usize - offset);
+            match self.chunks.get(&chunk_base) {
+                Some(chunk) => remaining[..take].copy_from_slice(&chunk[offset..offset + take]),
+                None => remaining[..take].fill(0),
+            }
+            remaining = &mut remaining[take..];
+            pos += take as u64;
+        }
+    }
+
+    /// Convenience: reads `len` bytes starting at `addr` into a new vector.
+    pub fn read_vec(&mut self, addr: u64, len: usize) -> Vec<u8> {
+        let mut buf = vec![0u8; len];
+        self.read(addr, &mut buf);
+        buf
+    }
+
+    /// Total bytes written through this DRAM (DMA accounting).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Total bytes read through this DRAM (DMA accounting).
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Number of 4 KiB chunks actually allocated on the host.
+    pub fn resident_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Drops all contents and resets accounting.
+    pub fn clear(&mut self) {
+        self.chunks.clear();
+        self.bytes_read = 0;
+        self.bytes_written = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_within_one_chunk() {
+        let mut d = Dram::new();
+        d.write(10, &[1, 2, 3]);
+        assert_eq!(d.read_vec(10, 3), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn roundtrip_across_chunk_boundary() {
+        let mut d = Dram::new();
+        let data: Vec<u8> = (0..=255).collect();
+        d.write(CHUNK - 100, &data);
+        assert_eq!(d.read_vec(CHUNK - 100, 256), data);
+        assert_eq!(d.resident_chunks(), 2);
+    }
+
+    #[test]
+    fn large_write_spans_many_chunks() {
+        let mut d = Dram::new();
+        let page = vec![0x5A; 16384];
+        d.write(3, &page);
+        assert_eq!(d.read_vec(3, 16384), page);
+        assert_eq!(d.resident_chunks(), 5); // 16384/4096 + straddle
+    }
+
+    #[test]
+    fn unwritten_reads_zero_and_stays_sparse() {
+        let mut d = Dram::new();
+        let v = d.read_vec(1 << 50, 64);
+        assert!(v.iter().all(|&b| b == 0));
+        assert_eq!(d.resident_chunks(), 0);
+    }
+
+    #[test]
+    fn overwrite_replaces_bytes() {
+        let mut d = Dram::new();
+        d.write(0, &[1; 8]);
+        d.write(4, &[2; 8]);
+        assert_eq!(d.read_vec(0, 12), vec![1, 1, 1, 1, 2, 2, 2, 2, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn accounting_counts_bytes() {
+        let mut d = Dram::new();
+        d.write(0, &[0; 100]);
+        d.read_vec(0, 40);
+        assert_eq!(d.bytes_written(), 100);
+        assert_eq!(d.bytes_read(), 40);
+        d.clear();
+        assert_eq!(d.bytes_written(), 0);
+        assert_eq!(d.resident_chunks(), 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Discrete-event simulation kernel for the BABOL reproduction.
+//!
+//! The BABOL paper (MICRO 2024) evaluates a software-defined NAND flash
+//! controller on real hardware: an FPGA fabric emitting ONFI waveforms, ARM
+//! and MicroBlaze processors running the controller software, and commercial
+//! flash packages. None of that hardware is available to a pure-Rust
+//! reproduction, so this crate provides the substrate everything else is
+//! simulated on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — picosecond-resolution simulated time.
+//!   Picoseconds are fine-grained enough to represent both a 1 GHz CPU cycle
+//!   (1000 ps) and a 200 MT/s channel transfer (5000 ps) exactly.
+//! * [`Freq`] — clock frequencies (CPU cores, channel transfer rates) and the
+//!   conversion from cycle counts to durations.
+//! * [`EventQueue`] — a deterministic time-ordered event queue. Ties are
+//!   broken by insertion order so simulations are exactly reproducible.
+//! * [`cpu::Cpu`] — the processor cost model. Every software action in the
+//!   controller (context switch, scheduler pass, transaction enqueue) charges
+//!   a cycle budget that is converted to simulated time at the configured
+//!   frequency. This is the mechanism behind the paper's Figure 10, where
+//!   the same controller software is run on CPUs from 150 MHz to 1 GHz.
+//! * [`dram::Dram`] — the SSD's DRAM staging buffer that the Packetizer DMA
+//!   unit moves page data in and out of.
+//! * [`rng::SplitMix64`] — a tiny deterministic RNG used where the kernel
+//!   itself needs randomness without pulling in external crates.
+
+pub mod cpu;
+pub mod dram;
+pub mod queue;
+pub mod rng;
+pub mod time;
+
+pub use cpu::{CostModel, Cpu};
+pub use dram::Dram;
+pub use queue::EventQueue;
+pub use time::{Freq, SimDuration, SimTime};

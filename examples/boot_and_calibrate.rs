@@ -1,0 +1,60 @@
+//! Package bring-up: the §IV-C boot flow against "factory-fresh" packages.
+//!
+//! Each simulated LUN enforces the real boot contract: it powers on in SDR
+//! mode 0, refuses high-speed data until RESET has completed, and garbles
+//! NV-DDR2 data until the controller discovers the board trace's DQS phase.
+//! The software-defined boot flow resets, reads the parameter page,
+//! switches the interface, and calibrates — per package, as the paper
+//! requires ("some or all of these adjustments need to be done at every
+//! single boot").
+//!
+//! ```sh
+//! cargo run --release --example boot_and_calibrate
+//! ```
+
+use babol::boot::boot_channel;
+use babol::system::System;
+use babol_channel::Channel;
+use babol_flash::array::ContentMode;
+use babol_flash::lun::LunConfig;
+use babol_flash::{Lun, PackageProfile};
+use babol_sim::{CostModel, Cpu, Freq};
+use babol_ufsm::EmitConfig;
+
+fn main() {
+    let profile = PackageProfile::hynix();
+    let luns: Vec<Lun> = (0..8)
+        .map(|i| {
+            Lun::new(LunConfig {
+                profile: profile.clone(),
+                content: ContentMode::Pristine,
+                seed: 0xB007 + i, // each LUN hides a different DQS phase
+                inject_errors: false,
+                require_init: true, // enforce the boot contract
+            })
+        })
+        .collect();
+    let mut sys = System::new(
+        Channel::new(luns),
+        EmitConfig::nv_ddr2(200),
+        Cpu::new(Freq::from_ghz(1), CostModel::coroutine()),
+    );
+
+    let reports = boot_channel(&mut sys, 200).expect("boot failed");
+    println!("channel booted to NV-DDR2 @ 200 MT/s in {} simulated time\n", sys.now);
+    println!("chip  package   page    blocks  max MT/s  DQS phase  tries");
+    for r in &reports {
+        println!(
+            "{:>4}  {:<8}  {:>5}B  {:>6}  {:>8}  {:>9}  {:>5}",
+            r.chip,
+            r.params.manufacturer,
+            r.params.page_size,
+            r.params.blocks_per_lun,
+            r.params.max_mts,
+            r.phase,
+            r.phases_tried
+        );
+    }
+    println!("\nEvery LUN calibrated to its own trace phase — the per-package");
+    println!("initialization §IV-C says rigid controllers struggle with.");
+}

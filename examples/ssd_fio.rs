@@ -1,0 +1,90 @@
+//! A whole SSD: FTL + BABOL controller + fio-like host workloads,
+//! including a write workload heavy enough to trigger garbage collection.
+//!
+//! ```sh
+//! cargo run --release --example ssd_fio
+//! ```
+
+use babol::factory::rtos_controller;
+use babol::runtime::RuntimeConfig;
+use babol::system::System;
+use babol_channel::Channel;
+use babol_flash::array::ContentMode;
+use babol_flash::lun::LunConfig;
+use babol_flash::{Lun, PackageProfile};
+use babol_ftl::{FioWorkload, IoPattern, Ssd, SsdConfig};
+use babol_sim::{CostModel, Cpu, Freq};
+use babol_ufsm::EmitConfig;
+
+fn stack(preloaded: bool) -> (System, babol::runtime::SoftController, Ssd) {
+    let profile = PackageProfile::test_tiny();
+    let luns: Vec<Lun> = (0..4)
+        .map(|i| {
+            Lun::new(LunConfig {
+                profile: profile.clone(),
+                content: if preloaded {
+                    ContentMode::Preloaded { seed: 11 }
+                } else {
+                    ContentMode::Pristine
+                },
+                seed: i + 1,
+                inject_errors: false,
+                require_init: false,
+            })
+        })
+        .collect();
+    let sys = System::new(
+        Channel::new(luns),
+        EmitConfig::nv_ddr2(200),
+        Cpu::new(Freq::from_ghz(1), CostModel::rtos()),
+    );
+    let ctrl = rtos_controller(profile.layout(), RuntimeConfig::rtos());
+    let mut ssd = Ssd::new(SsdConfig::tiny(4));
+    if preloaded {
+        ssd.preload();
+    }
+    (sys, ctrl, ssd)
+}
+
+fn main() {
+    // Read jobs over a preloaded device.
+    for (name, pattern) in [
+        ("sequential read", IoPattern::SequentialRead),
+        ("random read", IoPattern::RandomRead),
+    ] {
+        let (mut sys, mut ctrl, mut ssd) = stack(true);
+        let r = ssd.run(
+            &mut sys,
+            &mut ctrl,
+            FioWorkload { pattern, total_ios: 128, queue_depth: 8, seed: 42 },
+        );
+        println!(
+            "{name:17}  {:7.1} MB/s  {:8.0} IOPS  mean {}  p99 {}",
+            r.bandwidth_mbps(),
+            r.iops(),
+            r.mean_latency,
+            r.p99_latency
+        );
+    }
+
+    // A sustained random-write job: 3x the logical space, forcing GC.
+    let (mut sys, mut ctrl, mut ssd) = stack(false);
+    let r = ssd.run(
+        &mut sys,
+        &mut ctrl,
+        FioWorkload {
+            pattern: IoPattern::RandomWrite,
+            total_ios: 3 * ssd.map().logical_pages(),
+            queue_depth: 4,
+            seed: 7,
+        },
+    );
+    println!(
+        "random write x3    {:7.1} MB/s  {:8.0} IOPS  mean {}  ({} GC cycles ran)",
+        r.bandwidth_mbps(),
+        r.iops(),
+        r.mean_latency,
+        r.gc_cycles
+    );
+    assert!(r.gc_cycles > 0);
+}

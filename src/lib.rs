@@ -1,0 +1,4 @@
+//! Workspace umbrella crate: hosts the runnable examples in `examples/`
+//! and the cross-crate integration tests in `tests/`. See the individual
+//! member crates for the library surface; `babol` is the core.
+pub use babol as core;

@@ -1,0 +1,117 @@
+//! End-to-end ECC pipeline: worn flash with raw bit errors, read through a
+//! BABOL controller, corrected by the BCH page codec — the full faulty-
+//! media story of paper §II.
+
+use babol::factory::coro_controller;
+use babol::runtime::RuntimeConfig;
+use babol::system::{Engine, IoKind, IoRequest, System};
+use babol_channel::Channel;
+use babol_ecc::{PageCodec, PageVerdict};
+use babol_flash::array::ContentMode;
+use babol_flash::ber::CellType;
+use babol_flash::lun::LunConfig;
+use babol_flash::{Lun, PackageProfile};
+use babol_onfi::addr::RowAddr;
+use babol_sim::{CostModel, Cpu, Freq};
+use babol_ufsm::EmitConfig;
+
+fn worn_lun(pe_cycles: u64, cell: CellType, seed: u64) -> Lun {
+    let mut profile = PackageProfile::test_tiny();
+    profile.cell = cell;
+    let mut lun = Lun::new(LunConfig {
+        profile,
+        content: ContentMode::Pristine,
+        seed,
+        inject_errors: true,
+        require_init: false,
+    });
+    let row = RowAddr { lun: 0, block: 0, page: 0 };
+    for _ in 0..pe_cycles {
+        lun.array_mut().erase_block(row).unwrap();
+    }
+    lun
+}
+
+/// Writes an ECC-protected sector directly into the array, reads it through
+/// the controller with error injection on, and decodes; returns the verdict
+/// and whether the payload survived.
+fn read_through_controller(pe_cycles: u64, cell: CellType, seed: u64) -> (PageVerdict, bool) {
+    let codec = PageCodec::new(512, 512, 8);
+    let payload: Vec<u8> = (0..512u32).map(|i| (i.wrapping_mul(97) >> 3) as u8).collect();
+    let parity = codec.encode(&payload).unwrap();
+    let mut stored = payload.clone();
+    stored.extend_from_slice(&parity);
+
+    let mut lun = worn_lun(pe_cycles, cell, seed);
+    let row = RowAddr { lun: 0, block: 0, page: 0 };
+    lun.array_mut().program_page(row, &stored, false).unwrap();
+
+    let profile = lun.profile().clone();
+    let mut sys = System::new(
+        Channel::new(vec![lun]),
+        EmitConfig::nv_ddr2(200),
+        Cpu::new(Freq::from_ghz(1), CostModel::coroutine()),
+    );
+    let mut ctrl = coro_controller(profile.layout(), RuntimeConfig::coroutine());
+    let len = 512 + codec.parity_len();
+    let req = IoRequest {
+        id: 0,
+        kind: IoKind::Read,
+        lun: 0,
+        block: 0,
+        page: 0,
+        col: 0,
+        len,
+        dram_addr: 0x4000,
+    };
+    Engine::new(1).run(&mut sys, &mut ctrl, vec![req]);
+
+    let mut data = sys.dram.read_vec(0x4000, 512);
+    let read_parity = sys.dram.read_vec(0x4000 + 512, codec.parity_len());
+    let verdict = codec.decode(&mut data, &read_parity).unwrap();
+    (verdict, data == payload)
+}
+
+/// Fresh SLC flash reads back clean — no spurious corrections.
+#[test]
+fn fresh_slc_reads_clean() {
+    let (verdict, intact) = read_through_controller(0, CellType::Slc, 1);
+    assert_eq!(verdict, PageVerdict::Clean);
+    assert!(intact);
+}
+
+/// Moderately worn TLC accumulates raw errors that BCH corrects.
+#[test]
+fn worn_tlc_is_corrected() {
+    let mut corrected_any = false;
+    for seed in 1..=8 {
+        let (verdict, intact) = read_through_controller(2500, CellType::Tlc, seed);
+        match verdict {
+            PageVerdict::Clean | PageVerdict::Corrected(_) => assert!(intact, "seed {seed}"),
+            PageVerdict::Uncorrectable => {} // possible but should be rare here
+        }
+        if matches!(verdict, PageVerdict::Corrected(_)) {
+            corrected_any = true;
+        }
+    }
+    assert!(corrected_any, "wear should produce correctable errors");
+}
+
+/// Wear strictly increases observed raw bit errors (the BER model flowing
+/// through the whole read path).
+#[test]
+fn wear_increases_observed_errors() {
+    let count_errors = |pe: u64| -> u32 {
+        let mut total = 0;
+        for seed in 1..=6 {
+            if let (PageVerdict::Corrected(n), _) = read_through_controller(pe, CellType::Qlc, seed)
+            {
+                total += n;
+            }
+        }
+        total
+    };
+    let fresh = count_errors(10);
+    let worn = count_errors(900);
+    assert!(worn > fresh, "errors fresh={fresh} worn={worn}");
+}
