@@ -21,8 +21,13 @@ fn main() {
         cfg.lookahead = depth;
         let mut sys = build_system(&profile, 8, 100, 1000, ControllerKind::Coro);
         let mut ctrl = build_soft_controller(ControllerKind::Coro, &profile, cfg);
-        let reqs = ReadWorkload { luns: 8, count: 240, order: Order::Sequential, len: 16384 }
-            .generate(&profile.geometry);
+        let reqs = ReadWorkload {
+            luns: 8,
+            count: 240,
+            order: Order::Sequential,
+            len: 16384,
+        }
+        .generate(&profile.geometry);
         let r = Engine::new(1).run(&mut sys, &mut ctrl, reqs);
         rows.push(vec![
             format!("{depth}"),
@@ -30,5 +35,8 @@ fn main() {
             format!("{}", r.mean_latency()),
         ]);
     }
-    println!("{}", render_table(&["depth", "MB/s", "mean latency"], &rows));
+    println!(
+        "{}",
+        render_table(&["depth", "MB/s", "mean latency"], &rows)
+    );
 }

@@ -23,10 +23,17 @@ fn main() {
             cfg.poll_backoff = SimDuration::from_micros(backoff_us);
             let mut sys = build_system(&profile, luns, 200, 1000, ControllerKind::Coro);
             let mut ctrl = build_soft_controller(ControllerKind::Coro, &profile, cfg);
-            let reqs = ReadWorkload { luns, count: 80 * luns as u64, order: Order::Sequential, len: 16384 }
-                .generate(&profile.geometry);
+            let reqs = ReadWorkload {
+                luns,
+                count: 80 * luns as u64,
+                order: Order::Sequential,
+                len: 16384,
+            }
+            .generate(&profile.geometry);
             let r = Engine::new(1).run(&mut sys, &mut ctrl, reqs);
-            let polls: u64 = (0..luns).map(|i| sys.channel.lun(i).stats().status_polls).sum();
+            let polls: u64 = (0..luns)
+                .map(|i| sys.channel.lun(i).stats().status_polls)
+                .sum();
             rows.push(vec![
                 format!("{backoff_us}"),
                 format!("{:.1}", r.throughput_mbps()),
@@ -34,6 +41,9 @@ fn main() {
                 format!("{}", r.mean_latency()),
             ]);
         }
-        println!("{}", render_table(&["backoff us", "MB/s", "polls/op", "mean latency"], &rows));
+        println!(
+            "{}",
+            render_table(&["backoff us", "MB/s", "polls/op", "mean latency"], &rows)
+        );
     }
 }

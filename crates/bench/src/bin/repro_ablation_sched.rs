@@ -4,8 +4,8 @@
 //! different LUNs" (paper §V). Compares the pluggable policies under a
 //! mixed chunk-size read workload where ordering matters.
 
-use babol::sched::TxnPolicy;
 use babol::runtime::RuntimeConfig;
+use babol::sched::TxnPolicy;
 use babol::system::Engine;
 use babol::workload::{Order, ReadWorkload};
 use babol_bench::{build_soft_controller, build_system, render_table, ControllerKind};
@@ -25,8 +25,13 @@ fn main() {
         let mut sys = build_system(&profile, 8, 200, 1000, ControllerKind::Rtos);
         let mut ctrl = build_soft_controller(ControllerKind::Rtos, &profile, cfg);
         // Mixed sizes: half 4 KiB chunk reads, half full pages.
-        let mut reqs = ReadWorkload { luns: 8, count: 240, order: Order::Sequential, len: 16384 }
-            .generate(&profile.geometry);
+        let mut reqs = ReadWorkload {
+            luns: 8,
+            count: 240,
+            order: Order::Sequential,
+            len: 16384,
+        }
+        .generate(&profile.geometry);
         for (i, r) in reqs.iter_mut().enumerate() {
             if i % 2 == 0 {
                 r.len = 4096;
@@ -40,5 +45,8 @@ fn main() {
             format!("{}", r.latency_percentile(0.99)),
         ]);
     }
-    println!("{}", render_table(&["policy", "MB/s", "mean lat", "p99 lat"], &rows));
+    println!(
+        "{}",
+        render_table(&["policy", "MB/s", "mean lat", "p99 lat"], &rows)
+    );
 }

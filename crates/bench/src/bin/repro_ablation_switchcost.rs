@@ -22,8 +22,13 @@ fn main() {
         // Scale the CPU model identically (the cost model lives there too).
         sys.cpu = babol_sim::Cpu::new(sys.cpu.freq(), cfg.cost);
         let mut ctrl = build_soft_controller(ControllerKind::Coro, &profile, cfg);
-        let reqs = ReadWorkload { luns: 8, count: 240, order: Order::Sequential, len: 16384 }
-            .generate(&profile.geometry);
+        let reqs = ReadWorkload {
+            luns: 8,
+            count: 240,
+            order: Order::Sequential,
+            len: 16384,
+        }
+        .generate(&profile.geometry);
         let r = Engine::new(1).run(&mut sys, &mut ctrl, reqs);
         rows.push(vec![
             format!("{num}/{den}x"),
@@ -31,5 +36,8 @@ fn main() {
             format!("{:.2}", sys.cpu.utilization(sys.now)),
         ]);
     }
-    println!("{}", render_table(&["cost scale", "MB/s", "CPU util"], &rows));
+    println!(
+        "{}",
+        render_table(&["cost scale", "MB/s", "CPU util"], &rows)
+    );
 }

@@ -30,8 +30,11 @@ fn main() {
                 for freq in FIG10_FREQS_MHZ {
                     let star = if freq == 150 { "*" } else { "" };
                     let mut row = vec![format!("{luns}"), format!("{freq}{star}")];
-                    for kind in [ControllerKind::HwAsync, ControllerKind::Rtos, ControllerKind::Coro]
-                    {
+                    for kind in [
+                        ControllerKind::HwAsync,
+                        ControllerKind::Rtos,
+                        ControllerKind::Coro,
+                    ] {
                         // The hardware baseline has no CPU dependence; skip
                         // repeat sims for the same LUN count.
                         let r = read_microbench(&profile, luns, mts, freq, kind, count);

@@ -35,7 +35,10 @@ fn capture(kind: ControllerKind) -> (String, Vec<f64>) {
     sys.channel.set_tracing(true);
     let mut ctrl: Box<dyn babol::system::Controller> = match kind {
         ControllerKind::Rtos => Box::new(rtos_controller(profile.layout(), RuntimeConfig::rtos())),
-        ControllerKind::Coro => Box::new(coro_controller(profile.layout(), RuntimeConfig::coroutine())),
+        ControllerKind::Coro => Box::new(coro_controller(
+            profile.layout(),
+            RuntimeConfig::coroutine(),
+        )),
         _ => unreachable!(),
     };
     let req = IoRequest {
@@ -66,7 +69,10 @@ fn capture(kind: ControllerKind) -> (String, Vec<f64>) {
 fn main() {
     for kind in [ControllerKind::Rtos, ControllerKind::Coro] {
         let (trace, periods) = capture(kind);
-        println!("===== {} controller, one READ @ 1 GHz, Hynix, 200 MT/s =====", kind.label());
+        println!(
+            "===== {} controller, one READ @ 1 GHz, Hynix, 200 MT/s =====",
+            kind.label()
+        );
         println!("{trace}");
         if periods.is_empty() {
             println!("(single poll: the read was ready on first check)\n");

@@ -8,8 +8,8 @@
 //! channel hides the polling delay.
 
 use babol_bench::{build_system, render_table, ControllerKind};
-use babol_ftl::{FioWorkload, IoPattern, Ssd, SsdConfig};
 use babol_flash::PackageProfile;
+use babol_ftl::{FioWorkload, IoPattern, Ssd, SsdConfig};
 
 fn bandwidth(kind: ControllerKind, ways: u32, pattern: IoPattern, ios: u64) -> f64 {
     let profile = PackageProfile::hynix();
@@ -41,9 +41,13 @@ fn main() {
         let mut at8 = [0.0f64; 3];
         for ways in [1u32, 2, 4, 8] {
             let mut row = vec![format!("{ways}")];
-            for (i, kind) in [ControllerKind::HwAsync, ControllerKind::Rtos, ControllerKind::Coro]
-                .iter()
-                .enumerate()
+            for (i, kind) in [
+                ControllerKind::HwAsync,
+                ControllerKind::Rtos,
+                ControllerKind::Coro,
+            ]
+            .iter()
+            .enumerate()
             {
                 let bw = bandwidth(*kind, ways, pattern, ios);
                 if ways == 8 {

@@ -22,11 +22,17 @@ fn main() {
     ]);
     rows.push(vec![
         "Page transfer time (100 MT/s)".to_string(),
-        format!("{:.1} us (paper: 185 us)", page_transfer_time(100).as_micros_f64()),
+        format!(
+            "{:.1} us (paper: 185 us)",
+            page_transfer_time(100).as_micros_f64()
+        ),
     ]);
     rows.push(vec![
         "Page transfer time (200 MT/s)".to_string(),
-        format!("{:.1} us (paper: 100 us)", page_transfer_time(200).as_micros_f64()),
+        format!(
+            "{:.1} us (paper: 100 us)",
+            page_transfer_time(200).as_micros_f64()
+        ),
     ]);
     println!("{}", render_table(&["Parameter", "Value"], &rows));
 }

@@ -29,7 +29,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["op", "paper sync", "paper async", "paper BABOL", "ours sync", "ours async", "ours BABOL"],
+            &[
+                "op",
+                "paper sync",
+                "paper async",
+                "paper BABOL",
+                "ours sync",
+                "ours async",
+                "ours BABOL"
+            ],
             &rows
         )
     );

@@ -30,7 +30,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["controller", "LUT", "(paper)", "FF", "(paper)", "BRAM", "(paper)"],
+            &[
+                "controller",
+                "LUT",
+                "(paper)",
+                "FF",
+                "(paper)",
+                "BRAM",
+                "(paper)"
+            ],
             &rows
         )
     );

@@ -58,7 +58,13 @@ impl ControllerKind {
 /// Builds a channel system: `luns` instances of `profile`, NV-DDR2 at
 /// `mts`, CPU at `cpu_mhz` with `kind`'s cost model, arrays preloaded with
 /// data and error injection off (the throughput experiments).
-pub fn build_system(profile: &PackageProfile, luns: u32, mts: u32, cpu_mhz: u64, kind: ControllerKind) -> System {
+pub fn build_system(
+    profile: &PackageProfile,
+    luns: u32,
+    mts: u32,
+    cpu_mhz: u64,
+    kind: ControllerKind,
+) -> System {
     let l = (0..luns)
         .map(|i| {
             Lun::new(LunConfig {
@@ -78,7 +84,11 @@ pub fn build_system(profile: &PackageProfile, luns: u32, mts: u32, cpu_mhz: u64,
 }
 
 /// Builds a controller of the given kind for `profile` wired with `luns`.
-pub fn build_controller(kind: ControllerKind, profile: &PackageProfile, luns: u32) -> Box<dyn Controller> {
+pub fn build_controller(
+    kind: ControllerKind,
+    profile: &PackageProfile,
+    luns: u32,
+) -> Box<dyn Controller> {
     let layout = profile.layout();
     match kind {
         ControllerKind::HwAsync => Box::new(CosmosController::new(layout, luns)),
@@ -90,7 +100,11 @@ pub fn build_controller(kind: ControllerKind, profile: &PackageProfile, luns: u3
 
 /// Builds a BABOL software controller with a custom runtime configuration
 /// (ablation studies).
-pub fn build_soft_controller(kind: ControllerKind, profile: &PackageProfile, cfg: RuntimeConfig) -> SoftController {
+pub fn build_soft_controller(
+    kind: ControllerKind,
+    profile: &PackageProfile,
+    cfg: RuntimeConfig,
+) -> SoftController {
     let layout = profile.layout();
     match kind {
         ControllerKind::Rtos => rtos_controller(layout, cfg),
@@ -185,7 +199,7 @@ mod tests {
     }
 
     #[test]
-    fn hw_beats_slow_coro(){
+    fn hw_beats_slow_coro() {
         let profile = PackageProfile::test_tiny();
         let hw = read_microbench(&profile, 2, 200, 150, ControllerKind::HwAsync, 16);
         let coro = read_microbench(&profile, 2, 200, 150, ControllerKind::Coro, 16);

@@ -98,7 +98,10 @@ mod tests {
         // see EXPERIMENTS.md.)
         for (op, sync, async_, babol) in table2_measured() {
             assert!(babol < async_, "{op}: babol {babol} vs async {async_}");
-            assert!(babol * 16 <= sync * 10, "{op}: babol {babol} vs sync {sync}");
+            assert!(
+                babol * 16 <= sync * 10,
+                "{op}: babol {babol} vs sync {sync}"
+            );
         }
         // The paper's cross-hardware relation also holds per operation:
         // the asynchronous controller's READ is its largest op (bigger than

@@ -161,8 +161,18 @@ mod tests {
     #[test]
     fn find_filters_by_label() {
         let mut a = Analyzer::new(true);
-        a.record(at(0), at(1), ChipMask::single(0), &PhaseKind::CmdLatch(0x70));
-        a.record(at(1), at(2), ChipMask::single(0), &PhaseKind::DataOut { bytes: 1 });
+        a.record(
+            at(0),
+            at(1),
+            ChipMask::single(0),
+            &PhaseKind::CmdLatch(0x70),
+        );
+        a.record(
+            at(1),
+            at(2),
+            ChipMask::single(0),
+            &PhaseKind::DataOut { bytes: 1 },
+        );
         assert_eq!(a.find("READ-STATUS").count(), 1);
         assert_eq!(a.find("DOUT").count(), 1);
         assert_eq!(a.find("nothing").count(), 0);

@@ -76,7 +76,11 @@ impl fmt::Display for BootError {
             BootError::CalibrationFailed { chip } => {
                 write!(f, "chip {chip}: no DQS phase yields clean data")
             }
-            BootError::UnsupportedRate { chip, requested, supported } => write!(
+            BootError::UnsupportedRate {
+                chip,
+                requested,
+                supported,
+            } => write!(
                 f,
                 "chip {chip}: {requested} MT/s requested but package supports {supported}"
             ),
@@ -106,7 +110,7 @@ fn wait_ready(sys: &mut System, emit: &EmitConfig, chip: u32) {
             return;
         }
         // Idle between polls, as init firmware would.
-        sys.now = sys.now + babol_sim::SimDuration::from_micros(2);
+        sys.now += babol_sim::SimDuration::from_micros(2);
     }
 }
 
@@ -115,7 +119,8 @@ pub fn boot_lun(sys: &mut System, chip: u32, mts: u32) -> Result<LunBootReport, 
     let sdr = EmitConfig::sdr();
 
     // Step 1: RESET in SDR mode 0 and wait for recovery.
-    let reset = Transaction::new(ChipMask::single(chip)).ca(vec![Latch::Cmd(op::RESET)], PostWait::Wb);
+    let reset =
+        Transaction::new(ChipMask::single(chip)).ca(vec![Latch::Cmd(op::RESET)], PostWait::Wb);
     run_txn(sys, &sdr, &reset);
     wait_ready(sys, &sdr, chip);
 
@@ -186,7 +191,12 @@ pub fn boot_lun(sys: &mut System, chip: u32, mts: u32) -> Result<LunBootReport, 
         }
     }
     let phase = locked.ok_or(BootError::CalibrationFailed { chip })?;
-    Ok(LunBootReport { chip, params, phase, phases_tried: tried })
+    Ok(LunBootReport {
+        chip,
+        params,
+        phase,
+        phases_tried: tried,
+    })
 }
 
 /// DRAM scratch address used by boot-time SET FEATURES payloads.
@@ -243,8 +253,7 @@ mod tests {
         }
         // Phases differ across LUNs (different trace lengths), proving the
         // per-package calibration is doing real work.
-        let phases: std::collections::HashSet<u8> =
-            reports.iter().map(|r| r.phase).collect();
+        let phases: std::collections::HashSet<u8> = reports.iter().map(|r| r.phase).collect();
         assert!(phases.len() > 1, "phases {phases:?}");
     }
 
@@ -263,7 +272,11 @@ mod tests {
         // clean (unscrambled) data.
         use babol_onfi::addr::{ColumnAddr, RowAddr};
         let layout = sys.channel.lun(0).profile().geometry.addr_layout(16);
-        let row = RowAddr { lun: 0, block: 0, page: 0 };
+        let row = RowAddr {
+            lun: 0,
+            block: 0,
+            page: 0,
+        };
         sys.channel
             .lun_mut(0)
             .array_mut()

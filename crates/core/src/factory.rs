@@ -16,28 +16,29 @@ use crate::system::{IoKind, IoRequest};
 use babol_onfi::addr::RowAddr;
 
 fn row_of(req: &IoRequest) -> RowAddr {
-    RowAddr { lun: req.lun, block: req.block, page: req.page }
+    RowAddr {
+        lun: req.lun,
+        block: req.block,
+        page: req.page,
+    }
 }
 
 /// Builds the coroutine-environment BABOL controller ("Coro" in Fig. 10).
 pub fn coro_controller(layout: AddrLayout, cfg: RuntimeConfig) -> SoftController {
     SoftController::new("BABOL-Coro", cfg, move |req| {
-        let t = Target { chip: req.lun, layout };
+        let t = Target {
+            chip: req.lun,
+            layout,
+        };
         let ctx = OpCtx::new(req.lun, 0);
         ctx.set_poll_backoff(cfg.poll_backoff);
         let req = *req;
         let body_ctx = ctx.clone();
         let future: std::pin::Pin<Box<dyn std::future::Future<Output = ()>>> = match req.kind {
             IoKind::Read => Box::pin(async move {
-                let r = ops::read_page(
-                    &body_ctx,
-                    &t,
-                    row_of(&req),
-                    req.col,
-                    req.len,
-                    req.dram_addr,
-                )
-                .await;
+                let r =
+                    ops::read_page(&body_ctx, &t, row_of(&req), req.col, req.len, req.dram_addr)
+                        .await;
                 if r.is_ok() {
                     body_ctx.set_outcome(Ok(()));
                 }
@@ -63,7 +64,10 @@ pub fn coro_controller(layout: AddrLayout, cfg: RuntimeConfig) -> SoftController
 /// Builds the RTOS-environment BABOL controller ("RTOS" in Fig. 10).
 pub fn rtos_controller(layout: AddrLayout, cfg: RuntimeConfig) -> SoftController {
     SoftController::new("BABOL-RTOS", cfg, move |req| {
-        let t = Target { chip: req.lun, layout };
+        let t = Target {
+            chip: req.lun,
+            layout,
+        };
         match req.kind {
             IoKind::Read => Box::new(
                 RtosTask::new(

@@ -329,6 +329,10 @@ pub async fn read_param_page(ctx: &OpCtx, t: &Target, copies: usize) -> Vec<u8> 
 /// READ with retries (Park et al., ASPLOS'21; paper §I): step the vendor
 /// read-retry level via SET FEATURES until `verify` accepts the data or the
 /// levels are exhausted. `verify` is typically an ECC decode.
+///
+/// The argument list mirrors the ONFI command sequence one-to-one, so the
+/// count stays as-is rather than hiding parameters in a struct.
+#[allow(clippy::too_many_arguments)]
 pub async fn read_with_retry(
     ctx: &OpCtx,
     t: &Target,
@@ -456,7 +460,11 @@ pub async fn cache_read_seq(
         let last = k == count - 1;
         // Move the fetched page to the cache register; start the next fetch
         // (0x31) or finish the stream (0x3F).
-        let opcode = if last { op::READ_CACHE_END } else { op::READ_CACHE_SEQ };
+        let opcode = if last {
+            op::READ_CACHE_END
+        } else {
+            op::READ_CACHE_SEQ
+        };
         let kick = Transaction::new(t.mask()).ca(vec![Latch::Cmd(opcode)], PostWait::Wb);
         ctx.submit(kick).await;
         // Stream page k from the cache register while the array works.
@@ -508,7 +516,7 @@ pub async fn multi_plane_read(
     );
     ctx.submit(queue).await;
     wait_ready(ctx, t).await; // short tDBSY window
-    // Confirm with plane 1: both fetches run concurrently.
+                              // Confirm with plane 1: both fetches run concurrently.
     let addr1 = t.layout.pack_full(ColumnAddr(0), rows[1]);
     let confirm = Transaction::new(t.mask()).ca(
         vec![

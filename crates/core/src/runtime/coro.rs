@@ -42,14 +42,19 @@ impl OpCtx {
             priority,
             ..Mailbox::default()
         };
-        OpCtx { mb: Rc::new(RefCell::new(mb)) }
+        OpCtx {
+            mb: Rc::new(RefCell::new(mb)),
+        }
     }
 
     /// Enqueues `txn` for execution and returns a future resolving to its
     /// result — the paper's `co_await add_transaction(...)`.
     pub fn submit(&self, txn: Transaction) -> TxnWait {
         let ticket = self.mb.borrow_mut().submit(txn);
-        TxnWait { mb: Rc::clone(&self.mb), ticket }
+        TxnWait {
+            mb: Rc::clone(&self.mb),
+            ticket,
+        }
     }
 
     /// Accounts one unit of straight-line operation-body work.
@@ -65,7 +70,11 @@ impl OpCtx {
 
     /// Suspends the operation for at least `dur` of simulated time.
     pub fn sleep(&self, dur: SimDuration) -> SleepWait {
-        SleepWait { mb: Rc::clone(&self.mb), dur, armed: false }
+        SleepWait {
+            mb: Rc::clone(&self.mb),
+            dur,
+            armed: false,
+        }
     }
 
     /// Simulated time of the current scheduling slot.
@@ -189,7 +198,10 @@ impl SoftTask for CoroTask {
 
     fn meta(&self) -> TaskMeta {
         let mb = self.mb.borrow();
-        TaskMeta { lun: mb.lun, priority: mb.priority }
+        TaskMeta {
+            lun: mb.lun,
+            priority: mb.priority,
+        }
     }
 }
 
@@ -229,7 +241,10 @@ mod tests {
         // Deliver the result; next advance finishes.
         task.deliver(
             out[0].0,
-            TxnResult { inline: vec![0xE0], end: SimTime::ZERO },
+            TxnResult {
+                inline: vec![0xE0],
+                end: SimTime::ZERO,
+            },
         );
         assert_eq!(task.advance(SimTime::ZERO), TaskStatus::Finished);
         assert_eq!(task.take_outcome(), Some(Ok(())));
@@ -258,11 +273,23 @@ mod tests {
             assert_eq!(task.advance(SimTime::ZERO), TaskStatus::Blocked, "poll {i}");
             let out = task.drain_outbox();
             assert_eq!(out.len(), 1);
-            task.deliver(out[0].0, TxnResult { inline: vec![0x00], end: SimTime::ZERO });
+            task.deliver(
+                out[0].0,
+                TxnResult {
+                    inline: vec![0x00],
+                    end: SimTime::ZERO,
+                },
+            );
         }
         assert_eq!(task.advance(SimTime::ZERO), TaskStatus::Blocked);
         let out = task.drain_outbox();
-        task.deliver(out[0].0, TxnResult { inline: vec![0x60], end: SimTime::ZERO });
+        task.deliver(
+            out[0].0,
+            TxnResult {
+                inline: vec![0x60],
+                end: SimTime::ZERO,
+            },
+        );
         assert_eq!(task.advance(SimTime::ZERO), TaskStatus::Finished);
         assert_eq!(task.take_steps(), 4); // one body step per poll iteration
     }
@@ -287,6 +314,12 @@ mod tests {
     fn meta_reflects_ctx() {
         let ctx = OpCtx::new(5, 9);
         let task = CoroTask::new(&ctx, async {});
-        assert_eq!(task.meta(), TaskMeta { lun: 5, priority: 9 });
+        assert_eq!(
+            task.meta(),
+            TaskMeta {
+                lun: 5,
+                priority: 9
+            }
+        );
     }
 }

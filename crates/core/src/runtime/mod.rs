@@ -32,6 +32,13 @@ use crate::system::{Controller, Event, IoRequest, System};
 /// Task identifier inside a runtime.
 pub type TaskId = usize;
 
+/// A finished task: id, completion time, and outcome (`None` when the task
+/// ended without reporting one).
+pub type FinishedTask = (TaskId, SimTime, Option<Result<(), OpError>>);
+
+/// Builds the software task serving one I/O request.
+pub type TaskFactory = Box<dyn FnMut(&IoRequest) -> Box<dyn SoftTask>>;
+
 /// Result of one completed transaction, delivered to the owning task.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TxnResult {
@@ -230,7 +237,7 @@ pub struct SoftRuntime {
     lun_active: HashMap<u32, TaskId>,
     /// Tasks parked until their LUN frees up.
     lun_parked: HashMap<u32, VecDeque<TaskId>>,
-    finished: Vec<(TaskId, SimTime, Option<Result<(), OpError>>)>,
+    finished: Vec<FinishedTask>,
     /// Cumulative count of issued transactions (stats).
     pub txns_issued: u64,
 }
@@ -296,20 +303,20 @@ impl SoftRuntime {
         // One operation per LUN at a time: a LUN has one page register, so
         // overlapping operations would corrupt each other. Later arrivals
         // park until the LUN frees up.
-        if self.lun_active.contains_key(&lun) {
-            self.lun_parked.entry(lun).or_default().push_back(tid);
-        } else {
-            self.lun_active.insert(lun, tid);
-            self.runnable.push_back(tid);
+        match self.lun_active.entry(lun) {
+            std::collections::hash_map::Entry::Occupied(_) => {
+                self.lun_parked.entry(lun).or_default().push_back(tid);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(tid);
+                self.runnable.push_back(tid);
+            }
         }
         tid
     }
 
     /// Drains tasks that finished since the last call.
-    pub fn drain_finished(
-        &mut self,
-        out: &mut Vec<(TaskId, SimTime, Option<Result<(), OpError>>)>,
-    ) {
+    pub fn drain_finished(&mut self, out: &mut Vec<FinishedTask>) {
         out.append(&mut self.finished);
     }
 
@@ -472,7 +479,9 @@ impl SoftRuntime {
         if self.in_flight.is_some() {
             return;
         }
-        let Some(front) = self.hw_queue.front() else { return };
+        let Some(front) = self.hw_queue.front() else {
+            return;
+        };
         if front.avail > sys.now {
             let at = front.avail;
             sys.schedule(at, Event::IssueCheck);
@@ -480,13 +489,24 @@ impl SoftRuntime {
         }
         let entry = self.hw_queue.pop_front().expect("front exists");
         let start = sys.now.max(sys.channel.busy_until()) + self.cfg.issue_gap;
-        let outcome = execute(&mut sys.channel, &mut sys.dram, &sys.emit, start, &entry.txn)
-            .unwrap_or_else(|e| panic!("operation logic drove an illegal waveform: {e}"));
+        let outcome = execute(
+            &mut sys.channel,
+            &mut sys.dram,
+            &sys.emit,
+            start,
+            &entry.txn,
+        )
+        .unwrap_or_else(|e| panic!("operation logic drove an illegal waveform: {e}"));
         self.txns_issued += 1;
         self.outcomes
             .insert(entry.ticket, (outcome.end, outcome.inline));
         self.in_flight = Some(entry.ticket);
-        sys.schedule(outcome.end, Event::TxnDone { ticket: entry.ticket });
+        sys.schedule(
+            outcome.end,
+            Event::TxnDone {
+                ticket: entry.ticket,
+            },
+        );
     }
 }
 
@@ -495,10 +515,10 @@ impl SoftRuntime {
 pub struct SoftController {
     name: &'static str,
     rt: SoftRuntime,
-    factory: Box<dyn FnMut(&IoRequest) -> Box<dyn SoftTask>>,
+    factory: TaskFactory,
     req_of: HashMap<TaskId, IoRequest>,
     done: Vec<(IoRequest, SimTime)>,
-    scratch: Vec<(TaskId, SimTime, Option<Result<(), OpError>>)>,
+    scratch: Vec<FinishedTask>,
     /// Operations that finished with an error (visible to experiments).
     pub errors: Vec<(IoRequest, OpError)>,
 }
@@ -603,10 +623,17 @@ mod tests {
     fn status_task(lun: u32) -> Box<dyn SoftTask> {
         let ctx = OpCtx::new(lun, 0);
         let c = ctx.clone();
-        let t = Target { chip: lun, layout: PackageProfile::test_tiny().layout() };
+        let t = Target {
+            chip: lun,
+            layout: PackageProfile::test_tiny().layout(),
+        };
         let fut = async move {
             let st = crate::ops::read_status(&c, &t).await;
-            c.set_outcome(if st & 0x40 != 0 { Ok(()) } else { Err(OpError::Timeout) });
+            c.set_outcome(if st & 0x40 != 0 {
+                Ok(())
+            } else {
+                Err(OpError::Timeout)
+            });
         };
         Box::new(CoroTask::new(&ctx, fut))
     }
@@ -695,7 +722,11 @@ mod tests {
                 .ca(vec![Latch::Cmd(op::READ_STATUS)], PostWait::Whr)
                 .read(1, DmaDest::Inline);
             let r = c.submit(txn).await;
-            c.set_outcome(if r.inline == vec![0xE0] { Ok(()) } else { Err(OpError::Timeout) });
+            c.set_outcome(if r.inline == vec![0xE0] {
+                Ok(())
+            } else {
+                Err(OpError::Timeout)
+            });
         };
         let mut s = sys(1);
         let mut rt = SoftRuntime::new(RuntimeConfig::rtos());

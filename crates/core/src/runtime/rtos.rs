@@ -54,7 +54,11 @@ impl<M: RtosMachine> RtosTask<M> {
     /// Wraps `machine` as a task targeting `lun` at `priority`.
     pub fn new(lun: u32, priority: u8, machine: M) -> Self {
         RtosTask {
-            mb: Mailbox { lun, priority, ..Mailbox::default() },
+            mb: Mailbox {
+                lun,
+                priority,
+                ..Mailbox::default()
+            },
             machine,
             finished: false,
         }
@@ -110,7 +114,10 @@ impl<M: RtosMachine> SoftTask for RtosTask<M> {
     }
 
     fn meta(&self) -> TaskMeta {
-        TaskMeta { lun: self.mb.lun, priority: self.mb.priority }
+        TaskMeta {
+            lun: self.mb.lun,
+            priority: self.mb.priority,
+        }
     }
 }
 
@@ -368,7 +375,12 @@ enum EraseState {
 impl EraseOp {
     /// Builds a block erase.
     pub fn new(t: Target, row: RowAddr) -> Self {
-        EraseOp { t, row, state: EraseState::IssueErase, pending: None }
+        EraseOp {
+            t,
+            row,
+            state: EraseState::IssueErase,
+            pending: None,
+        }
     }
 }
 
@@ -439,11 +451,18 @@ mod tests {
     use babol_onfi::addr::AddrLayout;
 
     fn target() -> Target {
-        Target { chip: 0, layout: AddrLayout::new(512, 8, 8, 4) }
+        Target {
+            chip: 0,
+            layout: AddrLayout::new(512, 8, 8, 4),
+        }
     }
 
     fn row() -> RowAddr {
-        RowAddr { lun: 0, block: 1, page: 0 }
+        RowAddr {
+            lun: 0,
+            block: 1,
+            page: 0,
+        }
     }
 
     #[test]
@@ -454,19 +473,43 @@ mod tests {
         assert_eq!(task.advance(SimTime::ZERO), TaskStatus::Blocked);
         let out = task.drain_outbox();
         assert_eq!(out.len(), 1);
-        task.deliver(out[0].0, TxnResult { inline: vec![], end: SimTime::ZERO });
+        task.deliver(
+            out[0].0,
+            TxnResult {
+                inline: vec![],
+                end: SimTime::ZERO,
+            },
+        );
         // Poll: busy once, then ready.
         assert_eq!(task.advance(SimTime::ZERO), TaskStatus::Blocked);
         let out = task.drain_outbox();
-        task.deliver(out[0].0, TxnResult { inline: vec![0x80], end: SimTime::ZERO });
+        task.deliver(
+            out[0].0,
+            TxnResult {
+                inline: vec![0x80],
+                end: SimTime::ZERO,
+            },
+        );
         assert_eq!(task.advance(SimTime::ZERO), TaskStatus::Blocked);
         let out = task.drain_outbox();
-        task.deliver(out[0].0, TxnResult { inline: vec![0xE0], end: SimTime::ZERO });
+        task.deliver(
+            out[0].0,
+            TxnResult {
+                inline: vec![0xE0],
+                end: SimTime::ZERO,
+            },
+        );
         // Fetch.
         assert_eq!(task.advance(SimTime::ZERO), TaskStatus::Blocked);
         let out = task.drain_outbox();
         assert_eq!(out[0].1.data_bytes(), 64);
-        task.deliver(out[0].0, TxnResult { inline: vec![], end: SimTime::ZERO });
+        task.deliver(
+            out[0].0,
+            TxnResult {
+                inline: vec![],
+                end: SimTime::ZERO,
+            },
+        );
         assert_eq!(task.advance(SimTime::ZERO), TaskStatus::Finished);
         assert_eq!(task.take_outcome(), Some(Ok(())));
     }
@@ -477,13 +520,28 @@ mod tests {
         let mut task = RtosTask::new(0, 0, machine);
         task.advance(SimTime::ZERO);
         let out = task.drain_outbox();
-        task.deliver(out[0].0, TxnResult { inline: vec![], end: SimTime::ZERO });
+        task.deliver(
+            out[0].0,
+            TxnResult {
+                inline: vec![],
+                end: SimTime::ZERO,
+            },
+        );
         task.advance(SimTime::ZERO);
         let out = task.drain_outbox();
         // Ready with FAIL set.
-        task.deliver(out[0].0, TxnResult { inline: vec![0xE1], end: SimTime::ZERO });
+        task.deliver(
+            out[0].0,
+            TxnResult {
+                inline: vec![0xE1],
+                end: SimTime::ZERO,
+            },
+        );
         assert_eq!(task.advance(SimTime::ZERO), TaskStatus::Finished);
-        assert!(matches!(task.take_outcome(), Some(Err(OpError::Failed { .. }))));
+        assert!(matches!(
+            task.take_outcome(),
+            Some(Err(OpError::Failed { .. }))
+        ));
     }
 
     #[test]
@@ -508,10 +566,22 @@ mod tests {
         task.advance(SimTime::ZERO);
         let out = task.drain_outbox();
         assert_eq!(out[0].1.data_bytes(), 64);
-        task.deliver(out[0].0, TxnResult { inline: vec![], end: SimTime::ZERO });
+        task.deliver(
+            out[0].0,
+            TxnResult {
+                inline: vec![],
+                end: SimTime::ZERO,
+            },
+        );
         task.advance(SimTime::ZERO);
         let out = task.drain_outbox();
-        task.deliver(out[0].0, TxnResult { inline: vec![0xE0], end: SimTime::ZERO });
+        task.deliver(
+            out[0].0,
+            TxnResult {
+                inline: vec![0xE0],
+                end: SimTime::ZERO,
+            },
+        );
         assert_eq!(task.advance(SimTime::ZERO), TaskStatus::Finished);
         assert_eq!(task.take_outcome(), Some(Ok(())));
     }
@@ -522,11 +592,26 @@ mod tests {
         let mut task = RtosTask::new(0, 0, machine);
         task.advance(SimTime::ZERO);
         let out = task.drain_outbox();
-        task.deliver(out[0].0, TxnResult { inline: vec![], end: SimTime::ZERO });
+        task.deliver(
+            out[0].0,
+            TxnResult {
+                inline: vec![],
+                end: SimTime::ZERO,
+            },
+        );
         task.advance(SimTime::ZERO);
         let out = task.drain_outbox();
-        task.deliver(out[0].0, TxnResult { inline: vec![0xE1], end: SimTime::ZERO });
+        task.deliver(
+            out[0].0,
+            TxnResult {
+                inline: vec![0xE1],
+                end: SimTime::ZERO,
+            },
+        );
         assert_eq!(task.advance(SimTime::ZERO), TaskStatus::Finished);
-        assert!(matches!(task.take_outcome(), Some(Err(OpError::Failed { .. }))));
+        assert!(matches!(
+            task.take_outcome(),
+            Some(Err(OpError::Failed { .. }))
+        ));
     }
 }

@@ -144,7 +144,11 @@ mod tests {
     #[test]
     fn fifo_takes_head() {
         assert_eq!(TaskPolicy::Fifo.pick(&[t(3), t(1)], 0), 0);
-        let x = TxnMeta { lun: 0, data_bytes: 9, priority: 0 };
+        let x = TxnMeta {
+            lun: 0,
+            data_bytes: 9,
+            priority: 0,
+        };
         assert_eq!(TxnPolicy::Fifo.pick(&[x, x], 5), 0);
     }
 
@@ -161,9 +165,18 @@ mod tests {
     #[test]
     fn priority_wins_and_fifo_breaks_ties() {
         let cands = [
-            TaskMeta { lun: 0, priority: 1 },
-            TaskMeta { lun: 1, priority: 3 },
-            TaskMeta { lun: 2, priority: 3 },
+            TaskMeta {
+                lun: 0,
+                priority: 1,
+            },
+            TaskMeta {
+                lun: 1,
+                priority: 3,
+            },
+            TaskMeta {
+                lun: 2,
+                priority: 3,
+            },
         ];
         assert_eq!(TaskPolicy::Priority.pick(&cands, 0), 1);
     }
@@ -171,16 +184,32 @@ mod tests {
     #[test]
     fn commands_first_prefers_small_segments() {
         let cands = [
-            TxnMeta { lun: 0, data_bytes: 16384, priority: 0 },
-            TxnMeta { lun: 1, data_bytes: 0, priority: 0 },
-            TxnMeta { lun: 2, data_bytes: 1, priority: 0 },
+            TxnMeta {
+                lun: 0,
+                data_bytes: 16384,
+                priority: 0,
+            },
+            TxnMeta {
+                lun: 1,
+                data_bytes: 0,
+                priority: 0,
+            },
+            TxnMeta {
+                lun: 2,
+                data_bytes: 1,
+                priority: 0,
+            },
         ];
         assert_eq!(TxnPolicy::CommandsFirst.pick(&cands, 0), 1);
     }
 
     #[test]
     fn txn_round_robin_rotates() {
-        let m = |lun| TxnMeta { lun, data_bytes: 0, priority: 0 };
+        let m = |lun| TxnMeta {
+            lun,
+            data_bytes: 0,
+            priority: 0,
+        };
         let cands = [m(0), m(4), m(7)];
         assert_eq!(TxnPolicy::RoundRobinLun.pick(&cands, 4), 2);
         assert_eq!(TxnPolicy::RoundRobinLun.pick(&cands, 7), 0);

@@ -223,7 +223,9 @@ impl Engine {
     /// every LUN loaded without unbounded queueing).
     pub fn new(queue_depth_per_lun: usize) -> Self {
         assert!(queue_depth_per_lun >= 1);
-        Engine { queue_depth_per_lun }
+        Engine {
+            queue_depth_per_lun,
+        }
     }
 
     /// Runs `requests` to completion against `controller` on `sys`.
@@ -239,8 +241,7 @@ impl Engine {
         requests: Vec<IoRequest>,
     ) -> RunReport {
         let start = sys.now;
-        let mut per_lun_inflight: Vec<usize> =
-            vec![0; sys.channel.lun_count() as usize];
+        let mut per_lun_inflight: Vec<usize> = vec![0; sys.channel.lun_count() as usize];
         let mut pending: Vec<VecDeque<IoRequest>> =
             vec![VecDeque::new(); sys.channel.lun_count() as usize];
         let mut submit_times: std::collections::HashMap<u64, SimTime> =
@@ -269,7 +270,9 @@ impl Engine {
             // Keep every LUN loaded up to the queue depth.
             for lun in 0..pending.len() {
                 while per_lun_inflight[lun] < self.queue_depth_per_lun {
-                    let Some(&req) = pending[lun].front() else { break };
+                    let Some(&req) = pending[lun].front() else {
+                        break;
+                    };
                     if !controller.submit(sys, req) {
                         break;
                     }
@@ -379,7 +382,10 @@ mod tests {
     #[test]
     fn engine_runs_to_completion() {
         let mut sys = tiny_system(1);
-        let mut ctrl = NullController { inflight: Vec::new(), done: Vec::new() };
+        let mut ctrl = NullController {
+            inflight: Vec::new(),
+            done: Vec::new(),
+        };
         let report = Engine::new(1).run(&mut sys, &mut ctrl, reqs(8, 0));
         assert_eq!(report.completions.len(), 8);
         assert_eq!(report.bytes, 8 * 512);
@@ -391,7 +397,10 @@ mod tests {
     #[test]
     fn queue_depth_overlaps_requests() {
         let mut sys = tiny_system(1);
-        let mut ctrl = NullController { inflight: Vec::new(), done: Vec::new() };
+        let mut ctrl = NullController {
+            inflight: Vec::new(),
+            done: Vec::new(),
+        };
         let report = Engine::new(4).run(&mut sys, &mut ctrl, reqs(8, 0));
         // Four at a time, 1 us per wave: 2 us total.
         assert_eq!(report.elapsed, SimDuration::from_micros(2));
@@ -400,7 +409,10 @@ mod tests {
     #[test]
     fn report_percentiles_are_ordered() {
         let mut sys = tiny_system(1);
-        let mut ctrl = NullController { inflight: Vec::new(), done: Vec::new() };
+        let mut ctrl = NullController {
+            inflight: Vec::new(),
+            done: Vec::new(),
+        };
         let report = Engine::new(2).run(&mut sys, &mut ctrl, reqs(16, 0));
         assert!(report.latency_percentile(0.5) <= report.latency_percentile(0.99));
         assert!(report.throughput_mbps() > 0.0);

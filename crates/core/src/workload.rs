@@ -87,7 +87,12 @@ mod tests {
     use super::*;
 
     fn wl(order: Order) -> ReadWorkload {
-        ReadWorkload { luns: 4, count: 64, order, len: 16384 }
+        ReadWorkload {
+            luns: 4,
+            count: 64,
+            order,
+            len: 16384,
+        }
     }
 
     #[test]

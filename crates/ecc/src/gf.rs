@@ -25,8 +25,8 @@ impl Gf {
         let mut exp = vec![0u16; 2 * N];
         let mut log = vec![0u16; N + 1];
         let mut x: u32 = 1;
-        for i in 0..N {
-            exp[i] = x as u16;
+        for (i, e) in exp.iter_mut().enumerate().take(N) {
+            *e = x as u16;
             log[x as usize] = i as u16;
             x <<= 1;
             if x & (1 << M) != 0 {

@@ -178,8 +178,7 @@ impl PageCodec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use babol_testkit::rng::{Rng, Xoshiro256pp};
 
     #[test]
     fn clean_page_decodes_clean() {
@@ -187,15 +186,19 @@ mod tests {
         let page = vec![0x3Cu8; 1024];
         let parity = codec.encode(&page).unwrap();
         let mut copy = page.clone();
-        assert_eq!(codec.decode(&mut copy, &parity).unwrap(), PageVerdict::Clean);
+        assert_eq!(
+            codec.decode(&mut copy, &parity).unwrap(),
+            PageVerdict::Clean
+        );
         assert_eq!(copy, page);
     }
 
     #[test]
     fn corrects_up_to_t_per_sector() {
         let codec = PageCodec::new(1024, 512, 4);
-        let mut rng = StdRng::seed_from_u64(7);
-        let page: Vec<u8> = (0..1024).map(|_| rng.gen()).collect();
+        let mut rng = Xoshiro256pp::new(7);
+        let mut page = vec![0u8; 1024];
+        rng.fill_bytes(&mut page);
         let parity = codec.encode(&page).unwrap();
         let mut corrupted = page.clone();
         // 4 errors in sector 0, 3 in sector 1.
@@ -230,7 +233,10 @@ mod tests {
         let codec = PageCodec::new(1024, 512, 4);
         assert!(matches!(
             codec.encode(&[0u8; 100]),
-            Err(CodecError::GeometryMismatch { got: 100, want: 1024 })
+            Err(CodecError::GeometryMismatch {
+                got: 100,
+                want: 1024
+            })
         ));
         let mut page = vec![0u8; 1024];
         assert!(codec.decode(&mut page, &[0u8; 3]).is_err());
@@ -239,14 +245,15 @@ mod tests {
     #[test]
     fn random_fuzz_roundtrip() {
         let codec = PageCodec::new(2048, 512, 8);
-        let mut rng = StdRng::seed_from_u64(99);
+        let mut rng = Xoshiro256pp::new(99);
         for round in 0..10 {
-            let page: Vec<u8> = (0..2048).map(|_| rng.gen()).collect();
+            let mut page = vec![0u8; 2048];
+            rng.fill_bytes(&mut page);
             let parity = codec.encode(&page).unwrap();
             let mut corrupted = page.clone();
             // Up to 8 errors in one random sector.
             let sector = rng.gen_range(0..4usize);
-            let nerr = rng.gen_range(0..=8u32);
+            let nerr = rng.gen_range_incl(0..=8u32);
             let mut bits = std::collections::HashSet::new();
             while bits.len() < nerr as usize {
                 bits.insert(rng.gen_range(0..4096usize));

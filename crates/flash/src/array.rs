@@ -190,8 +190,7 @@ impl ArrayStore {
     fn check(&self, row: RowAddr) -> Result<(), FlashError> {
         // The LUN field is channel-level addressing; the store itself is
         // per-LUN, so only block/page bounds apply here.
-        if row.block < self.geometry.blocks_per_lun() && row.page < self.geometry.pages_per_block
-        {
+        if row.block < self.geometry.blocks_per_lun() && row.page < self.geometry.pages_per_block {
             Ok(())
         } else {
             Err(FlashError::AddressOutOfRange { row })
@@ -215,7 +214,11 @@ mod tests {
     use super::*;
 
     fn row(block: u32, page: u32) -> RowAddr {
-        RowAddr { lun: 0, block, page }
+        RowAddr {
+            lun: 0,
+            block,
+            page,
+        }
     }
 
     fn pristine() -> ArrayStore {

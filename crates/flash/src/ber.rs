@@ -145,7 +145,10 @@ mod tests {
     fn wear_increases_ber_monotonically() {
         let mut prev = 0.0;
         for pe in [0u64, 500, 1_000, 2_000, 3_000, 6_000] {
-            let b = raw_ber(BerContext { pe_cycles: pe, ..ctx() });
+            let b = raw_ber(BerContext {
+                pe_cycles: pe,
+                ..ctx()
+            });
             assert!(b > prev, "pe={pe}");
             prev = b;
         }
@@ -154,7 +157,12 @@ mod tests {
     #[test]
     fn best_retry_level_minimizes_ber() {
         let bers: Vec<f64> = (0..=MAX_RETRY_LEVEL)
-            .map(|lvl| raw_ber(BerContext { retry_level: lvl, ..ctx() }))
+            .map(|lvl| {
+                raw_ber(BerContext {
+                    retry_level: lvl,
+                    ..ctx()
+                })
+            })
             .collect();
         let min_idx = bers
             .iter()
@@ -170,14 +178,23 @@ mod tests {
     #[test]
     fn pslc_beats_native_tlc_dramatically() {
         let native = raw_ber(ctx());
-        let pslc = raw_ber(BerContext { pslc: true, ..ctx() });
+        let pslc = raw_ber(BerContext {
+            pslc: true,
+            ..ctx()
+        });
         assert!(pslc < native / 100.0);
     }
 
     #[test]
     fn retry_level_saturates() {
-        let at_max = raw_ber(BerContext { retry_level: MAX_RETRY_LEVEL, ..ctx() });
-        let beyond = raw_ber(BerContext { retry_level: 200, ..ctx() });
+        let at_max = raw_ber(BerContext {
+            retry_level: MAX_RETRY_LEVEL,
+            ..ctx()
+        });
+        let beyond = raw_ber(BerContext {
+            retry_level: 200,
+            ..ctx()
+        });
         assert_eq!(at_max, beyond);
     }
 }

@@ -128,8 +128,14 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let row = RowAddr { lun: 0, block: 1, page: 2 };
-        assert!(FlashError::AddressOutOfRange { row }.to_string().contains("L0/B1/P2"));
+        let row = RowAddr {
+            lun: 0,
+            block: 1,
+            page: 2,
+        };
+        assert!(FlashError::AddressOutOfRange { row }
+            .to_string()
+            .contains("L0/B1/P2"));
         assert!(LunError::NotInitialized.to_string().contains("calibration"));
         assert!(LunError::from(FlashError::ProgramOnProgrammed { row })
             .to_string()
@@ -139,7 +145,11 @@ mod tests {
     #[test]
     fn source_chains() {
         use std::error::Error;
-        let row = RowAddr { lun: 0, block: 0, page: 0 };
+        let row = RowAddr {
+            lun: 0,
+            block: 0,
+            page: 0,
+        };
         let e = LunError::Flash(FlashError::ProgramOnProgrammed { row });
         assert!(e.source().is_some());
         assert!(LunError::NotInitialized.source().is_none());

@@ -88,9 +88,7 @@ impl Geometry {
     /// Whether a row address is inside this geometry (LUN field checked
     /// against the per-package LUN count).
     pub fn contains(&self, row: RowAddr) -> bool {
-        row.lun < self.luns
-            && row.block < self.blocks_per_lun()
-            && row.page < self.pages_per_block
+        row.lun < self.luns && row.block < self.blocks_per_lun() && row.page < self.pages_per_block
     }
 
     /// Derives the ONFI address-cycle layout for this geometry. The `luns`
@@ -127,10 +125,26 @@ mod tests {
     #[test]
     fn bounds_checking() {
         let g = Geometry::tiny();
-        assert!(g.contains(RowAddr { lun: 0, block: 7, page: 7 }));
-        assert!(!g.contains(RowAddr { lun: 0, block: 8, page: 0 }));
-        assert!(!g.contains(RowAddr { lun: 0, block: 0, page: 8 }));
-        assert!(!g.contains(RowAddr { lun: 1, block: 0, page: 0 }));
+        assert!(g.contains(RowAddr {
+            lun: 0,
+            block: 7,
+            page: 7
+        }));
+        assert!(!g.contains(RowAddr {
+            lun: 0,
+            block: 8,
+            page: 0
+        }));
+        assert!(!g.contains(RowAddr {
+            lun: 0,
+            block: 0,
+            page: 8
+        }));
+        assert!(!g.contains(RowAddr {
+            lun: 1,
+            block: 0,
+            page: 0
+        }));
     }
 
     #[test]
@@ -156,7 +170,11 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for block in 0..g.blocks_per_lun() {
             for page in 0..g.pages_per_block {
-                assert!(seen.insert(g.page_index(RowAddr { lun: 0, block, page })));
+                assert!(seen.insert(g.page_index(RowAddr {
+                    lun: 0,
+                    block,
+                    page
+                })));
             }
         }
         assert_eq!(seen.len() as u64, g.pages_per_lun());

@@ -374,7 +374,12 @@ impl Lun {
         }
         let busy = self.busy.take().expect("just checked");
         match busy.effect {
-            Effect::LoadPage { rows, col, pslc, into_cache_next } => {
+            Effect::LoadPage {
+                rows,
+                col,
+                pslc,
+                into_cache_next,
+            } => {
                 for row in &rows {
                     let plane = self.array.geometry().plane_of(row.block) as usize;
                     let data = self.fetch_with_errors(*row, pslc);
@@ -404,15 +409,13 @@ impl Lun {
                     Err(_) => self.last_fail = true,
                 }
             }
-            Effect::CommitErase { row } => {
-                match self.array.erase_block(row) {
-                    Ok(()) => {
-                        self.last_fail = false;
-                        self.stats.erases += 1;
-                    }
-                    Err(_) => self.last_fail = true,
+            Effect::CommitErase { row } => match self.array.erase_block(row) {
+                Ok(()) => {
+                    self.last_fail = false;
+                    self.stats.erases += 1;
                 }
-            }
+                Err(_) => self.last_fail = true,
+            },
             Effect::FinishReset => {
                 self.initialized = true;
             }
@@ -494,7 +497,10 @@ impl Lun {
         if let Some(busy) = &self.busy {
             let legal = matches!(
                 opcode,
-                op::READ_STATUS | op::READ_STATUS_ENHANCED | op::RESET | op::SYNC_RESET
+                op::READ_STATUS
+                    | op::READ_STATUS_ENHANCED
+                    | op::RESET
+                    | op::SYNC_RESET
                     | op::PROGRAM_SUSPEND
                     | op::ERASE_SUSPEND
             ) || busy.kind.allows_data_out();
@@ -741,7 +747,10 @@ impl Lun {
             Decode::ReadAddr => {
                 let want = self.layout.full_cycles();
                 if bytes.len() != want {
-                    return Err(LunError::BadAddressLength { got: bytes.len(), want });
+                    return Err(LunError::BadAddressLength {
+                        got: bytes.len(),
+                        want,
+                    });
                 }
                 let col = self.layout.unpack_col(&bytes[..self.layout.col_cycles]).0;
                 let row = self.layout.unpack_row(&bytes[self.layout.col_cycles..]);
@@ -752,15 +761,24 @@ impl Lun {
                 if full {
                     let want = self.layout.full_cycles();
                     if bytes.len() != want {
-                        return Err(LunError::BadAddressLength { got: bytes.len(), want });
+                        return Err(LunError::BadAddressLength {
+                            got: bytes.len(),
+                            want,
+                        });
                     }
                     let col = self.layout.unpack_col(&bytes[..self.layout.col_cycles]).0;
                     let row = self.layout.unpack_row(&bytes[self.layout.col_cycles..]);
-                    self.decode = Decode::ChgRdColConfirm { row: Some(row), col };
+                    self.decode = Decode::ChgRdColConfirm {
+                        row: Some(row),
+                        col,
+                    };
                 } else {
                     let want = self.layout.col_cycles;
                     if bytes.len() != want {
-                        return Err(LunError::BadAddressLength { got: bytes.len(), want });
+                        return Err(LunError::BadAddressLength {
+                            got: bytes.len(),
+                            want,
+                        });
                     }
                     let col = self.layout.unpack_col(bytes).0;
                     self.decode = Decode::ChgRdColConfirm { row: None, col };
@@ -770,7 +788,10 @@ impl Lun {
             Decode::ProgAddr => {
                 let want = self.layout.full_cycles();
                 if bytes.len() != want {
-                    return Err(LunError::BadAddressLength { got: bytes.len(), want });
+                    return Err(LunError::BadAddressLength {
+                        got: bytes.len(),
+                        want,
+                    });
                 }
                 let col = self.layout.unpack_col(&bytes[..self.layout.col_cycles]).0;
                 let row = self.layout.unpack_row(&bytes[self.layout.col_cycles..]);
@@ -784,7 +805,10 @@ impl Lun {
             Decode::ChgWrColAddr { row } => {
                 let want = self.layout.col_cycles;
                 if bytes.len() != want {
-                    return Err(LunError::BadAddressLength { got: bytes.len(), want });
+                    return Err(LunError::BadAddressLength {
+                        got: bytes.len(),
+                        want,
+                    });
                 }
                 self.col = self.layout.unpack_col(bytes).0;
                 self.decode = Decode::ProgData { row };
@@ -793,7 +817,10 @@ impl Lun {
             Decode::EraseAddr => {
                 let want = self.layout.row_cycles;
                 if bytes.len() != want {
-                    return Err(LunError::BadAddressLength { got: bytes.len(), want });
+                    return Err(LunError::BadAddressLength {
+                        got: bytes.len(),
+                        want,
+                    });
                 }
                 let row = self.layout.unpack_row(bytes);
                 self.decode = Decode::EraseConfirm { row };
@@ -801,21 +828,30 @@ impl Lun {
             }
             Decode::FeatAddrSet => {
                 if bytes.len() != 1 {
-                    return Err(LunError::BadAddressLength { got: bytes.len(), want: 1 });
+                    return Err(LunError::BadAddressLength {
+                        got: bytes.len(),
+                        want: 1,
+                    });
                 }
                 self.decode = Decode::FeatData { feature: bytes[0] };
                 Ok(LunResponse::Accepted)
             }
             Decode::FeatAddrGet => {
                 if bytes.len() != 1 {
-                    return Err(LunError::BadAddressLength { got: bytes.len(), want: 1 });
+                    return Err(LunError::BadAddressLength {
+                        got: bytes.len(),
+                        want: 1,
+                    });
                 }
                 self.out = OutSource::Features(bytes[0]);
                 Ok(LunResponse::Accepted)
             }
             Decode::IdAddr => {
                 if bytes.len() != 1 {
-                    return Err(LunError::BadAddressLength { got: bytes.len(), want: 1 });
+                    return Err(LunError::BadAddressLength {
+                        got: bytes.len(),
+                        want: 1,
+                    });
                 }
                 self.out = OutSource::Id;
                 self.col = 0;
@@ -823,7 +859,10 @@ impl Lun {
             }
             Decode::ParamAddr => {
                 if bytes.len() != 1 {
-                    return Err(LunError::BadAddressLength { got: bytes.len(), want: 1 });
+                    return Err(LunError::BadAddressLength {
+                        got: bytes.len(),
+                        want: 1,
+                    });
                 }
                 let dur = self.jittered(self.cfg.profile.t_param);
                 self.begin_busy(now, dur, BusyKind::ParamPage, Effect::LoadParamPage);
@@ -850,7 +889,10 @@ impl Lun {
             }
             Decode::FeatData { feature } => {
                 if data.len() != 4 {
-                    return Err(LunError::BadAddressLength { got: data.len(), want: 4 });
+                    return Err(LunError::BadAddressLength {
+                        got: data.len(),
+                        want: 4,
+                    });
                 }
                 let value = [data[0], data[1], data[2], data[3]];
                 self.features.set(feature, value);
@@ -866,7 +908,9 @@ impl Lun {
     fn on_data_out(&mut self, now: SimTime, bytes: usize) -> Result<LunResponse, LunError> {
         if let Some(busy) = &self.busy {
             if !busy.kind.allows_data_out() && self.out != OutSource::Status {
-                return Err(LunError::BusyViolation { mnemonic: "DATA-OUT" });
+                return Err(LunError::BusyViolation {
+                    mnemonic: "DATA-OUT",
+                });
             }
         }
         let data = match self.out {
@@ -951,7 +995,9 @@ impl Lun {
         const NV_DDR2_MTS: [u32; 9] = [30, 40, 50, 66, 83, 100, 133, 166, 200];
         match value[1] {
             0 => {
-                self.iface = DataInterface::Sdr { mode: value[0].min(5) };
+                self.iface = DataInterface::Sdr {
+                    mode: value[0].min(5),
+                };
             }
             2 => {
                 let mode = (value[0] as usize).min(8);
@@ -969,11 +1015,15 @@ impl Lun {
         };
         let matches_kind = matches!(
             (&busy.kind, opcode),
-            (BusyKind::Program | BusyKind::CacheProgram, op::PROGRAM_SUSPEND)
-                | (BusyKind::Erase, op::ERASE_SUSPEND)
+            (
+                BusyKind::Program | BusyKind::CacheProgram,
+                op::PROGRAM_SUSPEND
+            ) | (BusyKind::Erase, op::ERASE_SUSPEND)
         );
         if !matches_kind {
-            return Err(LunError::BusyViolation { mnemonic: mnemonic(opcode) });
+            return Err(LunError::BusyViolation {
+                mnemonic: mnemonic(opcode),
+            });
         }
         let busy = self.busy.take().expect("just checked");
         let remaining = busy.until.saturating_since(now);
@@ -1071,16 +1121,21 @@ mod tests {
 
     impl Driver {
         fn new(cfg: LunConfig) -> Self {
-            Driver { lun: Lun::new(cfg), now: SimTime::ZERO }
+            Driver {
+                lun: Lun::new(cfg),
+                now: SimTime::ZERO,
+            }
         }
 
         fn tick(&mut self, d: SimDuration) {
-            self.now = self.now + d;
+            self.now += d;
         }
 
         fn cmd(&mut self, opcode: u8) -> LunResponse {
             self.tick(SimDuration::from_nanos(50));
-            self.lun.phase(self.now, &PhaseKind::CmdLatch(opcode)).unwrap()
+            self.lun
+                .phase(self.now, &PhaseKind::CmdLatch(opcode))
+                .unwrap()
         }
 
         fn try_cmd(&mut self, opcode: u8) -> Result<LunResponse, LunError> {
@@ -1090,7 +1145,9 @@ mod tests {
 
         fn addr(&mut self, bytes: Vec<u8>) -> LunResponse {
             self.tick(SimDuration::from_nanos(150));
-            self.lun.phase(self.now, &PhaseKind::AddrLatch(bytes)).unwrap()
+            self.lun
+                .phase(self.now, &PhaseKind::AddrLatch(bytes))
+                .unwrap()
         }
 
         fn din(&mut self, data: Vec<u8>) -> LunResponse {
@@ -1100,7 +1157,11 @@ mod tests {
 
         fn dout(&mut self, bytes: usize) -> Vec<u8> {
             self.tick(SimDuration::from_nanos(100));
-            match self.lun.phase(self.now, &PhaseKind::DataOut { bytes }).unwrap() {
+            match self
+                .lun
+                .phase(self.now, &PhaseKind::DataOut { bytes })
+                .unwrap()
+            {
                 LunResponse::Data(d) => d,
                 other => panic!("expected data, got {other:?}"),
             }
@@ -1151,7 +1212,11 @@ mod tests {
     }
 
     fn row(block: u32, page: u32) -> RowAddr {
-        RowAddr { lun: 0, block, page }
+        RowAddr {
+            lun: 0,
+            block,
+            page,
+        }
     }
 
     #[test]
@@ -1317,10 +1382,9 @@ mod tests {
         d.wait_ready();
         let buf = d.dout(256 * 3);
         for copy in 0..3 {
-            let page = babol_onfi::param_page::ParamPage::from_bytes(
-                &buf[copy * 256..(copy + 1) * 256],
-            )
-            .unwrap();
+            let page =
+                babol_onfi::param_page::ParamPage::from_bytes(&buf[copy * 256..(copy + 1) * 256])
+                    .unwrap();
             assert_eq!(page.page_size as usize, Geometry::tiny().page_size);
         }
     }
@@ -1452,7 +1516,7 @@ mod tests {
     #[test]
     fn clean_reads_without_injection() {
         let mut d = Driver::new(LunConfig::test_default());
-        d.program(row(0, 0), &vec![0u8; 128]);
+        d.program(row(0, 0), &[0u8; 128]);
         let got = d.read(row(0, 0), 128);
         assert!(got.iter().all(|&b| b == 0));
     }

@@ -198,8 +198,7 @@ mod tests {
     fn param_page_roundtrips() {
         let p = PackageProfile::hynix();
         let page = p.param_page();
-        let parsed =
-            babol_onfi::param_page::ParamPage::from_bytes(&page.to_bytes()).unwrap();
+        let parsed = babol_onfi::param_page::ParamPage::from_bytes(&page.to_bytes()).unwrap();
         assert_eq!(parsed.page_size, 16384);
         assert_eq!(parsed.manufacturer, "HYNIX");
         assert_eq!(parsed.max_mts, 200);

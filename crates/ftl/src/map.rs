@@ -78,7 +78,11 @@ impl PageMap {
                 free: (0..geometry.blocks_per_lun()).collect(),
                 active: None,
                 blocks: vec![
-                    BlockInfo { valid: 0, next_page: 0, state: BlockState::Free };
+                    BlockInfo {
+                        valid: 0,
+                        next_page: 0,
+                        state: BlockState::Free
+                    };
                     geometry.blocks_per_lun() as usize
                 ],
             })
@@ -193,12 +197,20 @@ impl PageMap {
             .min_by_key(|&b| a.blocks[b as usize].valid)?;
         let moves = (0..self.geometry.pages_per_block)
             .filter_map(|page| {
-                let ppn = Ppn { lun, block: victim, page };
+                let ppn = Ppn {
+                    lun,
+                    block: victim,
+                    page,
+                };
                 self.p2l.get(&ppn).map(|&lpn| (lpn, ppn))
             })
             .collect();
         Some(GcPlan {
-            victim: Ppn { lun, block: victim, page: 0 },
+            victim: Ppn {
+                lun,
+                block: victim,
+                page: 0,
+            },
             moves,
         })
     }
@@ -209,7 +221,11 @@ impl PageMap {
         let a = &mut self.alloc[victim.lun as usize];
         let info = &mut a.blocks[victim.block as usize];
         debug_assert_eq!(info.valid, 0, "GC finished with valid pages left");
-        *info = BlockInfo { valid: 0, next_page: 0, state: BlockState::Free };
+        *info = BlockInfo {
+            valid: 0,
+            next_page: 0,
+            state: BlockState::Free,
+        };
         a.free.push_back(victim.block);
     }
 

@@ -274,7 +274,11 @@ impl Ssd {
             dram_addr: 0,
         };
         self.run_internal(sys, controller, erase);
-        self.map.finish_gc(Ppn { lun, block: plan.victim.block, page: 0 });
+        self.map.finish_gc(Ppn {
+            lun,
+            block: plan.victim.block,
+            page: 0,
+        });
         self.gc_cycles += 1;
     }
 

@@ -178,12 +178,23 @@ mod tests {
     #[test]
     fn full_pack_concatenates_col_then_row() {
         let l = layout();
-        let bytes = l.pack_full(ColumnAddr(0x1234), RowAddr { lun: 1, block: 2, page: 3 });
+        let bytes = l.pack_full(
+            ColumnAddr(0x1234),
+            RowAddr {
+                lun: 1,
+                block: 2,
+                page: 3,
+            },
+        );
         assert_eq!(bytes.len(), 5);
         assert_eq!(l.unpack_col(&bytes[..2]), ColumnAddr(0x1234));
         assert_eq!(
             l.unpack_row(&bytes[2..]),
-            RowAddr { lun: 1, block: 2, page: 3 }
+            RowAddr {
+                lun: 1,
+                block: 2,
+                page: 3
+            }
         );
     }
 
@@ -191,14 +202,23 @@ mod tests {
     fn tiny_geometry_still_works() {
         let l = AddrLayout::new(2048, 64, 16, 1);
         assert_eq!(l.col_cycles, 2);
-        let r = RowAddr { lun: 0, block: 15, page: 63 };
+        let r = RowAddr {
+            lun: 0,
+            block: 15,
+            page: 63,
+        };
         assert_eq!(l.unpack_row(&l.pack_row(r)), r);
     }
 
     #[test]
     fn display_formats() {
         assert_eq!(
-            RowAddr { lun: 1, block: 2, page: 3 }.to_string(),
+            RowAddr {
+                lun: 1,
+                block: 2,
+                page: 3
+            }
+            .to_string(),
             "L1/B2/P3"
         );
         assert_eq!(ColumnAddr(9).to_string(), "C9");

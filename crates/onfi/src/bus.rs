@@ -211,7 +211,10 @@ mod tests {
 
     #[test]
     fn mask_display() {
-        assert_eq!((ChipMask::single(0) | ChipMask::single(5)).to_string(), "CE[0,5]");
+        assert_eq!(
+            (ChipMask::single(0) | ChipMask::single(5)).to_string(),
+            "CE[0,5]"
+        );
         assert_eq!(ChipMask::NONE.to_string(), "CE[]");
     }
 }

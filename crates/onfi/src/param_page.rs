@@ -221,7 +221,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = ParamPageError::BadCrc { stored: 1, computed: 2 };
+        let e = ParamPageError::BadCrc {
+            stored: 1,
+            computed: 2,
+        };
         assert!(e.to_string().contains("CRC mismatch"));
     }
 }

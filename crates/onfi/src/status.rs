@@ -205,10 +205,7 @@ mod tests {
         let s: Status = 0x61u8.into();
         assert_eq!(u8::from(s), 0x61);
         assert_eq!((s & Status::from_bits(0x40)).bits(), 0x40);
-        assert_eq!(
-            (Status::busy() | Status::from_bits(Status::RDY)).is_ready(),
-            true
-        );
+        assert!((Status::busy() | Status::from_bits(Status::RDY)).is_ready());
     }
 
     #[test]

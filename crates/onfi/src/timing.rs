@@ -73,9 +73,7 @@ impl DataInterface {
     /// Nominal transfer rate in MT/s (SDR modes expressed as 1/cycle).
     pub fn mts(self) -> u32 {
         match self {
-            DataInterface::Sdr { mode } => {
-                (1_000 / Self::SDR_CYCLE_NS[mode as usize % 6]) as u32
-            }
+            DataInterface::Sdr { mode } => (1_000 / Self::SDR_CYCLE_NS[mode as usize % 6]) as u32,
             DataInterface::NvDdr2 { mts } => mts,
         }
     }

@@ -80,59 +80,127 @@ pub fn expand(
     let mut edges = Vec::new();
     let mut t = SimDuration::ZERO;
     // Every fragment starts by asserting CE# for the selected chip.
-    edges.push(Edge { at: t, pin: Pin::CeN, level: false });
+    edges.push(Edge {
+        at: t,
+        pin: Pin::CeN,
+        level: false,
+    });
     t += timing.t_cs;
     match phase {
         PhaseKind::CmdLatch(op) => {
-            edges.push(Edge { at: t, pin: Pin::Cle, level: true });
+            edges.push(Edge {
+                at: t,
+                pin: Pin::Cle,
+                level: true,
+            });
             t += timing.t_cals;
             strobe_cycle(&mut edges, &mut t, iface.ca_cycle(), *op);
             t += timing.t_calh;
-            edges.push(Edge { at: t, pin: Pin::Cle, level: false });
+            edges.push(Edge {
+                at: t,
+                pin: Pin::Cle,
+                level: false,
+            });
         }
         PhaseKind::AddrLatch(bytes) => {
-            edges.push(Edge { at: t, pin: Pin::Ale, level: true });
+            edges.push(Edge {
+                at: t,
+                pin: Pin::Ale,
+                level: true,
+            });
             t += timing.t_cals;
             for &b in bytes {
                 strobe_cycle(&mut edges, &mut t, iface.ca_cycle(), b);
             }
             t += timing.t_calh;
-            edges.push(Edge { at: t, pin: Pin::Ale, level: false });
+            edges.push(Edge {
+                at: t,
+                pin: Pin::Ale,
+                level: false,
+            });
         }
         PhaseKind::DataIn(data) => {
-            edges.push(Edge { at: t, pin: Pin::Dqs, level: false });
+            edges.push(Edge {
+                at: t,
+                pin: Pin::Dqs,
+                level: false,
+            });
             t += timing.t_wpre;
             for &b in data.iter().take(max_data_cycles) {
-                edges.push(Edge { at: t, pin: Pin::Dq(b), level: true });
-                edges.push(Edge { at: t, pin: Pin::Dqs, level: true });
+                edges.push(Edge {
+                    at: t,
+                    pin: Pin::Dq(b),
+                    level: true,
+                });
+                edges.push(Edge {
+                    at: t,
+                    pin: Pin::Dqs,
+                    level: true,
+                });
                 t += iface.data_cycle();
-                edges.push(Edge { at: t, pin: Pin::Dqs, level: false });
+                edges.push(Edge {
+                    at: t,
+                    pin: Pin::Dqs,
+                    level: false,
+                });
             }
         }
         PhaseKind::DataOut { bytes } => {
-            edges.push(Edge { at: t, pin: Pin::ReN, level: false });
+            edges.push(Edge {
+                at: t,
+                pin: Pin::ReN,
+                level: false,
+            });
             t += timing.t_rpre;
             for _ in 0..(*bytes).min(max_data_cycles) {
-                edges.push(Edge { at: t, pin: Pin::Dqs, level: true });
+                edges.push(Edge {
+                    at: t,
+                    pin: Pin::Dqs,
+                    level: true,
+                });
                 t += iface.data_cycle();
-                edges.push(Edge { at: t, pin: Pin::Dqs, level: false });
+                edges.push(Edge {
+                    at: t,
+                    pin: Pin::Dqs,
+                    level: false,
+                });
             }
-            edges.push(Edge { at: t, pin: Pin::ReN, level: true });
+            edges.push(Edge {
+                at: t,
+                pin: Pin::ReN,
+                level: true,
+            });
         }
         PhaseKind::Pause => {}
     }
     t += timing.t_ch;
-    edges.push(Edge { at: t, pin: Pin::CeN, level: true });
+    edges.push(Edge {
+        at: t,
+        pin: Pin::CeN,
+        level: true,
+    });
     edges
 }
 
 /// Emits one WE#-strobed latch cycle carrying `value` on DQ.
 fn strobe_cycle(edges: &mut Vec<Edge>, t: &mut SimDuration, cycle: SimDuration, value: u8) {
-    edges.push(Edge { at: *t, pin: Pin::Dq(value), level: true });
-    edges.push(Edge { at: *t, pin: Pin::WeN, level: false });
+    edges.push(Edge {
+        at: *t,
+        pin: Pin::Dq(value),
+        level: true,
+    });
+    edges.push(Edge {
+        at: *t,
+        pin: Pin::WeN,
+        level: false,
+    });
     *t += cycle / 2;
     // Rising WE# edge latches the value.
-    edges.push(Edge { at: *t, pin: Pin::WeN, level: true });
+    edges.push(Edge {
+        at: *t,
+        pin: Pin::WeN,
+        level: true,
+    });
     *t += cycle / 2;
 }
 
@@ -155,9 +223,18 @@ mod tests {
         assert_eq!(edges.last().unwrap().pin, Pin::CeN);
         assert!(edges.last().unwrap().level);
         // CLE brackets the WE# strobe.
-        let cle_up = edges.iter().position(|e| e.pin == Pin::Cle && e.level).unwrap();
-        let we_down = edges.iter().position(|e| e.pin == Pin::WeN && !e.level).unwrap();
-        let cle_down = edges.iter().position(|e| e.pin == Pin::Cle && !e.level).unwrap();
+        let cle_up = edges
+            .iter()
+            .position(|e| e.pin == Pin::Cle && e.level)
+            .unwrap();
+        let we_down = edges
+            .iter()
+            .position(|e| e.pin == Pin::WeN && !e.level)
+            .unwrap();
+        let cle_down = edges
+            .iter()
+            .position(|e| e.pin == Pin::Cle && !e.level)
+            .unwrap();
         assert!(cle_up < we_down && we_down < cle_down);
         // The opcode byte rides DQ.
         assert!(edges.iter().any(|e| e.pin == Pin::Dq(op::READ_1)));
@@ -167,7 +244,10 @@ mod tests {
     fn addr_latch_strobes_once_per_byte() {
         let t = TimingParams::nv_ddr2();
         let edges = expand(&PhaseKind::AddrLatch(vec![1, 2, 3, 4, 5]), iface(), &t, 64);
-        let we_rises = edges.iter().filter(|e| e.pin == Pin::WeN && e.level).count();
+        let we_rises = edges
+            .iter()
+            .filter(|e| e.pin == Pin::WeN && e.level)
+            .count();
         assert_eq!(we_rises, 5);
         // ALE high during the strobes, and each address byte appears.
         for b in 1..=5u8 {
@@ -179,7 +259,10 @@ mod tests {
     fn data_out_truncates_to_cap() {
         let t = TimingParams::nv_ddr2();
         let edges = expand(&PhaseKind::DataOut { bytes: 16384 }, iface(), &t, 8);
-        let dqs_rises = edges.iter().filter(|e| e.pin == Pin::Dqs && e.level).count();
+        let dqs_rises = edges
+            .iter()
+            .filter(|e| e.pin == Pin::Dqs && e.level)
+            .count();
         assert_eq!(dqs_rises, 8);
     }
 

@@ -409,18 +409,21 @@ mod tests {
         let t = SimTime::ZERO + SimDuration::from_micros(5);
         assert_eq!(t.as_picos(), 5_000_000);
         assert_eq!(t - SimTime::ZERO, SimDuration::from_micros(5));
-        assert_eq!(t - SimDuration::from_micros(2), SimTime::from_picos(3_000_000));
         assert_eq!(
-            SimTime::ZERO.saturating_since(t),
-            SimDuration::ZERO
+            t - SimDuration::from_micros(2),
+            SimTime::from_picos(3_000_000)
         );
+        assert_eq!(SimTime::ZERO.saturating_since(t), SimDuration::ZERO);
     }
 
     #[test]
     fn freq_period_exact_for_round_clocks() {
         assert_eq!(Freq::from_ghz(1).period(), SimDuration::from_picos(1_000));
         assert_eq!(Freq::from_mhz(200).period(), SimDuration::from_picos(5_000));
-        assert_eq!(Freq::from_mhz(100).period(), SimDuration::from_picos(10_000));
+        assert_eq!(
+            Freq::from_mhz(100).period(),
+            SimDuration::from_picos(10_000)
+        );
     }
 
     #[test]

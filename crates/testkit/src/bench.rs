@@ -1,0 +1,320 @@
+//! A lightweight benchmark runner.
+//!
+//! Replaces `criterion` for this workspace: each benchmark is warmed up,
+//! then timed for a fixed number of iterations; the runner reports median,
+//! p95, mean, and sample standard deviation, and serializes everything to
+//! the `results/BENCH_*.json` trajectory convention so successive runs of
+//! the paper benches can be diffed over time.
+//!
+//! Iteration counts are environment-tunable (`BABOL_BENCH_WARMUP`,
+//! `BABOL_BENCH_ITERS`) so CI can smoke the bench binaries cheaply while
+//! local runs measure properly.
+//!
+//! ```
+//! use babol_testkit::bench::{black_box, Bench, BenchConfig};
+//!
+//! let mut b = Bench::with_config(BenchConfig { warmup_iters: 1, timed_iters: 8 });
+//! b.bench("sum_1k", || black_box((0..1000u64).sum::<u64>()));
+//! assert_eq!(b.results().len(), 1);
+//! assert!(b.to_json().contains("\"name\": \"sum_1k\""));
+//! ```
+
+pub use core::hint::black_box;
+
+use std::io::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+/// Iteration counts for a [`Bench`] run.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Untimed warmup iterations per benchmark.
+    pub warmup_iters: u32,
+    /// Timed iterations per benchmark.
+    pub timed_iters: u32,
+}
+
+impl BenchConfig {
+    /// Reads `BABOL_BENCH_WARMUP` / `BABOL_BENCH_ITERS`, defaulting to
+    /// 5 warmup and 30 timed iterations.
+    pub fn from_env() -> BenchConfig {
+        let get = |key: &str, default: u32| {
+            std::env::var(key)
+                .ok()
+                .and_then(|s| s.trim().parse().ok())
+                .unwrap_or(default)
+        };
+        BenchConfig {
+            warmup_iters: get("BABOL_BENCH_WARMUP", 5),
+            timed_iters: get("BABOL_BENCH_ITERS", 30).max(1),
+        }
+    }
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig::from_env()
+    }
+}
+
+/// Summary statistics for one benchmark, all in nanoseconds per iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Benchmark name (use `group/name` to mirror criterion groups).
+    pub name: String,
+    /// Number of timed iterations.
+    pub iters: u32,
+    /// Fastest iteration.
+    pub min_ns: f64,
+    /// Median iteration.
+    pub median_ns: f64,
+    /// 95th-percentile iteration.
+    pub p95_ns: f64,
+    /// Slowest iteration.
+    pub max_ns: f64,
+    /// Mean iteration.
+    pub mean_ns: f64,
+    /// Sample standard deviation (0 for a single iteration).
+    pub stddev_ns: f64,
+}
+
+impl BenchResult {
+    /// Computes the summary from raw per-iteration samples (nanoseconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn from_samples(name: impl Into<String>, mut samples: Vec<f64>) -> BenchResult {
+        assert!(!samples.is_empty(), "no samples");
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let stddev = if n > 1 {
+            (samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1) as f64).sqrt()
+        } else {
+            0.0
+        };
+        let median = if n % 2 == 1 {
+            samples[n / 2]
+        } else {
+            (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+        };
+        let p95 = samples[((n as f64 * 0.95).ceil() as usize).clamp(1, n) - 1];
+        BenchResult {
+            name: name.into(),
+            iters: n as u32,
+            min_ns: samples[0],
+            median_ns: median,
+            p95_ns: p95,
+            max_ns: samples[n - 1],
+            mean_ns: mean,
+            stddev_ns: stddev,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"name\": {}, \"iters\": {}, \"min_ns\": {:.1}, \"median_ns\": {:.1}, \
+             \"p95_ns\": {:.1}, \"max_ns\": {:.1}, \"mean_ns\": {:.1}, \"stddev_ns\": {:.1}}}",
+            json_string(&self.name),
+            self.iters,
+            self.min_ns,
+            self.median_ns,
+            self.p95_ns,
+            self.max_ns,
+            self.mean_ns,
+            self.stddev_ns,
+        )
+    }
+}
+
+/// The benchmark runner: collects [`BenchResult`]s and serializes them.
+#[derive(Debug, Default)]
+pub struct Bench {
+    cfg: BenchConfig,
+    results: Vec<BenchResult>,
+    quiet: bool,
+}
+
+impl Bench {
+    /// Creates a runner configured from the environment.
+    pub fn new() -> Bench {
+        Bench::with_config(BenchConfig::from_env())
+    }
+
+    /// Creates a runner with an explicit configuration.
+    pub fn with_config(cfg: BenchConfig) -> Bench {
+        Bench {
+            cfg,
+            results: Vec::new(),
+            quiet: false,
+        }
+    }
+
+    /// Suppresses the per-benchmark progress lines.
+    pub fn quiet(mut self) -> Bench {
+        self.quiet = true;
+        self
+    }
+
+    /// Runs one benchmark: warmup, timed iterations, summary.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> &BenchResult {
+        for _ in 0..self.cfg.warmup_iters {
+            black_box(f());
+        }
+        let mut samples = Vec::with_capacity(self.cfg.timed_iters as usize);
+        for _ in 0..self.cfg.timed_iters {
+            let t0 = Instant::now();
+            black_box(f());
+            samples.push(t0.elapsed().as_nanos() as f64);
+        }
+        let result = BenchResult::from_samples(name, samples);
+        if !self.quiet {
+            println!(
+                "{:<40} median {:>12} p95 {:>12} stddev {:>12}",
+                result.name,
+                fmt_ns(result.median_ns),
+                fmt_ns(result.p95_ns),
+                fmt_ns(result.stddev_ns),
+            );
+        }
+        self.results.push(result);
+        self.results.last().expect("just pushed")
+    }
+
+    /// All results collected so far, in run order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Serializes the run to the `BENCH_*.json` schema.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str("  \"schema\": \"babol-bench-v1\",\n");
+        s.push_str(&format!("  \"warmup_iters\": {},\n", self.cfg.warmup_iters));
+        s.push_str(&format!("  \"timed_iters\": {},\n", self.cfg.timed_iters));
+        s.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let sep = if i + 1 < self.results.len() { "," } else { "" };
+            s.push_str(&format!("    {}{sep}\n", r.to_json()));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Writes [`Bench::to_json`] to `path`, creating parent directories.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(self.to_json().as_bytes())
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_from_known_samples() {
+        let r = BenchResult::from_samples("t", vec![4.0, 1.0, 3.0, 2.0, 5.0]);
+        assert_eq!(r.iters, 5);
+        assert_eq!(r.min_ns, 1.0);
+        assert_eq!(r.max_ns, 5.0);
+        assert_eq!(r.median_ns, 3.0);
+        assert_eq!(r.p95_ns, 5.0);
+        assert_eq!(r.mean_ns, 3.0);
+        let expected_sd = (10.0f64 / 4.0).sqrt();
+        assert!((r.stddev_ns - expected_sd).abs() < 1e-12);
+    }
+
+    #[test]
+    fn even_count_median_averages() {
+        let r = BenchResult::from_samples("t", vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(r.median_ns, 2.5);
+    }
+
+    #[test]
+    fn single_sample_has_zero_stddev() {
+        let r = BenchResult::from_samples("t", vec![7.0]);
+        assert_eq!(r.stddev_ns, 0.0);
+        assert_eq!(r.median_ns, 7.0);
+        assert_eq!(r.p95_ns, 7.0);
+    }
+
+    #[test]
+    fn runner_collects_and_serializes() {
+        let mut b = Bench::with_config(BenchConfig {
+            warmup_iters: 0,
+            timed_iters: 3,
+        })
+        .quiet();
+        b.bench("group/alpha", || black_box(2u64 + 2));
+        b.bench("beta", || black_box(vec![0u8; 64]));
+        assert_eq!(b.results().len(), 2);
+        let json = b.to_json();
+        assert!(json.contains("\"schema\": \"babol-bench-v1\""));
+        assert!(json.contains("\"name\": \"group/alpha\""));
+        assert!(json.contains("\"median_ns\""));
+        // Identical results serialize identically: the JSON layer itself
+        // introduces no nondeterminism.
+        assert_eq!(json, b.to_json());
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn write_json_creates_parents() {
+        let dir = std::env::temp_dir().join("babol-testkit-bench-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("sub").join("BENCH_test.json");
+        let mut b = Bench::with_config(BenchConfig {
+            warmup_iters: 0,
+            timed_iters: 1,
+        })
+        .quiet();
+        b.bench("x", || black_box(1));
+        b.write_json(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"name\": \"x\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

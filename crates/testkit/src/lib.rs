@@ -1,0 +1,31 @@
+//! Hermetic test kit for the BABOL workspace.
+//!
+//! The whole reproduction is a discrete-event simulation whose results must
+//! be bit-reproducible across runs, so the test tooling is deterministic and
+//! dependency-free by construction. This crate replaces the three registry
+//! dependencies the workspace used to declare:
+//!
+//! * [`rng`] — seedable PRNGs ([`rng::SplitMix64`] re-exported from
+//!   `babol-sim`, plus [`rng::Xoshiro256pp`] for long streams) behind one
+//!   [`rng::Rng`] trait with `fill_bytes`, `gen_range`, `shuffle`, and
+//!   Bernoulli/geometric helpers. Replaces `rand`.
+//! * [`prop`] — a property-testing harness with composable generators,
+//!   deterministic seeding from `BABOL_PT_SEED`, and integer/vector
+//!   shrinking. Replaces `proptest`.
+//! * [`bench`] — a benchmark runner (warmup + timed iterations,
+//!   median/p95/stddev, JSON output for the `results/BENCH_*.json`
+//!   trajectory convention). Replaces `criterion`.
+//!
+//! # Replaying a property failure
+//!
+//! When a property fails, the harness shrinks the counterexample and prints
+//! the seed of the failing case. Re-running with that seed replays the
+//! failure as case 0:
+//!
+//! ```sh
+//! BABOL_PT_SEED=0x1db710b162b8dd5a cargo test -q failing_property
+//! ```
+
+pub mod bench;
+pub mod prop;
+pub mod rng;

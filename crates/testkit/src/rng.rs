@@ -1,0 +1,433 @@
+//! Deterministic pseudo-random generators for tests and workloads.
+//!
+//! [`SplitMix64`] (re-exported from `babol-sim`) stays the kernel's jitter
+//! source; [`Xoshiro256pp`] (xoshiro256++) adds a 256-bit state generator
+//! for long streams — property-test case generation, large preloads — with
+//! `jump()`/`long_jump()` for carving one seed into independent substreams.
+//! Both implement the [`Rng`] trait, which carries the derived helpers the
+//! workspace previously pulled from the `rand` crate.
+
+pub use babol_sim::rng::SplitMix64;
+
+/// A seedable generator plus the derived sampling helpers.
+///
+/// Only [`Rng::next_u64`] is required; everything else is defined in terms
+/// of it, so any 64-bit generator plugs in.
+pub trait Rng {
+    /// Returns the next 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32-bit value (upper half of [`Rng::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Returns a value uniformly distributed in `[0, bound)` using
+    /// multiply-shift bounded generation (Lemire).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be nonzero");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
+    /// Returns a value uniformly distributed in the half-open `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: UniformInt>(&mut self, range: core::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        assert!(range.start < range.end, "empty range");
+        T::sample_incl(self, range.start, range.end.prev())
+    }
+
+    /// Returns a value uniformly distributed in the closed `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range_incl<T: UniformInt>(&mut self, range: core::ops::RangeInclusive<T>) -> T
+    where
+        Self: Sized,
+    {
+        let (lo, hi) = (*range.start(), *range.end());
+        assert!(lo <= hi, "empty range");
+        T::sample_incl(self, lo, hi)
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial: `true` with probability `p` (clamped to `[0, 1]`).
+    fn bernoulli(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Geometric sample: the number of Bernoulli(`p`) failures before the
+    /// first success. Inverse-CDF sampling, so one draw per sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p <= 1`.
+    fn geometric(&mut self, p: f64) -> u64 {
+        assert!(p > 0.0 && p <= 1.0, "p must be in (0, 1]");
+        if p >= 1.0 {
+            return 0;
+        }
+        let u = self.next_f64();
+        let k = ((1.0 - u).ln() / (1.0 - p).ln()).floor();
+        if k.is_finite() && k >= 0.0 {
+            k as u64
+        } else {
+            0
+        }
+    }
+
+    /// Fisher–Yates shuffle of `xs` in place.
+    fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// Returns a uniformly chosen element of `xs`, or `None` if empty.
+    fn choose<'a, T>(&mut self, xs: &'a [T]) -> Option<&'a T> {
+        if xs.is_empty() {
+            None
+        } else {
+            Some(&xs[self.next_below(xs.len() as u64) as usize])
+        }
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        SplitMix64::next_u64(self)
+    }
+}
+
+/// xoshiro256++ — Blackman & Vigna's all-purpose 256-bit generator.
+///
+/// Period 2^256 − 1; passes BigCrush. Used for long streams where the
+/// 64-bit state of [`SplitMix64`] is uncomfortably small (property-test
+/// case generation, multi-gigabyte preload patterns).
+///
+/// # Examples
+///
+/// ```
+/// use babol_testkit::rng::{Rng, Xoshiro256pp};
+///
+/// let mut a = Xoshiro256pp::new(42);
+/// let mut b = Xoshiro256pp::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // deterministic per seed
+///
+/// let mut bytes = [0u8; 12];
+/// a.fill_bytes(&mut bytes);
+/// let d6 = a.gen_range(1u32..7);
+/// assert!((1..7).contains(&d6));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Creates a generator from a 64-bit seed, expanding it through a
+    /// `SplitMix64` stream as the xoshiro authors recommend.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Self::from_state([sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()])
+    }
+
+    /// Creates a generator from raw state, nudging the forbidden all-zero
+    /// state to a fixed nonzero one.
+    pub fn from_state(mut s: [u64; 4]) -> Self {
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Xoshiro256pp { s }
+    }
+
+    fn apply_poly(&mut self, poly: [u64; 4]) {
+        let mut acc = [0u64; 4];
+        for word in poly {
+            for bit in 0..64 {
+                if (word >> bit) & 1 == 1 {
+                    for (a, s) in acc.iter_mut().zip(self.s) {
+                        *a ^= s;
+                    }
+                }
+                self.next_u64();
+            }
+        }
+        self.s = acc;
+    }
+
+    /// Advances the state by 2^128 steps: 2^128 non-overlapping substreams.
+    pub fn jump(&mut self) {
+        self.apply_poly([
+            0x180E_C6D3_3CFD_0ABA,
+            0xD5A6_1266_F0C9_392C,
+            0xA958_2618_E03F_C9AA,
+            0x39AB_DC45_29B1_661C,
+        ]);
+    }
+
+    /// Advances the state by 2^192 steps: 2^64 blocks of 2^128 substreams.
+    pub fn long_jump(&mut self) {
+        self.apply_poly([
+            0x76E1_5D3E_FEFD_CBBF,
+            0xC500_4E44_1C52_2FB3,
+            0x7771_0069_854E_E241,
+            0x3910_9BB0_2ACB_E635,
+        ]);
+    }
+}
+
+impl Rng for Xoshiro256pp {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Integer types the kit can sample uniformly and shrink.
+///
+/// Implemented for every primitive integer type; `sample_incl` draws from a
+/// closed interval without modulo bias, and `shrink_candidates` proposes
+/// values closer to `lo` for the property harness.
+pub trait UniformInt: Copy + PartialOrd + core::fmt::Debug {
+    /// The type's minimum value.
+    const MIN: Self;
+    /// The type's maximum value.
+    const MAX: Self;
+
+    /// Draws uniformly from `[lo, hi]`. Callers guarantee `lo <= hi`.
+    fn sample_incl<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+
+    /// The predecessor value (`self - 1`). Callers guarantee it exists.
+    fn prev(self) -> Self;
+
+    /// Candidate replacements for `v` strictly closer to `lo`, nearest-first
+    /// last so greedy shrinking makes big jumps before small ones.
+    fn shrink_candidates(lo: Self, v: Self) -> Vec<Self>;
+}
+
+macro_rules! impl_uniform_int {
+    ($($ty:ty),+) => {$(
+        impl UniformInt for $ty {
+            const MIN: Self = <$ty>::MIN;
+            const MAX: Self = <$ty>::MAX;
+
+            fn sample_incl<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                debug_assert!(lo <= hi);
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Only the full 64-bit domains get here.
+                    return rng.next_u64() as Self;
+                }
+                ((lo as i128) + rng.next_below(span as u64) as i128) as Self
+            }
+
+            fn prev(self) -> Self {
+                self - 1
+            }
+
+            fn shrink_candidates(lo: Self, v: Self) -> Vec<Self> {
+                if v <= lo {
+                    return Vec::new();
+                }
+                let dist = (v as i128).wrapping_sub(lo as i128) as u128;
+                let mut out = Vec::new();
+                for d in [0u128, dist / 2, dist - 1] {
+                    if d < dist {
+                        let cand = ((lo as i128) + d as i128) as Self;
+                        if !out.contains(&cand) {
+                            out.push(cand);
+                        }
+                    }
+                }
+                out
+            }
+        }
+    )+};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xoshiro_deterministic_and_seeds_diverge() {
+        let mut a = Xoshiro256pp::new(7);
+        let mut b = Xoshiro256pp::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Xoshiro256pp::new(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // First outputs of xoshiro256++ from the canonical state [1, 2, 3, 4]
+        // (computed from the reference C implementation's update rule).
+        let mut r = Xoshiro256pp::from_state([1, 2, 3, 4]);
+        let first = r.next_u64();
+        // result = rotl(s[0] + s[3], 23) + s[0] = rotl(5, 23) + 1
+        assert_eq!(first, (5u64 << 23) + 1);
+    }
+
+    #[test]
+    fn zero_state_is_repaired() {
+        let mut r = Xoshiro256pp::from_state([0; 4]);
+        // Must not get stuck emitting zeros forever.
+        assert!((0..4).map(|_| r.next_u64()).any(|v| v != 0));
+    }
+
+    #[test]
+    fn jump_changes_stream() {
+        let mut a = Xoshiro256pp::new(1);
+        let mut b = a.clone();
+        b.jump();
+        let head_a: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let head_b: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(head_a, head_b);
+        let mut c = Xoshiro256pp::new(1);
+        c.long_jump();
+        assert_ne!(head_b, (0..8).map(|_| c.next_u64()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = Xoshiro256pp::new(3);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+        // Same seed, same bytes.
+        let mut r2 = Xoshiro256pp::new(3);
+        let mut buf2 = [0u8; 13];
+        r2.fill_bytes(&mut buf2);
+        assert_eq!(buf, buf2);
+    }
+
+    #[test]
+    fn gen_range_bounds_and_uniformity() {
+        let mut r = Xoshiro256pp::new(11);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            let v = r.gen_range(8u32..12);
+            assert!((8..12).contains(&v));
+            counts[(v - 8) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "counts {counts:?}");
+        }
+        for _ in 0..1_000 {
+            let v = r.gen_range_incl(-5i32..=5);
+            assert!((-5..=5).contains(&v));
+        }
+        // Full-domain draws must not panic or bias to a constant.
+        let a = r.gen_range_incl(u64::MIN..=u64::MAX);
+        let b = r.gen_range_incl(u64::MIN..=u64::MAX);
+        assert!(a != b || r.gen_range_incl(u64::MIN..=u64::MAX) != a);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Xoshiro256pp::new(5);
+        let mut xs: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(
+            xs,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle left input sorted"
+        );
+    }
+
+    #[test]
+    fn bernoulli_extremes_and_rate() {
+        let mut r = Xoshiro256pp::new(9);
+        assert!(!r.bernoulli(0.0));
+        assert!(r.bernoulli(1.0));
+        let hits = (0..100_000).filter(|_| r.bernoulli(0.25)).count();
+        assert!((23_000..27_000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn geometric_mean_matches_theory() {
+        let mut r = Xoshiro256pp::new(13);
+        let p = 0.2;
+        let n = 50_000u64;
+        let total: u64 = (0..n).map(|_| r.geometric(p)).sum();
+        let mean = total as f64 / n as f64;
+        // E[failures before first success] = (1-p)/p = 4.
+        assert!((3.6..4.4).contains(&mean), "mean {mean}");
+        assert_eq!(r.geometric(1.0), 0);
+    }
+
+    #[test]
+    fn choose_picks_members() {
+        let mut r = Xoshiro256pp::new(21);
+        let xs = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(xs.contains(r.choose(&xs).unwrap()));
+        }
+        assert_eq!(r.choose::<u8>(&[]), None);
+    }
+
+    #[test]
+    fn splitmix_implements_rng() {
+        let mut r = SplitMix64::new(4);
+        let mut buf = [0u8; 7];
+        Rng::fill_bytes(&mut r, &mut buf);
+        let v = r.gen_range(0u8..4);
+        assert!(v < 4);
+    }
+
+    #[test]
+    fn shrink_candidates_move_toward_lo() {
+        assert_eq!(
+            <u32 as UniformInt>::shrink_candidates(0, 0),
+            Vec::<u32>::new()
+        );
+        let cands = <u32 as UniformInt>::shrink_candidates(10, 100);
+        assert!(cands.contains(&10));
+        assert!(cands.contains(&55));
+        assert!(cands.contains(&99));
+        assert!(cands.iter().all(|&c| (10..100).contains(&c)));
+        let neg = <i32 as UniformInt>::shrink_candidates(-8, -5);
+        assert!(neg.iter().all(|&c| (-8..-5).contains(&c)));
+    }
+}

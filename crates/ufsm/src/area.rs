@@ -192,10 +192,22 @@ pub fn sync_hw_controller() -> ControllerArea {
                 comparator_bits: 32,
                 logic_lut: 0,
                 fifos: vec![
-                    Fifo { width: 64, depth: 2048 }, // 16 KiB staging x2 dirs
-                    Fifo { width: 64, depth: 2048 },
-                    Fifo { width: 64, depth: 1536 }, // parity staging
-                    Fifo { width: 32, depth: 512 },  // request queue
+                    Fifo {
+                        width: 64,
+                        depth: 2048,
+                    }, // 16 KiB staging x2 dirs
+                    Fifo {
+                        width: 64,
+                        depth: 2048,
+                    },
+                    Fifo {
+                        width: 64,
+                        depth: 1536,
+                    }, // parity staging
+                    Fifo {
+                        width: 32,
+                        depth: 512,
+                    }, // request queue
                 ],
                 replicas: 1,
             },
@@ -238,9 +250,18 @@ pub fn async_hw_controller() -> ControllerArea {
                 comparator_bits: 32,
                 logic_lut: 0,
                 fifos: vec![
-                    Fifo { width: 64, depth: 512 },  // request ring
-                    Fifo { width: 32, depth: 512 },  // completion ring
-                    Fifo { width: 16, depth: 512 },  // parameter shadow
+                    Fifo {
+                        width: 64,
+                        depth: 512,
+                    }, // request ring
+                    Fifo {
+                        width: 32,
+                        depth: 512,
+                    }, // completion ring
+                    Fifo {
+                        width: 16,
+                        depth: 512,
+                    }, // parameter shadow
                 ],
                 replicas: 1,
             },
@@ -252,8 +273,14 @@ pub fn async_hw_controller() -> ControllerArea {
                 comparator_bits: 32,
                 logic_lut: 0,
                 fifos: vec![
-                    Fifo { width: 64, depth: 2048 },
-                    Fifo { width: 64, depth: 1024 },
+                    Fifo {
+                        width: 64,
+                        depth: 2048,
+                    },
+                    Fifo {
+                        width: 64,
+                        depth: 1024,
+                    },
                 ],
                 replicas: 1,
             },
@@ -327,8 +354,14 @@ pub fn babol_controller() -> ControllerArea {
                 comparator_bits: 16,
                 logic_lut: 260,
                 fifos: vec![
-                    Fifo { width: 96, depth: 256 },  // instruction queue
-                    Fifo { width: 32, depth: 256 },  // completion queue
+                    Fifo {
+                        width: 96,
+                        depth: 256,
+                    }, // instruction queue
+                    Fifo {
+                        width: 32,
+                        depth: 256,
+                    }, // completion queue
                 ],
                 replicas: 1,
             },
@@ -340,9 +373,18 @@ pub fn babol_controller() -> ControllerArea {
                 comparator_bits: 32,
                 logic_lut: 590,
                 fifos: vec![
-                    Fifo { width: 64, depth: 1024 },
-                    Fifo { width: 64, depth: 1024 },
-                    Fifo { width: 16, depth: 512 },  // calibration samples
+                    Fifo {
+                        width: 64,
+                        depth: 1024,
+                    },
+                    Fifo {
+                        width: 64,
+                        depth: 1024,
+                    },
+                    Fifo {
+                        width: 16,
+                        depth: 512,
+                    }, // calibration samples
                 ],
                 replicas: 1,
             },
@@ -363,9 +405,21 @@ pub fn babol_controller() -> ControllerArea {
 /// Paper-reported Table III numbers, for comparison in reports and tests.
 pub fn paper_table3(name: &str) -> Option<Resources> {
     match name {
-        "Synchronous HW-based [50]" => Some(Resources { lut: 9343, ff: 13021, bram: 11.5 }),
-        "Asynchronous HW-based [25]" => Some(Resources { lut: 3909, ff: 3745, bram: 8.0 }),
-        "BABOL" => Some(Resources { lut: 3539, ff: 3635, bram: 6.0 }),
+        "Synchronous HW-based [50]" => Some(Resources {
+            lut: 9343,
+            ff: 13021,
+            bram: 11.5,
+        }),
+        "Asynchronous HW-based [25]" => Some(Resources {
+            lut: 3909,
+            ff: 3745,
+            bram: 8.0,
+        }),
+        "BABOL" => Some(Resources {
+            lut: 3539,
+            ff: 3635,
+            bram: 6.0,
+        }),
         _ => None,
     }
 }
@@ -390,7 +444,11 @@ mod tests {
 
     #[test]
     fn totals_land_near_paper_values() {
-        for ctrl in [sync_hw_controller(), async_hw_controller(), babol_controller()] {
+        for ctrl in [
+            sync_hw_controller(),
+            async_hw_controller(),
+            babol_controller(),
+        ] {
             let model = ctrl.total();
             let paper = paper_table3(ctrl.name).unwrap();
             assert!(
@@ -426,7 +484,10 @@ mod tests {
             counter_bits: 0,
             comparator_bits: 0,
             logic_lut: 0,
-            fifos: vec![Fifo { width: 8, depth: 16 }],
+            fifos: vec![Fifo {
+                width: 8,
+                depth: 16,
+            }],
             replicas: 1,
         };
         assert_eq!(estimate(&spec).bram, 0.0);
@@ -454,8 +515,16 @@ mod tests {
 
     #[test]
     fn resources_add() {
-        let a = Resources { lut: 1, ff: 2, bram: 0.5 };
-        let b = Resources { lut: 10, ff: 20, bram: 1.0 };
+        let a = Resources {
+            lut: 1,
+            ff: 2,
+            bram: 0.5,
+        };
+        let b = Resources {
+            lut: 10,
+            ff: 20,
+            bram: 1.0,
+        };
         let c = a + b;
         assert_eq!((c.lut, c.ff), (11, 22));
         assert!((c.bram - 1.5).abs() < f64::EPSILON);

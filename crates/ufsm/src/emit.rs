@@ -152,10 +152,7 @@ pub fn execute(
                     // Inline reads (status bytes, IDs) land in a controller
                     // register, not DRAM: no DMA descriptor gap.
                     if matches!(dest, DmaDest::Dram(_)) {
-                        phases.push(BusPhase::new(
-                            PhaseKind::Pause,
-                            cfg.packetizer.packet_gap,
-                        ));
+                        phases.push(BusPhase::new(PhaseKind::Pause, cfg.packetizer.packet_gap));
                     }
                     phases.push(BusPhase::new(
                         PhaseKind::DataOut { bytes: pkt },
@@ -186,7 +183,10 @@ pub fn execute(
             }
         }
     }
-    Ok(Outcome { end: tx.end, inline })
+    Ok(Outcome {
+        end: tx.end,
+        inline,
+    })
 }
 
 #[cfg(test)]
@@ -213,7 +213,11 @@ mod tests {
         let layout = ch.lun(0).profile().geometry.addr_layout(16);
         layout.pack_full(
             babol_onfi::addr::ColumnAddr(col),
-            babol_onfi::addr::RowAddr { lun: 0, block, page },
+            babol_onfi::addr::RowAddr {
+                lun: 0,
+                block,
+                page,
+            },
         )
     }
 
@@ -239,15 +243,14 @@ mod tests {
         assert!(ready > out.end);
 
         // READ: 0x00 + addr + 0x30, wait tR, then stream into DRAM.
-        let read_cmd = Transaction::new(ChipMask::single(0))
-            .ca(
-                vec![
-                    Latch::Cmd(op::READ_1),
-                    Latch::Addr(addr),
-                    Latch::Cmd(op::READ_2),
-                ],
-                PostWait::Wb,
-            );
+        let read_cmd = Transaction::new(ChipMask::single(0)).ca(
+            vec![
+                Latch::Cmd(op::READ_1),
+                Latch::Addr(addr),
+                Latch::Cmd(op::READ_2),
+            ],
+            PostWait::Wb,
+        );
         let out = execute(&mut ch, &mut dram, &cfg, ready, &read_cmd).unwrap();
         let ready = ch.lun(0).busy_until().unwrap().max(out.end);
         let fetch = Transaction::new(ChipMask::single(0)).read(512, DmaDest::Dram(0x20_000));
@@ -299,20 +302,19 @@ mod tests {
         let d200 = cfg200.duration_of(&fetch).as_micros_f64();
         assert!((97.0..103.0).contains(&d200), "200 MT/s transfer {d200} us");
         let d100 = EmitConfig::nv_ddr2(100).duration_of(&fetch).as_micros_f64();
-        assert!((178.0..189.0).contains(&d100), "100 MT/s transfer {d100} us");
+        assert!(
+            (178.0..189.0).contains(&d100),
+            "100 MT/s transfer {d100} us"
+        );
         // And the engine agrees with the planner.
         let out = execute(&mut ch, &mut dram, &cfg200, ready, &fetch).unwrap();
-        assert_eq!(
-            (out.end - ready).as_micros_f64(),
-            d200,
-        );
+        assert_eq!((out.end - ready).as_micros_f64(), d200,);
     }
 
     #[test]
     fn timer_holds_the_bus() {
         let (mut ch, mut dram, cfg) = setup(1);
-        let txn = Transaction::new(ChipMask::single(0))
-            .timer(SimDuration::from_micros(5));
+        let txn = Transaction::new(ChipMask::single(0)).timer(SimDuration::from_micros(5));
         let out = execute(&mut ch, &mut dram, &cfg, SimTime::ZERO, &txn).unwrap();
         assert_eq!(out.end - SimTime::ZERO, SimDuration::from_micros(5));
         assert_eq!(ch.busy_until(), out.end);

@@ -184,7 +184,10 @@ mod tests {
     #[test]
     fn builder_accumulates_instructions() {
         let t = Transaction::new(ChipMask::single(0))
-            .ca(vec![Latch::Cmd(0x00), Latch::Addr(vec![1, 2, 3])], PostWait::None)
+            .ca(
+                vec![Latch::Cmd(0x00), Latch::Addr(vec![1, 2, 3])],
+                PostWait::None,
+            )
             .timer(SimDuration::from_nanos(150))
             .write(16, 0x1000)
             .read(4, DmaDest::Inline);

@@ -93,10 +93,16 @@ mod tests {
         let burst_ps = 16384u64 * 5_000;
         let total = SimDuration::from_picos(burst_ps) + p.packet_gap * 8;
         let us = total.as_micros_f64();
-        assert!((97.0..103.0).contains(&us), "200 MT/s page moved in {us} us");
+        assert!(
+            (97.0..103.0).contains(&us),
+            "200 MT/s page moved in {us} us"
+        );
         // At 100 MT/s: 163.84 + 17.6 = 181.4 us ≈ 185 us (within 2%).
         let total100 = SimDuration::from_picos(16384 * 10_000) + p.packet_gap * 8;
         let us100 = total100.as_micros_f64();
-        assert!((178.0..189.0).contains(&us100), "100 MT/s page moved in {us100} us");
+        assert!(
+            (178.0..189.0).contains(&us100),
+            "100 MT/s page moved in {us100} us"
+        );
     }
 }

@@ -28,10 +28,17 @@ fn demo_controller(profile: &PackageProfile) -> SoftController {
     let layout = profile.layout();
     SoftController::new("demo", RuntimeConfig::coroutine(), move |req| {
         let ctx = OpCtx::new(req.lun, 0);
-        let t = Target { chip: req.lun, layout };
+        let t = Target {
+            chip: req.lun,
+            layout,
+        };
         let req = *req;
         let c = ctx.clone();
-        let row = RowAddr { lun: req.lun, block: req.block, page: req.page };
+        let row = RowAddr {
+            lun: req.lun,
+            block: req.block,
+            page: req.page,
+        };
         let fut: std::pin::Pin<Box<dyn std::future::Future<Output = ()>>> = match req.id {
             // 0: pSLC program + pSLC read (paper Algorithm 3).
             0 => Box::pin(async move {
@@ -48,7 +55,11 @@ fn demo_controller(profile: &PackageProfile) -> SoftController {
                 ops::erase_with_suspended_read(
                     &c,
                     &t,
-                    RowAddr { lun: req.lun, block: 7, page: 0 },
+                    RowAddr {
+                        lun: req.lun,
+                        block: 7,
+                        page: 0,
+                    },
                     row,
                     req.len,
                     req.dram_addr + 0x20_000,
@@ -67,8 +78,16 @@ fn demo_controller(profile: &PackageProfile) -> SoftController {
             // 3: multi-plane read of two planes at once.
             _ => Box::pin(async move {
                 let rows = [
-                    RowAddr { lun: req.lun, block: 0, page: 0 },
-                    RowAddr { lun: req.lun, block: 1, page: 0 },
+                    RowAddr {
+                        lun: req.lun,
+                        block: 0,
+                        page: 0,
+                    },
+                    RowAddr {
+                        lun: req.lun,
+                        block: 1,
+                        page: 0,
+                    },
                 ];
                 ops::multi_plane_read(
                     &c,
@@ -105,7 +124,15 @@ fn main() {
         Cpu::new(Freq::from_ghz(1), babol_sim::CostModel::coroutine()),
     );
     // The pSLC demo programs into erased space: clear block 3 first.
-    sys.channel.lun_mut(0).array_mut().erase_block(RowAddr { lun: 0, block: 3, page: 0 }).unwrap();
+    sys.channel
+        .lun_mut(0)
+        .array_mut()
+        .erase_block(RowAddr {
+            lun: 0,
+            block: 3,
+            page: 0,
+        })
+        .unwrap();
     sys.dram.write(0x1000, &vec![0x5A; 512]);
 
     let mut ctrl = demo_controller(&profile);

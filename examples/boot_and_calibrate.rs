@@ -41,7 +41,10 @@ fn main() {
     );
 
     let reports = boot_channel(&mut sys, 200).expect("boot failed");
-    println!("channel booted to NV-DDR2 @ 200 MT/s in {} simulated time\n", sys.now);
+    println!(
+        "channel booted to NV-DDR2 @ 200 MT/s in {} simulated time\n",
+        sys.now
+    );
     println!("chip  package   page    blocks  max MT/s  DQS phase  tries");
     for r in &reports {
         println!(

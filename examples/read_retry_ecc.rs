@@ -39,7 +39,11 @@ fn main() {
     });
 
     // Wear the block out and store an ECC-protected sector.
-    let row = RowAddr { lun: 0, block: 0, page: 0 };
+    let row = RowAddr {
+        lun: 0,
+        block: 0,
+        page: 0,
+    };
     for _ in 0..800 {
         lun.array_mut().erase_block(row).unwrap();
     }
@@ -63,9 +67,11 @@ fn main() {
     let raw_len = 512 + codec.parity_len();
     let mut ctrl = SoftController::new("retry-demo", RuntimeConfig::coroutine(), move |req| {
         let ctx = OpCtx::new(req.lun, 0);
-        let t = Target { chip: req.lun, layout };
+        let t = Target {
+            chip: req.lun,
+            layout,
+        };
         let c = ctx.clone();
-        let codec = PageCodec::new(512, 512, 8);
         let outcome = Rc::clone(&outcome_w);
         let req = *req;
         let fut = async move {
@@ -76,7 +82,11 @@ fn main() {
             let level = ops::read_with_retry(
                 &c,
                 &t,
-                RowAddr { lun: req.lun, block: req.block, page: req.page },
+                RowAddr {
+                    lun: req.lun,
+                    block: req.block,
+                    page: req.page,
+                },
                 raw_len,
                 req.dram_addr,
                 0x9000_0000,

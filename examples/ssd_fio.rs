@@ -56,7 +56,12 @@ fn main() {
         let r = ssd.run(
             &mut sys,
             &mut ctrl,
-            FioWorkload { pattern, total_ios: 128, queue_depth: 8, seed: 42 },
+            FioWorkload {
+                pattern,
+                total_ios: 128,
+                queue_depth: 8,
+                seed: 42,
+            },
         );
         println!(
             "{name:17}  {:7.1} MB/s  {:8.0} IOPS  mean {}  p99 {}",

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Local mirror of .github/workflows/ci.yml — the tier-1 gate in one command.
+#
+#   scripts/ci.sh           # run everything (fmt, clippy, build, test,
+#                           # bench smoke, example smoke runs)
+#
+# Every cargo invocation is --offline: the workspace has only path
+# dependencies and a committed Cargo.lock, so a cold registry must never
+# break the build. If this script exits 0, CI will be green.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo fmt --all --check"
+cargo fmt --all --check
+
+step "cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+step "cargo build --release --offline"
+cargo build --release --offline
+
+step "cargo test --workspace -q --offline"
+cargo test --workspace -q --offline
+
+step "bench harness smoke (BABOL_BENCH_ITERS=2)"
+BABOL_BENCH_WARMUP=1 BABOL_BENCH_ITERS=2 \
+  cargo bench --offline -p babol-bench --bench paper
+
+for ex in quickstart boot_and_calibrate advanced_ops read_retry_ecc ssd_fio; do
+  step "cargo run --release --example $ex"
+  cargo run --release --offline --example "$ex"
+done
+
+step "CI mirror: all green"

@@ -50,7 +50,10 @@ where
     let body = Rc::new(RefCell::new(Some(body)));
     let mut ctrl = SoftController::new("test", RuntimeConfig::coroutine(), move |req| {
         let ctx = OpCtx::new(req.lun, 0);
-        let t = Target { chip: req.lun, layout };
+        let t = Target {
+            chip: req.lun,
+            layout,
+        };
         let c = ctx.clone();
         let body = body.borrow_mut().take().expect("single request");
         let fut = async move {
@@ -76,7 +79,11 @@ where
 }
 
 fn row(block: u32, page: u32) -> RowAddr {
-    RowAddr { lun: 0, block, page }
+    RowAddr {
+        lun: 0,
+        block,
+        page,
+    }
 }
 
 #[test]
@@ -173,20 +180,30 @@ fn gang_read_latches_all_replicas_and_streams_one() {
         sys.channel
             .lun_mut(lun)
             .array_mut()
-            .program_page(RowAddr { lun: 0, block: 0, page: 0 }, b"replica!", false)
+            .program_page(
+                RowAddr {
+                    lun: 0,
+                    block: 0,
+                    page: 0,
+                },
+                b"replica!",
+                false,
+            )
             .unwrap();
     }
     let winner = Rc::new(RefCell::new(None));
     let w = Rc::clone(&winner);
     let layout = PackageProfile::test_tiny().layout();
     run_op(&mut sys, move |ctx, _t| async move {
-        let targets: Vec<Target> = (1..4)
-            .map(|chip| Target { chip, layout })
-            .collect();
+        let targets: Vec<Target> = (1..4).map(|chip| Target { chip, layout }).collect();
         let chip = ops::gang_read(
             &ctx,
             &targets,
-            RowAddr { lun: 0, block: 0, page: 0 },
+            RowAddr {
+                lun: 0,
+                block: 0,
+                page: 0,
+            },
             8,
             0x800,
         )
@@ -237,8 +254,14 @@ fn features_and_identity_ops() {
     let mut sys = make_system(1);
     run_op(&mut sys, |ctx, t| async move {
         // SET then GET a feature through the bus.
-        ops::set_features(&ctx, &t, babol_onfi::feature::addr::DRIVE_STRENGTH, [2, 0, 0, 0], 0xB00)
-            .await?;
+        ops::set_features(
+            &ctx,
+            &t,
+            babol_onfi::feature::addr::DRIVE_STRENGTH,
+            [2, 0, 0, 0],
+            0xB00,
+        )
+        .await?;
         let v = ops::get_features(&ctx, &t, babol_onfi::feature::addr::DRIVE_STRENGTH).await;
         assert_eq!(v, [2, 0, 0, 0]);
         // READ ID returns the profile's manufacturer byte.

@@ -1,0 +1,68 @@
+//! Determinism regression tests: the whole reproduction is a discrete-event
+//! simulation, so two runs with the same seed must produce bit-identical
+//! results — same completion traces, same reports, same derived numbers.
+//! SimpleSSD and Copycat make the same promise; losing it silently would
+//! invalidate every BENCH_*.json trajectory comparison.
+//!
+//! Reports derive `Debug` over every field (per-completion timestamps
+//! included), so comparing the rendered traces is an exact equality check
+//! on the simulated event history.
+
+use babol_bench::{build_controller, build_system, read_microbench, ControllerKind};
+use babol_flash::PackageProfile;
+use babol_ftl::{FioWorkload, IoPattern, Ssd, SsdConfig};
+
+/// The Fig. 10 microbenchmark replays identically: every completion
+/// timestamp, CPU cycle count, and bus-busy interval matches across runs.
+#[test]
+fn microbench_trace_is_reproducible() {
+    let profile = PackageProfile::test_tiny();
+    for kind in [
+        ControllerKind::HwAsync,
+        ControllerKind::HwSync,
+        ControllerKind::Rtos,
+        ControllerKind::Coro,
+    ] {
+        let a = read_microbench(&profile, 2, 200, 1000, kind, 32);
+        let b = read_microbench(&profile, 2, 200, 1000, kind, 32);
+        assert_eq!(
+            a.completions, b.completions,
+            "{kind:?} completion trace diverged"
+        );
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "{kind:?} run report diverged"
+        );
+    }
+}
+
+/// A full SSD fio job (FTL + controller + random host pattern) is a pure
+/// function of its seeds: same seed, same report; different seed, different
+/// I/O stream.
+#[test]
+fn ssd_fio_run_is_reproducible() {
+    let run = |seed: u64| {
+        let profile = PackageProfile::test_tiny();
+        let luns = 2;
+        let mut sys = build_system(&profile, luns, 200, 1000, ControllerKind::Coro);
+        let mut ctrl = build_controller(ControllerKind::Coro, &profile, luns);
+        let mut ssd = Ssd::new(SsdConfig::tiny(luns));
+        ssd.preload();
+        let wl = FioWorkload {
+            pattern: IoPattern::RandomRead,
+            total_ios: 64,
+            queue_depth: 8,
+            seed,
+        };
+        format!("{:?}", ssd.run(&mut sys, ctrl.as_mut(), wl))
+    };
+    let a = run(0xF10);
+    let b = run(0xF10);
+    assert_eq!(a, b, "same-seed fio traces diverged");
+    let c = run(0xF11);
+    assert_ne!(
+        a, c,
+        "different seeds produced identical random-read traces"
+    );
+}

@@ -25,7 +25,11 @@ fn worn_lun(pe_cycles: u64, cell: CellType, seed: u64) -> Lun {
         inject_errors: true,
         require_init: false,
     });
-    let row = RowAddr { lun: 0, block: 0, page: 0 };
+    let row = RowAddr {
+        lun: 0,
+        block: 0,
+        page: 0,
+    };
     for _ in 0..pe_cycles {
         lun.array_mut().erase_block(row).unwrap();
     }
@@ -37,13 +41,19 @@ fn worn_lun(pe_cycles: u64, cell: CellType, seed: u64) -> Lun {
 /// and whether the payload survived.
 fn read_through_controller(pe_cycles: u64, cell: CellType, seed: u64) -> (PageVerdict, bool) {
     let codec = PageCodec::new(512, 512, 8);
-    let payload: Vec<u8> = (0..512u32).map(|i| (i.wrapping_mul(97) >> 3) as u8).collect();
+    let payload: Vec<u8> = (0..512u32)
+        .map(|i| (i.wrapping_mul(97) >> 3) as u8)
+        .collect();
     let parity = codec.encode(&payload).unwrap();
     let mut stored = payload.clone();
     stored.extend_from_slice(&parity);
 
     let mut lun = worn_lun(pe_cycles, cell, seed);
-    let row = RowAddr { lun: 0, block: 0, page: 0 };
+    let row = RowAddr {
+        lun: 0,
+        block: 0,
+        page: 0,
+    };
     lun.array_mut().program_page(row, &stored, false).unwrap();
 
     let profile = lun.profile().clone();

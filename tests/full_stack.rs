@@ -39,7 +39,10 @@ fn controllers(profile: &PackageProfile, luns: u32) -> Vec<(Box<dyn Controller>,
             Box::new(CosmosController::new(layout, luns)) as Box<dyn Controller>,
             CostModel::free(),
         ),
-        (Box::new(SyncController::new(layout, luns)), CostModel::free()),
+        (
+            Box::new(SyncController::new(layout, luns)),
+            CostModel::free(),
+        ),
         (
             Box::new(rtos_controller(layout, RuntimeConfig::rtos())),
             CostModel::rtos(),
@@ -59,7 +62,9 @@ fn program_read_roundtrip_through_every_controller() {
         let mut sys = system(&profile, 4, cost);
         let mut reqs = Vec::new();
         for lun in 0..4u32 {
-            let payload: Vec<u8> = (0..512u32).map(|i| (i as u8) ^ (lun as u8 * 0x11)).collect();
+            let payload: Vec<u8> = (0..512u32)
+                .map(|i| (i as u8) ^ (lun as u8 * 0x11))
+                .collect();
             sys.dram.write(0x1000 + lun as u64 * 0x1000, &payload);
             reqs.push(IoRequest {
                 id: lun as u64,
@@ -85,7 +90,9 @@ fn program_read_roundtrip_through_every_controller() {
         let report = Engine::new(1).run(&mut sys, ctrl.as_mut(), reqs);
         assert_eq!(report.completions.len(), 8, "{}", ctrl.name());
         for lun in 0..4u32 {
-            let expect: Vec<u8> = (0..512u32).map(|i| (i as u8) ^ (lun as u8 * 0x11)).collect();
+            let expect: Vec<u8> = (0..512u32)
+                .map(|i| (i as u8) ^ (lun as u8 * 0x11))
+                .collect();
             let got = sys.dram.read_vec(0x8000 + lun as u64 * 0x1000, 512);
             assert_eq!(got, expect, "{} lun {lun}", ctrl.name());
         }
@@ -102,7 +109,11 @@ fn erase_through_every_controller() {
             .lun_mut(0)
             .array_mut()
             .program_page(
-                babol_onfi::addr::RowAddr { lun: 0, block: 2, page: 0 },
+                babol_onfi::addr::RowAddr {
+                    lun: 0,
+                    block: 2,
+                    page: 0,
+                },
                 &[42],
                 false,
             )
@@ -181,7 +192,11 @@ fn boot_then_workload() {
     let report = Engine::new(1).run(&mut sys, &mut ctrl, reqs);
     assert_eq!(report.completions.len(), 8);
     // Data is clean (calibration worked): compare against the array.
-    let row = babol_onfi::addr::RowAddr { lun: 0, block: 0, page: 0 };
+    let row = babol_onfi::addr::RowAddr {
+        lun: 0,
+        block: 0,
+        page: 0,
+    };
     let direct = sys.channel.lun(0).array().read_page(row).unwrap();
     let via_bus = sys.dram.read_vec(0, 512);
     assert_eq!(via_bus, direct[..512].to_vec());

@@ -38,7 +38,10 @@ fn rtos_matches_hw_at_1ghz() {
     for mts in [100, 200] {
         let hw = read_microbench(&p, 8, mts, 1000, ControllerKind::HwAsync, N).throughput_mbps();
         let rt = read_microbench(&p, 8, mts, 1000, ControllerKind::Rtos, N).throughput_mbps();
-        assert!((rt / hw - 1.0).abs() < 0.05, "{mts} MT/s: RTOS {rt} vs HW {hw}");
+        assert!(
+            (rt / hw - 1.0).abs() < 0.05,
+            "{mts} MT/s: RTOS {rt} vs HW {hw}"
+        );
     }
 }
 
@@ -51,7 +54,10 @@ fn coro_needs_a_fast_processor() {
     let coro_fast = read_microbench(&p, 8, 200, 1000, ControllerKind::Coro, N).throughput_mbps();
     let coro_slow = read_microbench(&p, 8, 200, 150, ControllerKind::Coro, N).throughput_mbps();
     assert!(coro_fast > hw * 0.88, "coro@1GHz {coro_fast} vs HW {hw}");
-    assert!(coro_slow < hw * 0.75, "coro@150MHz should lag: {coro_slow} vs {hw}");
+    assert!(
+        coro_slow < hw * 0.75,
+        "coro@150MHz should lag: {coro_slow} vs {hw}"
+    );
 }
 
 /// Fig. 10: the coroutine controller's deficit narrows on the busier
@@ -65,14 +71,20 @@ fn coro_gap_narrows_on_slow_channels() {
         let co = read_microbench(&p, 8, mts, 1000, ControllerKind::Coro, N).throughput_mbps();
         1.0 - co / hw
     };
-    assert!(gap(100) < gap(200), "gap@100 {} vs gap@200 {}", gap(100), gap(200));
+    assert!(
+        gap(100) < gap(200),
+        "gap@100 {} vs gap@200 {}",
+        gap(100),
+        gap(200)
+    );
 }
 
 /// Fig. 10: throughput grows with LUN count until channel saturation.
 #[test]
 fn throughput_scales_with_luns_until_saturation() {
     let p = PackageProfile::hynix();
-    let t = |luns| read_microbench(&p, luns, 200, 1000, ControllerKind::HwAsync, N).throughput_mbps();
+    let t =
+        |luns| read_microbench(&p, luns, 200, 1000, ControllerKind::HwAsync, N).throughput_mbps();
     let (t2, t4, t8) = (t(2), t(4), t(8));
     assert!(t4 > t2 * 0.99, "{t2} -> {t4}");
     // Saturated by 4 LUNs at 200 MT/s with Hynix timings.
@@ -91,7 +103,10 @@ fn package_read_times_order_end_to_end() {
     let hynix = lat(&PackageProfile::hynix());
     let toshiba = lat(&PackageProfile::toshiba());
     let micron = lat(&PackageProfile::micron());
-    assert!(micron < toshiba && toshiba < hynix, "{micron} {toshiba} {hynix}");
+    assert!(
+        micron < toshiba && toshiba < hynix,
+        "{micron} {toshiba} {hynix}"
+    );
 }
 
 /// Table I: page transfer times measured through the μFSM engine.
@@ -108,7 +123,10 @@ fn page_transfer_times_reproduce_table1() {
 #[test]
 fn loc_ordering_reproduces_table2() {
     for (op, sync, async_, babol) in babol_bench::loc::table2_measured() {
-        assert!(babol < async_ && babol < sync, "{op}: {sync}/{async_}/{babol}");
+        assert!(
+            babol < async_ && babol < sync,
+            "{op}: {sync}/{async_}/{babol}"
+        );
     }
 }
 
@@ -123,8 +141,16 @@ fn area_reproduces_table3() {
     ] {
         let m = ctrl.total();
         let p = area::paper_table3(ctrl.name).unwrap();
-        assert!((m.lut as f64 / p.lut as f64 - 1.0).abs() < 0.05, "{} LUT", ctrl.name);
-        assert!((m.ff as f64 / p.ff as f64 - 1.0).abs() < 0.05, "{} FF", ctrl.name);
+        assert!(
+            (m.lut as f64 / p.lut as f64 - 1.0).abs() < 0.05,
+            "{} LUT",
+            ctrl.name
+        );
+        assert!(
+            (m.ff as f64 / p.ff as f64 - 1.0).abs() < 0.05,
+            "{} FF",
+            ctrl.name
+        );
     }
 }
 

@@ -1,112 +1,128 @@
-//! Property-based tests over the core data structures and invariants.
+//! Property-based tests over the core data structures and invariants,
+//! running on the in-repo `babol-testkit` harness (no external deps).
+//!
+//! Every property runs at least 256 deterministic cases. A failure prints
+//! the case seed; replay it with `BABOL_PT_SEED=<seed> cargo test -q`.
 
-use proptest::prelude::*;
+use babol_testkit::prop::{any, range, range_incl, select, vec_of, Property};
+use babol_testkit::{prop_assert, prop_assert_eq, prop_assert_ne};
 
 use babol_ecc::bch::Bch;
 use babol_ecc::{PageCodec, PageVerdict};
-use babol_ftl::PageMap;
 use babol_flash::Geometry;
+use babol_ftl::PageMap;
 use babol_onfi::addr::{AddrLayout, ColumnAddr, RowAddr};
 use babol_onfi::param_page::ParamPage;
 use babol_sim::{Dram, EventQueue, Freq, SimDuration, SimTime};
 
-proptest! {
-    /// Row/column addresses survive packing into ONFI cycles for any
-    /// geometry in the supported range.
-    #[test]
-    fn addr_roundtrip(
-        page_size in prop::sample::select(vec![512usize, 2048, 4096, 16384]),
-        pages_pb in 1u32..512,
-        blocks in 1u32..4096,
-        luns in 1u32..16,
-        lun in 0u32..16,
-        block in 0u32..4096,
-        page in 0u32..512,
-        col in 0u32..16384,
-    ) {
-        let layout = AddrLayout::new(page_size, pages_pb, blocks, luns);
-        let row = RowAddr {
-            lun: lun % luns.max(1),
-            block: block % blocks.max(1),
-            page: page % pages_pb.max(1),
-        };
-        prop_assert_eq!(layout.unpack_row(&layout.pack_row(row)), row);
-        let c = ColumnAddr(col % page_size as u32);
-        prop_assert_eq!(layout.unpack_col(&layout.pack_col(c)), c);
-    }
+/// Row/column addresses survive packing into ONFI cycles for any
+/// geometry in the supported range.
+#[test]
+fn addr_roundtrip() {
+    Property::new("addr_roundtrip").run(
+        (
+            select(&[512usize, 2048, 4096, 16384]),
+            range(1u32..512),
+            range(1u32..4096),
+            range(1u32..16),
+            range(0u32..16),
+            range(0u32..4096),
+            range(0u32..512),
+            range(0u32..16384),
+        ),
+        |&(page_size, pages_pb, blocks, luns, lun, block, page, col)| {
+            let layout = AddrLayout::new(page_size, pages_pb, blocks, luns);
+            let row = RowAddr {
+                lun: lun % luns.max(1),
+                block: block % blocks.max(1),
+                page: page % pages_pb.max(1),
+            };
+            prop_assert_eq!(layout.unpack_row(&layout.pack_row(row)), row);
+            let c = ColumnAddr(col % page_size as u32);
+            prop_assert_eq!(layout.unpack_col(&layout.pack_col(c)), c);
+            Ok(())
+        },
+    );
+}
 
-    /// BCH corrects any error pattern up to its design strength.
-    #[test]
-    fn bch_corrects_up_to_t(
-        seed in any::<u64>(),
-        nerr in 0usize..=4,
-    ) {
-        let bch = Bch::new(1024, 4);
-        let mut rng = babol_sim::rng::SplitMix64::new(seed);
-        let data: Vec<u8> = (0..128).map(|_| rng.next_u64() as u8).collect();
-        let parity = bch.encode(&data);
-        let mut corrupted = data.clone();
-        let mut bits = std::collections::HashSet::new();
-        while bits.len() < nerr {
-            bits.insert(rng.next_below(1024) as usize);
-        }
-        for &b in &bits {
-            corrupted[b / 8] ^= 1 << (b % 8);
-        }
-        prop_assert_eq!(bch.decode(&mut corrupted, &parity), Some(nerr as u32));
-        prop_assert_eq!(corrupted, data);
-    }
+/// BCH corrects any error pattern up to its design strength.
+#[test]
+fn bch_corrects_up_to_t() {
+    Property::new("bch_corrects_up_to_t").run(
+        (any::<u64>(), range_incl(0usize..=4)),
+        |&(seed, nerr)| {
+            let bch = Bch::new(1024, 4);
+            let mut rng = babol_sim::rng::SplitMix64::new(seed);
+            let data: Vec<u8> = (0..128).map(|_| rng.next_u64() as u8).collect();
+            let parity = bch.encode(&data);
+            let mut corrupted = data.clone();
+            let mut bits = std::collections::HashSet::new();
+            while bits.len() < nerr {
+                bits.insert(rng.next_below(1024) as usize);
+            }
+            for &b in &bits {
+                corrupted[b / 8] ^= 1 << (b % 8);
+            }
+            prop_assert_eq!(bch.decode(&mut corrupted, &parity), Some(nerr as u32));
+            prop_assert_eq!(corrupted, data);
+            Ok(())
+        },
+    );
+}
 
-    /// The page codec never miscorrects silently: with more than t errors
-    /// in one sector it reports Uncorrectable or (rarely) corrects to a
-    /// different valid codeword — but never claims Clean.
-    #[test]
-    fn page_codec_never_claims_clean_on_damage(
-        seed in any::<u64>(),
-        nerr in 1usize..=12,
-    ) {
-        let codec = PageCodec::new(512, 512, 4);
-        let mut rng = babol_sim::rng::SplitMix64::new(seed);
-        let page: Vec<u8> = (0..512).map(|_| rng.next_u64() as u8).collect();
-        let parity = codec.encode(&page).unwrap();
-        let mut corrupted = page.clone();
-        let mut bits = std::collections::HashSet::new();
-        while bits.len() < nerr {
-            bits.insert(rng.next_below(4096) as usize);
-        }
-        for &b in &bits {
-            corrupted[b / 8] ^= 1 << (b % 8);
-        }
-        let verdict = codec.decode(&mut corrupted, &parity).unwrap();
-        prop_assert_ne!(verdict, PageVerdict::Clean);
-        if nerr <= 4 {
-            prop_assert_eq!(verdict, PageVerdict::Corrected(nerr as u32));
-            prop_assert_eq!(corrupted, page);
-        }
-    }
+/// The page codec never miscorrects silently: with more than t errors
+/// in one sector it reports Uncorrectable or (rarely) corrects to a
+/// different valid codeword — but never claims Clean.
+#[test]
+fn page_codec_never_claims_clean_on_damage() {
+    Property::new("page_codec_never_claims_clean_on_damage").run(
+        (any::<u64>(), range_incl(1usize..=12)),
+        |&(seed, nerr)| {
+            let codec = PageCodec::new(512, 512, 4);
+            let mut rng = babol_sim::rng::SplitMix64::new(seed);
+            let page: Vec<u8> = (0..512).map(|_| rng.next_u64() as u8).collect();
+            let parity = codec.encode(&page).unwrap();
+            let mut corrupted = page.clone();
+            let mut bits = std::collections::HashSet::new();
+            while bits.len() < nerr {
+                bits.insert(rng.next_below(4096) as usize);
+            }
+            for &b in &bits {
+                corrupted[b / 8] ^= 1 << (b % 8);
+            }
+            let verdict = codec.decode(&mut corrupted, &parity).unwrap();
+            prop_assert_ne!(verdict, PageVerdict::Clean);
+            if nerr <= 4 {
+                prop_assert_eq!(verdict, PageVerdict::Corrected(nerr as u32));
+                prop_assert_eq!(corrupted, page);
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Sparse DRAM behaves exactly like a flat byte array.
-    #[test]
-    fn dram_matches_flat_model(
-        ops in prop::collection::vec(
-            (0u64..10_000, prop::collection::vec(any::<u8>(), 1..64)),
-            1..24
-        )
-    ) {
-        let mut dram = Dram::new();
-        let mut model = vec![0u8; 10_100];
-        for (addr, data) in &ops {
-            dram.write(*addr, data);
-            model[*addr as usize..*addr as usize + data.len()].copy_from_slice(data);
-        }
-        prop_assert_eq!(dram.read_vec(0, 10_100), model);
-    }
+/// Sparse DRAM behaves exactly like a flat byte array.
+#[test]
+fn dram_matches_flat_model() {
+    Property::new("dram_matches_flat_model").run(
+        vec_of((range(0u64..10_000), vec_of(any::<u8>(), 1..64)), 1..24),
+        |ops| {
+            let mut dram = Dram::new();
+            let mut model = vec![0u8; 10_100];
+            for (addr, data) in ops {
+                dram.write(*addr, data);
+                model[*addr as usize..*addr as usize + data.len()].copy_from_slice(data);
+            }
+            prop_assert_eq!(dram.read_vec(0, 10_100), model);
+            Ok(())
+        },
+    );
+}
 
-    /// Event queue pops in nondecreasing time order with FIFO ties.
-    #[test]
-    fn event_queue_is_stable_priority(
-        times in prop::collection::vec(0u64..50, 1..64)
-    ) {
+/// Event queue pops in nondecreasing time order with FIFO ties.
+#[test]
+fn event_queue_is_stable_priority() {
+    Property::new("event_queue_is_stable_priority").run(vec_of(range(0u64..50), 1..64), |times| {
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.push(SimTime::from_picos(t), i);
@@ -121,29 +137,38 @@ proptest! {
             }
             last = Some((t, i));
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Frequency/cycle math: cycles(a) + cycles(b) within rounding of
-    /// cycles(a+b) for any frequency.
-    #[test]
-    fn freq_cycles_are_nearly_additive(
-        mhz in 1u64..4000,
-        a in 0u64..1_000_000,
-        b in 0u64..1_000_000,
-    ) {
-        let f = Freq::from_mhz(mhz);
-        let sum = f.cycles(a) + f.cycles(b);
-        let whole = f.cycles(a + b);
-        let diff = sum.as_picos().abs_diff(whole.as_picos());
-        prop_assert!(diff <= 1, "{diff} ps drift");
-    }
+/// Frequency/cycle math: cycles(a) + cycles(b) within rounding of
+/// cycles(a+b) for any frequency.
+#[test]
+fn freq_cycles_are_nearly_additive() {
+    Property::new("freq_cycles_are_nearly_additive").run(
+        (
+            range(1u64..4000),
+            range(0u64..1_000_000),
+            range(0u64..1_000_000),
+        ),
+        |&(mhz, a, b)| {
+            let f = Freq::from_mhz(mhz);
+            let sum = f.cycles(a) + f.cycles(b);
+            let whole = f.cycles(a + b);
+            let diff = sum.as_picos().abs_diff(whole.as_picos());
+            prop_assert!(diff <= 1, "{diff} ps drift");
+            Ok(())
+        },
+    );
+}
 
-    /// The FTL map never double-maps a physical page and keeps the L2P and
-    /// P2L views consistent under arbitrary write/overwrite streams.
-    #[test]
-    fn ftl_map_consistency(writes in prop::collection::vec(0u64..96, 1..120)) {
+/// The FTL map never double-maps a physical page and keeps the L2P and
+/// P2L views consistent under arbitrary write/overwrite streams.
+#[test]
+fn ftl_map_consistency() {
+    Property::new("ftl_map_consistency").run(vec_of(range(0u64..96), 1..120), |writes| {
         let mut map = PageMap::new(Geometry::tiny(), 2, 96);
-        for &lpn in &writes {
+        for &lpn in writes {
             // Collect when needed, like the SSD driver does.
             for lun in 0..2 {
                 while map.needs_gc(lun) {
@@ -158,10 +183,11 @@ proptest! {
             map.allocate_for_write(lpn);
         }
         // Every distinct written LPN resolves, and all PPNs are unique.
-        let mut seen = std::collections::HashSet::new();
-        for &lpn in &writes {
-            let ppn = map.translate(lpn).expect("written LPN must resolve");
-            prop_assert!(seen.insert((lpn, ppn)) || seen.contains(&(lpn, ppn)));
+        for &lpn in writes {
+            prop_assert!(
+                map.translate(lpn).is_some(),
+                "written LPN {lpn} must resolve"
+            );
         }
         let mut ppns = std::collections::HashSet::new();
         for lpn in 0..96 {
@@ -169,35 +195,45 @@ proptest! {
                 prop_assert!(ppns.insert(ppn), "PPN {ppn:?} double-mapped");
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Parameter pages survive serialization for arbitrary field values.
-    #[test]
-    fn param_page_roundtrip(
-        page_size in 512u32..65536,
-        spare in 0u16..4096,
-        ppb in 1u32..1024,
-        bpl in 1u32..16384,
-        luns in 1u8..8,
-        mts in 1u16..1600,
-    ) {
-        let p = ParamPage {
-            manufacturer: "PROP".into(),
-            model: "TEST".into(),
-            page_size,
-            spare_size: spare,
-            pages_per_block: ppb,
-            blocks_per_lun: bpl,
-            luns,
-            nv_ddr2_modes: 0x3F,
-            max_mts: mts,
-        };
-        prop_assert_eq!(ParamPage::from_bytes(&p.to_bytes()).unwrap(), p);
-    }
+/// Parameter pages survive serialization for arbitrary field values.
+#[test]
+fn param_page_roundtrip() {
+    Property::new("param_page_roundtrip").run(
+        (
+            range(512u32..65536),
+            range(0u16..4096),
+            range(1u32..1024),
+            range(1u32..16384),
+            range(1u8..8),
+            range(1u16..1600),
+        ),
+        |&(page_size, spare, ppb, bpl, luns, mts)| {
+            let p = ParamPage {
+                manufacturer: "PROP".into(),
+                model: "TEST".into(),
+                page_size,
+                spare_size: spare,
+                pages_per_block: ppb,
+                blocks_per_lun: bpl,
+                luns,
+                nv_ddr2_modes: 0x3F,
+                max_mts: mts,
+            };
+            prop_assert_eq!(ParamPage::from_bytes(&p.to_bytes()).unwrap(), p);
+            Ok(())
+        },
+    );
+}
 
-    /// Durations format and never panic across magnitudes.
-    #[test]
-    fn duration_display_total(ps in any::<u64>()) {
+/// Durations format and never panic across magnitudes.
+#[test]
+fn duration_display_total() {
+    Property::new("duration_display_total").run(any::<u64>(), |&ps| {
         let _ = SimDuration::from_picos(ps % (u64::MAX / 2)).to_string();
-    }
+        Ok(())
+    });
 }

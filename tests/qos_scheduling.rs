@@ -52,11 +52,18 @@ fn qos_controller(cfg: RuntimeConfig) -> SoftController {
         let priority = if req.id < LOG_IDS { 7 } else { 0 };
         let ctx = OpCtx::new(req.lun, priority);
         ctx.set_poll_backoff(cfg.poll_backoff);
-        let t = Target { chip: req.lun, layout };
+        let t = Target {
+            chip: req.lun,
+            layout,
+        };
         let c = ctx.clone();
         let req = *req;
         let fut = async move {
-            let row = RowAddr { lun: req.lun, block: req.block, page: req.page };
+            let row = RowAddr {
+                lun: req.lun,
+                block: req.block,
+                page: req.page,
+            };
             if ops::read_page(&c, &t, row, req.col, req.len, req.dram_addr)
                 .await
                 .is_ok()
