@@ -7,15 +7,36 @@
 //! * RTOS reaches the baseline from a few hundred MHz;
 //! * the coroutine controller needs ~1 GHz, and fares best (relative to the
 //!   baseline) on busy 100 MT/s channels with many LUNs.
+//!
+//! Usage: `repro_fig10 [COUNT] [--trace OUT.json]`. With `--trace`, one
+//! representative point per controller reruns with the tracing layer on and
+//! the merged event timeline is written as a Chrome `trace_event` file
+//! (load it at `chrome://tracing` or <https://ui.perfetto.dev>); a line-JSON
+//! dump lands next to it at `OUT.json.jsonl`.
 
-use babol_bench::{read_microbench, render_table, ControllerKind, FIG10_FREQS_MHZ};
+use babol_bench::{
+    read_microbench, read_microbench_traced, render_table, ControllerKind, FIG10_FREQS_MHZ,
+};
 use babol_flash::PackageProfile;
 
 fn main() {
-    let count = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(240u64);
+    let mut count = 240u64;
+    let mut trace_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            trace_path = Some(args.next().unwrap_or_else(|| {
+                eprintln!("--trace requires a file path");
+                std::process::exit(2);
+            }));
+        } else if let Ok(n) = arg.parse() {
+            count = n;
+        } else {
+            eprintln!("unrecognized argument: {arg}");
+            std::process::exit(2);
+        }
+    }
+
     println!("Figure 10: READ throughput (MB/s), {count} page reads per point\n");
     for profile in PackageProfile::paper_set() {
         for mts in [100u32, 200] {
@@ -50,4 +71,60 @@ fn main() {
         }
     }
     println!("(*) soft-core case in the paper; HW is CPU-independent by construction.");
+
+    // Per-request latency distribution at the representative point (largest
+    // paper package, 200 MT/s, max LUNs, 1 GHz). Traced when requested.
+    let profile = PackageProfile::paper_set()
+        .into_iter()
+        .max_by_key(|p| p.luns_per_channel)
+        .expect("paper set is nonempty");
+    let luns = profile.luns_per_channel.min(8);
+    println!(
+        "\nRead latency percentiles ({}, {luns} LUNs, 200 MT/s, 1 GHz):",
+        profile.name
+    );
+    let mut rows = Vec::new();
+    let mut traces = Vec::new();
+    for kind in [
+        ControllerKind::HwAsync,
+        ControllerKind::Rtos,
+        ControllerKind::Coro,
+    ] {
+        let (r, tracer) =
+            read_microbench_traced(&profile, luns, 200, 1000, kind, count, trace_path.is_some());
+        rows.push(vec![
+            kind.label().to_string(),
+            format!("{}", r.latency_percentile(0.50)),
+            format!("{}", r.latency_percentile(0.95)),
+            format!("{}", r.latency_percentile(0.99)),
+            format!("{}", r.mean_latency()),
+        ]);
+        traces.push((kind, tracer));
+    }
+    println!(
+        "{}",
+        render_table(&["Controller", "p50", "p95", "p99", "mean"], &rows)
+    );
+
+    if let Some(path) = trace_path {
+        // One trace file per controller would fragment the timeline view;
+        // export the software controller closest to the paper's headline
+        // configuration (Coro) and note the rest on stdout.
+        let (kind, tracer) = traces.pop().expect("traced runs exist");
+        if let Err(e) = tracer.write_chrome_trace(&path) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        let jsonl = format!("{path}.jsonl");
+        if let Err(e) = tracer.write_json_lines(&jsonl) {
+            eprintln!("failed to write {jsonl}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "trace: wrote {} events ({} dropped) for {} to {path} (+ {jsonl})",
+            tracer.events().count(),
+            tracer.dropped(),
+            kind.label()
+        );
+    }
 }

@@ -16,6 +16,7 @@ use babol_flash::array::ContentMode;
 use babol_flash::lun::LunConfig;
 use babol_flash::{Lun, PackageProfile};
 use babol_sim::{CostModel, Cpu, Freq, SimDuration};
+use babol_trace::Tracer;
 use babol_ufsm::EmitConfig;
 
 pub mod loc;
@@ -133,6 +134,36 @@ pub fn read_microbench(
     }
     .generate(&profile.geometry);
     Engine::new(1).run(&mut sys, ctrl.as_mut(), reqs)
+}
+
+/// [`read_microbench`] with the controller-wide tracing layer switched on;
+/// returns the tracer alongside the report so callers can export the event
+/// timeline or read the per-component counters. With `trace` false this is
+/// exactly `read_microbench` (the returned tracer is empty and disabled) —
+/// useful for on/off determinism comparisons.
+pub fn read_microbench_traced(
+    profile: &PackageProfile,
+    luns: u32,
+    mts: u32,
+    cpu_mhz: u64,
+    kind: ControllerKind,
+    count: u64,
+    trace: bool,
+) -> (RunReport, Tracer) {
+    let mut sys = build_system(profile, luns, mts, cpu_mhz, kind);
+    if trace {
+        sys.trace = Tracer::enabled();
+    }
+    let mut ctrl = build_controller(kind, profile, luns);
+    let reqs = ReadWorkload {
+        luns,
+        count,
+        order: Order::Sequential,
+        len: profile.geometry.page_size,
+    }
+    .generate(&profile.geometry);
+    let report = Engine::new(1).run(&mut sys, ctrl.as_mut(), reqs);
+    (report, std::mem::take(&mut sys.trace))
 }
 
 /// The CPU frequencies swept in Fig. 10. 150 MHz stands for the MicroBlaze

@@ -24,6 +24,7 @@ use std::fmt;
 use babol_flash::{Lun, LunError, LunResponse};
 use babol_onfi::bus::{BusPhase, ChipMask, PhaseKind};
 use babol_sim::{SimDuration, SimTime};
+use babol_trace::{Component, Counter, Metric, TraceKind, TraceSink};
 
 pub use analyzer::{Analyzer, TraceEvent};
 
@@ -203,6 +204,20 @@ impl Channel {
         mask: ChipMask,
         phases: &[BusPhase],
     ) -> Result<Transmission, ChannelError> {
+        self.transmit_traced(start, mask, phases, 0, &mut babol_trace::NoopSink)
+    }
+
+    /// [`Channel::transmit`], reporting bus occupancy to a trace sink:
+    /// a `BusAcquire`/`BusRelease` event pair tagged with `op_id`, segment/
+    /// phase/byte counters, and a `BusHold` latency observation.
+    pub fn transmit_traced(
+        &mut self,
+        start: SimTime,
+        mask: ChipMask,
+        phases: &[BusPhase],
+        op_id: u64,
+        sink: &mut dyn TraceSink,
+    ) -> Result<Transmission, ChannelError> {
         if start < self.busy_until {
             return Err(ChannelError::BusBusy {
                 until: self.busy_until,
@@ -220,6 +235,7 @@ impl Channel {
                 });
             }
         }
+        let stats_before = self.stats;
         let mut t = start;
         let mut data = Vec::new();
         for phase in phases {
@@ -251,6 +267,40 @@ impl Channel {
         self.stats.segments += 1;
         self.stats.busy += t - start;
         self.busy_until = t;
+        sink.count(Component::Channel, Counter::SegmentsTransmitted, 1);
+        sink.count(
+            Component::Channel,
+            Counter::PhasesTransmitted,
+            self.stats.phases - stats_before.phases,
+        );
+        sink.count(
+            Component::Channel,
+            Counter::BytesFromFlash,
+            self.stats.bytes_out - stats_before.bytes_out,
+        );
+        sink.count(
+            Component::Channel,
+            Counter::BytesToFlash,
+            self.stats.bytes_in - stats_before.bytes_in,
+        );
+        sink.observe(Metric::BusHold, t - start);
+        if sink.is_enabled() {
+            let lun = mask.iter().next().unwrap_or(0);
+            sink.record(babol_trace::TraceEvent {
+                t: start,
+                component: Component::Channel,
+                kind: TraceKind::BusAcquire,
+                lun,
+                op_id,
+            });
+            sink.record(babol_trace::TraceEvent {
+                t,
+                component: Component::Channel,
+                kind: TraceKind::BusRelease,
+                lun,
+                op_id,
+            });
+        }
         Ok(Transmission { end: t, data })
     }
 
@@ -393,6 +443,57 @@ mod tests {
         assert_eq!(s.phases, 2);
         assert!(s.busy > SimDuration::ZERO);
         assert!(ch.utilization(ch.busy_until()) > 0.99);
+    }
+
+    #[test]
+    fn traced_transmit_reports_bus_occupancy() {
+        let mut ch = channel(2);
+        let mut tracer = babol_trace::Tracer::enabled();
+        let phases = vec![ca(op::READ_STATUS)];
+        let tx = ch
+            .transmit_traced(SimTime::ZERO, ChipMask::single(1), &phases, 42, &mut tracer)
+            .unwrap();
+        assert_eq!(
+            tracer.counter(Component::Channel, Counter::SegmentsTransmitted),
+            1
+        );
+        assert_eq!(
+            tracer.counter(Component::Channel, Counter::PhasesTransmitted),
+            1
+        );
+        assert_eq!(tracer.metric(Metric::BusHold).count(), 1);
+        assert_eq!(tracer.metric(Metric::BusHold).max(), tx.end - SimTime::ZERO);
+        let evs: Vec<_> = tracer.events().collect();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(
+            (evs[0].kind, evs[0].t),
+            (TraceKind::BusAcquire, SimTime::ZERO)
+        );
+        assert_eq!(
+            (evs[1].kind, evs[1].t, evs[1].lun, evs[1].op_id),
+            (TraceKind::BusRelease, tx.end, 1, 42)
+        );
+    }
+
+    #[test]
+    fn untraced_transmit_equals_traced_with_noop() {
+        let mut a = channel(1);
+        let mut b = channel(1);
+        let phases = vec![ca(op::READ_STATUS)];
+        let ta = a
+            .transmit(SimTime::ZERO, ChipMask::single(0), &phases)
+            .unwrap();
+        let tb = b
+            .transmit_traced(
+                SimTime::ZERO,
+                ChipMask::single(0),
+                &phases,
+                0,
+                &mut babol_trace::NoopSink,
+            )
+            .unwrap();
+        assert_eq!(ta, tb);
+        assert_eq!(a.stats(), b.stats());
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub fn coro_controller(layout: AddrLayout, cfg: RuntimeConfig) -> SoftController
         };
         let ctx = OpCtx::new(req.lun, 0);
         ctx.set_poll_backoff(cfg.poll_backoff);
+        ctx.set_op_id(req.id);
         let req = *req;
         let body_ctx = ctx.clone();
         let future: std::pin::Pin<Box<dyn std::future::Future<Output = ()>>> = match req.kind {
@@ -75,7 +76,8 @@ pub fn rtos_controller(layout: AddrLayout, cfg: RuntimeConfig) -> SoftController
                     0,
                     ReadOp::new(t, row_of(req), req.col, req.len, req.dram_addr, false),
                 )
-                .with_poll_backoff(cfg.poll_backoff),
+                .with_poll_backoff(cfg.poll_backoff)
+                .with_op_id(req.id),
             ) as Box<dyn SoftTask>,
             IoKind::Program => Box::new(
                 RtosTask::new(
@@ -83,11 +85,13 @@ pub fn rtos_controller(layout: AddrLayout, cfg: RuntimeConfig) -> SoftController
                     0,
                     ProgramOp::new(t, row_of(req), req.dram_addr, req.len, false),
                 )
-                .with_poll_backoff(cfg.poll_backoff),
+                .with_poll_backoff(cfg.poll_backoff)
+                .with_op_id(req.id),
             ),
             IoKind::Erase => Box::new(
                 RtosTask::new(req.lun, 0, EraseOp::new(t, row_of(req)))
-                    .with_poll_backoff(cfg.poll_backoff),
+                    .with_poll_backoff(cfg.poll_backoff)
+                    .with_op_id(req.id),
             ),
         }
     })

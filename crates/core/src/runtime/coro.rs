@@ -93,6 +93,12 @@ impl OpCtx {
         self.mb.borrow_mut().poll_backoff = d;
     }
 
+    /// Tags the task with the host request id it serves, so trace events
+    /// across every layer attribute to the same operation.
+    pub fn set_op_id(&self, id: u64) {
+        self.mb.borrow_mut().op_id = id;
+    }
+
     /// Records the operation's final outcome (read by the controller).
     pub fn set_outcome(&self, outcome: Result<(), OpError>) {
         self.mb.borrow_mut().outcome = Some(outcome);
@@ -202,6 +208,10 @@ impl SoftTask for CoroTask {
             lun: mb.lun,
             priority: mb.priority,
         }
+    }
+
+    fn op_id(&self) -> u64 {
+        self.mb.borrow().op_id
     }
 }
 

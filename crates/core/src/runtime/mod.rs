@@ -24,7 +24,8 @@ use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
 use babol_sim::{SimDuration, SimTime};
-use babol_ufsm::{execute, Transaction};
+use babol_trace::{Component, Counter, Metric, TraceKind, TraceSink};
+use babol_ufsm::{execute_traced, Transaction};
 
 use crate::sched::{TaskMeta, TaskPolicy, TxnMeta, TxnPolicy};
 use crate::system::{Controller, Event, IoRequest, System};
@@ -99,6 +100,9 @@ pub struct Mailbox {
     pub lun: u32,
     /// Task priority (scheduling metadata).
     pub priority: u8,
+    /// Host request id the operation serves (trace attribution; 0 for
+    /// anonymous tasks).
+    pub op_id: u64,
 }
 
 impl Mailbox {
@@ -145,6 +149,11 @@ pub trait SoftTask {
     fn take_outcome(&mut self) -> Option<Result<(), OpError>>;
     /// Scheduling metadata.
     fn meta(&self) -> TaskMeta;
+    /// The host request id this task serves, for trace attribution
+    /// (0 when the task is anonymous — boot, calibration, tests).
+    fn op_id(&self) -> u64 {
+        0
+    }
 }
 
 /// Configuration of a software runtime instance.
@@ -240,6 +249,12 @@ pub struct SoftRuntime {
     finished: Vec<FinishedTask>,
     /// Cumulative count of issued transactions (stats).
     pub txns_issued: u64,
+    /// When each runnable task entered the runnable queue (traced runs
+    /// only; feeds the scheduler pick-wait histogram).
+    runnable_since: HashMap<TaskId, SimTime>,
+    /// Per-ticket (enqueue time, lun, op id) for transaction latency and
+    /// event attribution (traced runs only).
+    txn_info: HashMap<u64, (SimTime, u32, u64)>,
 }
 
 impl fmt::Debug for SoftRuntime {
@@ -275,6 +290,8 @@ impl SoftRuntime {
             lun_parked: HashMap::new(),
             finished: Vec::new(),
             txns_issued: 0,
+            runnable_since: HashMap::new(),
+            txn_info: HashMap::new(),
         }
     }
 
@@ -290,8 +307,9 @@ impl SoftRuntime {
 
     /// Admits a task; returns its id. The caller should schedule a
     /// zero-delay [`Event::CpuDone`] so the pump runs.
-    pub fn spawn(&mut self, task: Box<dyn SoftTask>) -> TaskId {
+    pub fn spawn(&mut self, sys: &mut System, task: Box<dyn SoftTask>) -> TaskId {
         let lun = task.meta().lun;
+        let op_id = task.op_id();
         let tid = if let Some(tid) = self.free_ids.pop() {
             self.tasks[tid] = Some(task);
             tid
@@ -300,6 +318,9 @@ impl SoftRuntime {
             self.tasks.len() - 1
         };
         self.active += 1;
+        sys.trace.count(Component::Sched, Counter::TasksSpawned, 1);
+        sys.trace
+            .event(sys.now, Component::Sched, TraceKind::TaskSpawn, lun, op_id);
         // One operation per LUN at a time: a LUN has one page register, so
         // overlapping operations would corrupt each other. Later arrivals
         // park until the LUN frees up.
@@ -310,6 +331,9 @@ impl SoftRuntime {
             std::collections::hash_map::Entry::Vacant(e) => {
                 e.insert(tid);
                 self.runnable.push_back(tid);
+                if sys.trace.is_enabled() {
+                    self.runnable_since.insert(tid, sys.now);
+                }
             }
         }
         tid
@@ -339,6 +363,9 @@ impl SoftRuntime {
     fn on_timer(&mut self, sys: &mut System, tag: u64) {
         if let Some(tid) = self.sleeping.remove(&tag) {
             self.runnable.push_back(tid);
+            if sys.trace.is_enabled() {
+                self.runnable_since.insert(tid, sys.now);
+            }
             self.pump(sys);
         }
     }
@@ -351,10 +378,27 @@ impl SoftRuntime {
             .remove(&ticket)
             .expect("completion for unknown transaction");
         sys.cpu.charge(sys.now, self.cfg.cost.completion_irq);
+        sys.trace.count(Component::Sched, Counter::TxnsCompleted, 1);
+        if sys.trace.is_enabled() {
+            if let Some((enq, lun, op_id)) = self.txn_info.remove(&ticket) {
+                sys.trace.event(
+                    sys.now,
+                    Component::Sched,
+                    TraceKind::TxnComplete,
+                    lun,
+                    op_id,
+                );
+                sys.trace
+                    .observe(Metric::TxnLatency, sys.now.saturating_since(enq));
+            }
+        }
         if let Some((tid, local)) = self.waiting.remove(&ticket) {
             if let Some(task) = self.tasks[tid].as_mut() {
                 task.deliver(local, TxnResult { inline: data, end });
                 self.runnable.push_back(tid);
+                if sys.trace.is_enabled() {
+                    self.runnable_since.insert(tid, sys.now);
+                }
             }
         }
         // The hardware proceeds to the next queued transaction regardless of
@@ -389,6 +433,18 @@ impl SoftRuntime {
                     data_bytes: txn.data_bytes(),
                     priority: task.meta().priority,
                 };
+                sys.trace.count(Component::Sched, Counter::TxnsEnqueued, 1);
+                if sys.trace.is_enabled() {
+                    let op_id = task.op_id();
+                    sys.trace.event(
+                        sys.now,
+                        Component::Sched,
+                        TraceKind::TxnEnqueue,
+                        meta.lun,
+                        op_id,
+                    );
+                    self.txn_info.insert(ticket, (sys.now, meta.lun, op_id));
+                }
                 self.ready.push(ReadyTxn {
                     ticket,
                     txn,
@@ -406,6 +462,15 @@ impl SoftRuntime {
             if status == TaskStatus::Finished {
                 let outcome = task.take_outcome();
                 let lun = task.meta().lun;
+                let op_id = task.op_id();
+                sys.trace.count(Component::Sched, Counter::TasksFinished, 1);
+                sys.trace.event(
+                    sys.cpu.busy_until(),
+                    Component::Sched,
+                    TraceKind::TaskFinish,
+                    lun,
+                    op_id,
+                );
                 self.finished.push((tid, sys.cpu.busy_until(), outcome));
                 self.tasks[tid] = None;
                 self.free_ids.push(tid);
@@ -436,6 +501,9 @@ impl SoftRuntime {
                 if let Some(next) = next {
                     self.lun_active.insert(lun, next);
                     self.runnable.push_back(next);
+                    if sys.trace.is_enabled() {
+                        self.runnable_since.insert(next, sys.now);
+                    }
                 }
             }
         }
@@ -444,7 +512,9 @@ impl SoftRuntime {
         while self.hw_queue.len() < self.cfg.lookahead && !self.ready.is_empty() {
             sys.cpu.charge(sys.now, cost.txn_sched_pass);
             let metas: Vec<TxnMeta> = self.ready.iter().map(|r| r.meta).collect();
-            let idx = self.cfg.txn_policy.pick(&metas, self.last_txn_lun);
+            let Some(idx) = self.cfg.txn_policy.pick(&metas, self.last_txn_lun) else {
+                break;
+            };
             let r = self.ready.remove(idx);
             self.last_txn_lun = r.meta.lun;
             self.hw_queue.push_back(HwEntry {
@@ -459,18 +529,32 @@ impl SoftRuntime {
         }
     }
 
-    fn pick_runnable(&mut self, _sys: &mut System) -> Option<TaskId> {
-        if self.runnable.is_empty() {
-            return None;
-        }
+    fn pick_runnable(&mut self, sys: &mut System) -> Option<TaskId> {
         let metas: Vec<TaskMeta> = self
             .runnable
             .iter()
             .map(|&tid| self.tasks[tid].as_ref().expect("runnable").meta())
             .collect();
-        let idx = self.cfg.task_policy.pick(&metas, self.last_task_lun);
+        let idx = self.cfg.task_policy.pick(&metas, self.last_task_lun)?;
         self.last_task_lun = metas[idx].lun;
-        self.runnable.remove(idx)
+        let tid = self.runnable.remove(idx);
+        sys.trace.count(Component::Sched, Counter::SchedPicks, 1);
+        if sys.trace.is_enabled() {
+            if let Some(&tid) = tid.as_ref() {
+                let since = self.runnable_since.remove(&tid).unwrap_or(sys.now);
+                sys.trace
+                    .observe(Metric::SchedWait, sys.now.saturating_since(since));
+                let op_id = self.tasks[tid].as_ref().map(|t| t.op_id()).unwrap_or(0);
+                sys.trace.event(
+                    sys.now,
+                    Component::Sched,
+                    TraceKind::SchedPick,
+                    metas[idx].lun,
+                    op_id,
+                );
+            }
+        }
+        tid
     }
 
     /// Hardware side: starts the next queued transaction if the bus is free.
@@ -489,12 +573,29 @@ impl SoftRuntime {
         }
         let entry = self.hw_queue.pop_front().expect("front exists");
         let start = sys.now.max(sys.channel.busy_until()) + self.cfg.issue_gap;
-        let outcome = execute(
+        let op_id = self
+            .txn_info
+            .get(&entry.ticket)
+            .map(|&(_, _, op_id)| op_id)
+            .unwrap_or(0);
+        sys.trace.count(Component::Sched, Counter::TxnsIssued, 1);
+        if sys.trace.is_enabled() {
+            let lun = self
+                .txn_info
+                .get(&entry.ticket)
+                .map(|&(_, lun, _)| lun)
+                .unwrap_or(0);
+            sys.trace
+                .event(start, Component::Sched, TraceKind::TxnIssue, lun, op_id);
+        }
+        let outcome = execute_traced(
             &mut sys.channel,
             &mut sys.dram,
             &sys.emit,
             start,
             &entry.txn,
+            op_id,
+            &mut sys.trace,
         )
         .unwrap_or_else(|e| panic!("operation logic drove an illegal waveform: {e}"));
         self.txns_issued += 1;
@@ -519,6 +620,9 @@ pub struct SoftController {
     req_of: HashMap<TaskId, IoRequest>,
     done: Vec<(IoRequest, SimTime)>,
     scratch: Vec<FinishedTask>,
+    /// Submission time per in-flight task, for op-latency observations
+    /// (traced runs only).
+    submitted_at: HashMap<TaskId, SimTime>,
     /// Operations that finished with an error (visible to experiments).
     pub errors: Vec<(IoRequest, OpError)>,
 }
@@ -538,6 +642,7 @@ impl SoftController {
             req_of: HashMap::new(),
             done: Vec::new(),
             scratch: Vec::new(),
+            submitted_at: HashMap::new(),
             errors: Vec::new(),
         }
     }
@@ -547,13 +652,21 @@ impl SoftController {
         &self.rt
     }
 
-    fn harvest(&mut self) {
+    fn harvest(&mut self, sys: &mut System) {
         let mut fin = std::mem::take(&mut self.scratch);
         self.rt.drain_finished(&mut fin);
         for (tid, at, outcome) in fin.drain(..) {
+            let t0 = self.submitted_at.remove(&tid);
             if let Some(req) = self.req_of.remove(&tid) {
                 if let Some(Err(e)) = outcome {
                     self.errors.push((req, e));
+                }
+                sys.trace.count(Component::Ctrl, Counter::OpsCompleted, 1);
+                if sys.trace.is_enabled() {
+                    sys.trace
+                        .event(at, Component::Ctrl, TraceKind::OpComplete, req.lun, req.id);
+                    sys.trace
+                        .observe(Metric::OpLatency, at.saturating_since(t0.unwrap_or(at)));
                 }
                 self.done.push((req, at));
             }
@@ -572,15 +685,26 @@ impl Controller for SoftController {
             return false;
         }
         let task = (self.factory)(&req);
-        let tid = self.rt.spawn(task);
+        let tid = self.rt.spawn(sys, task);
         self.req_of.insert(tid, req);
+        sys.trace.count(Component::Ctrl, Counter::OpsSubmitted, 1);
+        if sys.trace.is_enabled() {
+            sys.trace.event(
+                sys.now,
+                Component::Ctrl,
+                TraceKind::OpIssue,
+                req.lun,
+                req.id,
+            );
+            self.submitted_at.insert(tid, sys.now);
+        }
         sys.schedule(sys.now, Event::CpuDone);
         true
     }
 
     fn on_event(&mut self, sys: &mut System, ev: Event) {
         self.rt.on_event(sys, ev);
-        self.harvest();
+        self.harvest(sys);
     }
 
     fn take_completions(&mut self, out: &mut Vec<(IoRequest, SimTime)>) {
@@ -650,7 +774,7 @@ mod tests {
     fn spawn_run_finish_cycle() {
         let mut s = sys(1);
         let mut rt = SoftRuntime::new(RuntimeConfig::rtos());
-        rt.spawn(status_task(0));
+        rt.spawn(&mut s, status_task(0));
         assert_eq!(rt.active_tasks(), 1);
         s.schedule(s.now, Event::CpuDone);
         drain(&mut rt, &mut s);
@@ -667,9 +791,9 @@ mod tests {
         let mut s = sys(2);
         let mut rt = SoftRuntime::new(RuntimeConfig::rtos());
         // Two tasks on LUN 0 (must serialize) and one on LUN 1.
-        rt.spawn(status_task(0));
-        rt.spawn(status_task(0));
-        rt.spawn(status_task(1));
+        rt.spawn(&mut s, status_task(0));
+        rt.spawn(&mut s, status_task(0));
+        rt.spawn(&mut s, status_task(1));
         assert_eq!(rt.active_tasks(), 3);
         s.schedule(s.now, Event::CpuDone);
         drain(&mut rt, &mut s);
@@ -686,7 +810,7 @@ mod tests {
         let mut s = sys(4);
         let mut rt = SoftRuntime::new(cfg);
         for lun in 0..4 {
-            rt.spawn(status_task(lun));
+            rt.spawn(&mut s, status_task(lun));
         }
         // Run one pump only: all four tasks submit, but the hardware queue
         // holds at most one transaction; the rest wait in `ready`.
@@ -703,7 +827,7 @@ mod tests {
     fn cpu_is_charged_for_software_actions() {
         let mut s = sys(1);
         let mut rt = SoftRuntime::new(RuntimeConfig::rtos());
-        rt.spawn(status_task(0));
+        rt.spawn(&mut s, status_task(0));
         s.schedule(s.now, Event::CpuDone);
         drain(&mut rt, &mut s);
         // At minimum: task sched + resume + enqueue + suspend + txn sched +
@@ -730,7 +854,7 @@ mod tests {
         };
         let mut s = sys(1);
         let mut rt = SoftRuntime::new(RuntimeConfig::rtos());
-        rt.spawn(Box::new(CoroTask::new(&ctx, fut)));
+        rt.spawn(&mut s, Box::new(CoroTask::new(&ctx, fut)));
         s.schedule(s.now, Event::CpuDone);
         drain(&mut rt, &mut s);
         let mut fin = Vec::new();

@@ -69,6 +69,13 @@ impl<M: RtosMachine> RtosTask<M> {
         self.mb.poll_backoff = d;
         self
     }
+
+    /// Tags the task with the host request id it serves, so trace events
+    /// across every layer attribute to the same operation.
+    pub fn with_op_id(mut self, id: u64) -> Self {
+        self.mb.op_id = id;
+        self
+    }
 }
 
 impl<M: RtosMachine> SoftTask for RtosTask<M> {
@@ -118,6 +125,10 @@ impl<M: RtosMachine> SoftTask for RtosTask<M> {
             lun: self.mb.lun,
             priority: self.mb.priority,
         }
+    }
+
+    fn op_id(&self) -> u64 {
+        self.mb.op_id
     }
 }
 

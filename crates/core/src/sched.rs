@@ -30,12 +30,26 @@ pub enum TaskPolicy {
     Priority,
 }
 
+/// Circular distance from the LUN after `last_lun` to `lun`, over the full
+/// `u32` space. The candidate minimizing this is the next one in rotation.
+/// Reducing the distance modulo a fixed constant (the old `% 64`) aliased
+/// LUNs 64 apart onto the same key, so geometries with more than 64 LUNs —
+/// or sparse LUN ids — starved whichever candidate lost the alias.
+#[inline]
+fn rotation_key(lun: u32, last_lun: u32) -> u32 {
+    lun.wrapping_sub(last_lun.wrapping_add(1))
+}
+
 impl TaskPolicy {
     /// Picks the index of the next task from `candidates`; `last_lun` is the
-    /// LUN served by the previous pick (for rotation).
-    pub fn pick(&self, candidates: &[TaskMeta], last_lun: u32) -> usize {
-        assert!(!candidates.is_empty(), "no runnable task");
-        match self {
+    /// LUN served by the previous pick (for rotation). Returns `None` when
+    /// `candidates` is empty — a drained runnable set is a normal state
+    /// between completions, not a controller bug.
+    pub fn pick(&self, candidates: &[TaskMeta], last_lun: u32) -> Option<usize> {
+        if candidates.is_empty() {
+            return None;
+        }
+        Some(match self {
             TaskPolicy::Fifo => 0,
             TaskPolicy::RoundRobinLun => {
                 // First candidate whose LUN is strictly "after" the last
@@ -43,7 +57,7 @@ impl TaskPolicy {
                 let mut best = 0usize;
                 let mut best_key = u32::MAX;
                 for (i, c) in candidates.iter().enumerate() {
-                    let key = (c.lun.wrapping_sub(last_lun + 1)) % 64;
+                    let key = rotation_key(c.lun, last_lun);
                     if key < best_key {
                         best_key = key;
                         best = i;
@@ -60,7 +74,7 @@ impl TaskPolicy {
                 }
                 best
             }
-        }
+        })
     }
 }
 
@@ -93,16 +107,19 @@ pub enum TxnPolicy {
 }
 
 impl TxnPolicy {
-    /// Picks the index of the next transaction from `candidates`.
-    pub fn pick(&self, candidates: &[TxnMeta], last_lun: u32) -> usize {
-        assert!(!candidates.is_empty(), "no pending transaction");
-        match self {
+    /// Picks the index of the next transaction from `candidates`; `None`
+    /// when the pending set is empty.
+    pub fn pick(&self, candidates: &[TxnMeta], last_lun: u32) -> Option<usize> {
+        if candidates.is_empty() {
+            return None;
+        }
+        Some(match self {
             TxnPolicy::Fifo => 0,
             TxnPolicy::RoundRobinLun => {
                 let mut best = 0usize;
                 let mut best_key = u32::MAX;
                 for (i, c) in candidates.iter().enumerate() {
-                    let key = (c.lun.wrapping_sub(last_lun + 1)) % 64;
+                    let key = rotation_key(c.lun, last_lun);
                     if key < best_key {
                         best_key = key;
                         best = i;
@@ -129,7 +146,7 @@ impl TxnPolicy {
                 }
                 best
             }
-        }
+        })
     }
 }
 
@@ -143,23 +160,62 @@ mod tests {
 
     #[test]
     fn fifo_takes_head() {
-        assert_eq!(TaskPolicy::Fifo.pick(&[t(3), t(1)], 0), 0);
+        assert_eq!(TaskPolicy::Fifo.pick(&[t(3), t(1)], 0), Some(0));
         let x = TxnMeta {
             lun: 0,
             data_bytes: 9,
             priority: 0,
         };
-        assert_eq!(TxnPolicy::Fifo.pick(&[x, x], 5), 0);
+        assert_eq!(TxnPolicy::Fifo.pick(&[x, x], 5), Some(0));
     }
 
     #[test]
     fn round_robin_rotates() {
         let cands = [t(0), t(1), t(2)];
-        assert_eq!(TaskPolicy::RoundRobinLun.pick(&cands, 0), 1);
-        assert_eq!(TaskPolicy::RoundRobinLun.pick(&cands, 2), 0);
+        assert_eq!(TaskPolicy::RoundRobinLun.pick(&cands, 0), Some(1));
+        assert_eq!(TaskPolicy::RoundRobinLun.pick(&cands, 2), Some(0));
         // Missing LUN wraps to the next present one.
         let cands = [t(0), t(5)];
-        assert_eq!(TaskPolicy::RoundRobinLun.pick(&cands, 1), 1);
+        assert_eq!(TaskPolicy::RoundRobinLun.pick(&cands, 1), Some(1));
+    }
+
+    /// Regression: rotation must use the full u32 circular distance. The
+    /// old key reduced distances `% 64`, aliasing LUN ids 64 apart (64 ≡ 0,
+    /// 200 ≡ 8), so sparse ids were served out of rotation order and could
+    /// be starved. Every assertion here involving ids 64/200 picked a
+    /// different candidate under the pre-fix code.
+    #[test]
+    fn round_robin_handles_lun_ids_beyond_64() {
+        let cands = [t(0), t(63), t(64), t(200)];
+        // After LUN 0, the next id in circular order is 63 (the %64 key
+        // aliased 200 to distance 7 and picked it instead).
+        assert_eq!(TaskPolicy::RoundRobinLun.pick(&cands, 0), Some(1));
+        assert_eq!(TaskPolicy::RoundRobinLun.pick(&cands, 63), Some(2));
+        // After 64 comes 200 (the %64 key gave 200 the *worst* distance
+        // and re-picked 63, starving LUN 200 indefinitely).
+        assert_eq!(TaskPolicy::RoundRobinLun.pick(&cands, 64), Some(3));
+        // After the highest id, rotation wraps to the lowest.
+        assert_eq!(TaskPolicy::RoundRobinLun.pick(&cands, 200), Some(0));
+
+        // The transaction scheduler shares the rotation key; same cases.
+        let m = |lun| TxnMeta {
+            lun,
+            data_bytes: 0,
+            priority: 0,
+        };
+        let cands = [m(0), m(63), m(64), m(200)];
+        assert_eq!(TxnPolicy::RoundRobinLun.pick(&cands, 0), Some(1));
+        assert_eq!(TxnPolicy::RoundRobinLun.pick(&cands, 63), Some(2));
+        assert_eq!(TxnPolicy::RoundRobinLun.pick(&cands, 64), Some(3));
+        assert_eq!(TxnPolicy::RoundRobinLun.pick(&cands, 200), Some(0));
+    }
+
+    /// The rotation key must also survive `last_lun = u32::MAX` (the old
+    /// `last_lun + 1` overflowed in debug builds).
+    #[test]
+    fn round_robin_survives_max_lun() {
+        let cands = [t(0), t(7)];
+        assert_eq!(TaskPolicy::RoundRobinLun.pick(&cands, u32::MAX), Some(0));
     }
 
     #[test]
@@ -178,7 +234,7 @@ mod tests {
                 priority: 3,
             },
         ];
-        assert_eq!(TaskPolicy::Priority.pick(&cands, 0), 1);
+        assert_eq!(TaskPolicy::Priority.pick(&cands, 0), Some(1));
     }
 
     #[test]
@@ -200,7 +256,7 @@ mod tests {
                 priority: 0,
             },
         ];
-        assert_eq!(TxnPolicy::CommandsFirst.pick(&cands, 0), 1);
+        assert_eq!(TxnPolicy::CommandsFirst.pick(&cands, 0), Some(1));
     }
 
     #[test]
@@ -211,13 +267,28 @@ mod tests {
             priority: 0,
         };
         let cands = [m(0), m(4), m(7)];
-        assert_eq!(TxnPolicy::RoundRobinLun.pick(&cands, 4), 2);
-        assert_eq!(TxnPolicy::RoundRobinLun.pick(&cands, 7), 0);
+        assert_eq!(TxnPolicy::RoundRobinLun.pick(&cands, 4), Some(2));
+        assert_eq!(TxnPolicy::RoundRobinLun.pick(&cands, 7), Some(0));
     }
 
+    /// An empty candidate set is answered with `None`, never a panic: the
+    /// runnable queue legitimately drains while ops wait on the array.
     #[test]
-    #[should_panic(expected = "no runnable task")]
-    fn empty_candidates_panics() {
-        TaskPolicy::Fifo.pick(&[], 0);
+    fn empty_candidates_yield_none() {
+        for p in [
+            TaskPolicy::Fifo,
+            TaskPolicy::RoundRobinLun,
+            TaskPolicy::Priority,
+        ] {
+            assert_eq!(p.pick(&[], 0), None);
+        }
+        for p in [
+            TxnPolicy::Fifo,
+            TxnPolicy::RoundRobinLun,
+            TxnPolicy::CommandsFirst,
+            TxnPolicy::Priority,
+        ] {
+            assert_eq!(p.pick(&[], 9), None);
+        }
     }
 }

@@ -10,6 +10,7 @@ use std::fmt;
 
 use babol_channel::Channel;
 use babol_sim::{Cpu, Dram, EventQueue, SimDuration, SimTime};
+use babol_trace::{Component, Counter, TraceSink, Tracer};
 use babol_ufsm::EmitConfig;
 
 /// What an FTL-level request asks of the storage controller.
@@ -82,6 +83,9 @@ pub struct System {
     /// The processor running controller software (hardware baselines carry
     /// a zero-cost model).
     pub cpu: Cpu,
+    /// Observability sink shared by every layer. Disabled by default: a
+    /// non-traced run pays one branch per record site and nothing else.
+    pub trace: Tracer,
     events: EventQueue<Event>,
 }
 
@@ -103,6 +107,7 @@ impl System {
             dram: Dram::new(),
             emit,
             cpu,
+            trace: Tracer::disabled(),
             events: EventQueue::new(),
         }
     }
@@ -110,18 +115,26 @@ impl System {
     /// Schedules `event` at absolute time `at`.
     pub fn schedule(&mut self, at: SimTime, event: Event) {
         debug_assert!(at >= self.now, "scheduling into the past");
+        self.trace
+            .count(Component::Sim, Counter::EventsScheduled, 1);
         self.events.push(at, event);
     }
 
     /// Schedules `event` after `delay`.
     pub fn schedule_in(&mut self, delay: SimDuration, event: Event) {
+        self.trace
+            .count(Component::Sim, Counter::EventsScheduled, 1);
         self.events.push(self.now + delay, event);
     }
 
     /// Removes the earliest pending event. Intended for drivers that own
     /// the event loop (the engine, the SSD host driver).
     pub fn pop_event(&mut self) -> Option<(SimTime, Event)> {
-        self.events.pop()
+        let popped = self.events.pop();
+        if popped.is_some() {
+            self.trace.count(Component::Sim, Counter::EventsPopped, 1);
+        }
+        popped
     }
 }
 

@@ -62,6 +62,10 @@ pub struct FioReport {
     pub elapsed: SimDuration,
     /// Mean per-I/O latency.
     pub mean_latency: SimDuration,
+    /// Median per-I/O latency.
+    pub p50_latency: SimDuration,
+    /// 95th-percentile latency.
+    pub p95_latency: SimDuration,
     /// 99th-percentile latency.
     pub p99_latency: SimDuration,
     /// Garbage-collection cycles the job triggered.
@@ -127,6 +131,8 @@ mod tests {
             bytes: 100 * 16384,
             elapsed: SimDuration::from_millis(10),
             mean_latency: SimDuration::from_micros(200),
+            p50_latency: SimDuration::from_micros(180),
+            p95_latency: SimDuration::from_micros(350),
             p99_latency: SimDuration::from_micros(400),
             gc_cycles: 0,
         };

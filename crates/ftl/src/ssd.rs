@@ -13,6 +13,7 @@ use babol::system::{Controller, Event, IoKind, IoRequest, System};
 use babol_flash::Geometry;
 use babol_sim::rng::SplitMix64;
 use babol_sim::{SimDuration, SimTime};
+use babol_trace::{Component, Counter, Metric, TraceKind, TraceSink};
 
 use crate::fio::{FioReport, FioWorkload};
 use crate::map::{PageMap, Ppn};
@@ -125,6 +126,8 @@ impl Ssd {
                 if let Some(t0) = inflight.remove(&req.id) {
                     latencies.push(at - t0);
                     completed += 1;
+                    sys.trace.count(Component::Ftl, Counter::OpsCompleted, 1);
+                    sys.trace.observe(Metric::HostLatency, at - t0);
                 }
             }
             while inflight.len() < wl.queue_depth && issued < wl.total_ios {
@@ -168,16 +171,20 @@ impl Ssd {
         } else {
             latencies.iter().copied().sum::<SimDuration>() / latencies.len() as u64
         };
-        let p99 = latencies
-            .get(((latencies.len().saturating_sub(1)) as f64 * 0.99) as usize)
-            .copied()
-            .unwrap_or(SimDuration::ZERO);
+        let pct = |p: f64| {
+            latencies
+                .get(((latencies.len().saturating_sub(1)) as f64 * p) as usize)
+                .copied()
+                .unwrap_or(SimDuration::ZERO)
+        };
         FioReport {
             ios: completed,
             bytes: completed * page as u64,
             elapsed: sys.now - start,
             mean_latency: mean,
-            p99_latency: p99,
+            p50_latency: pct(0.50),
+            p95_latency: pct(0.95),
+            p99_latency: pct(0.99),
             gc_cycles: self.gc_cycles,
         }
     }
@@ -228,6 +235,11 @@ impl Ssd {
     /// One full GC cycle on `lun`: relocate valid pages, erase the victim.
     /// Runs inline, advancing simulated time (foreground GC).
     fn collect_block(&mut self, sys: &mut System, controller: &mut dyn Controller, lun: u32) {
+        if sys.trace.is_enabled() {
+            let t = sys.now;
+            sys.trace
+                .event(t, Component::Ftl, TraceKind::GcStart, lun, self.gc_cycles);
+        }
         let plan = self
             .map
             .plan_gc(lun)
@@ -279,6 +291,12 @@ impl Ssd {
             block: plan.victim.block,
             page: 0,
         });
+        sys.trace.count(Component::Ftl, Counter::GcCycles, 1);
+        if sys.trace.is_enabled() {
+            let t = sys.now;
+            sys.trace
+                .event(t, Component::Ftl, TraceKind::GcEnd, lun, self.gc_cycles);
+        }
         self.gc_cycles += 1;
     }
 
@@ -379,6 +397,8 @@ mod tests {
         assert_eq!(r.bytes, 32 * 512);
         assert!(r.bandwidth_mbps() > 0.0);
         assert!(r.mean_latency <= r.p99_latency);
+        assert!(r.p50_latency <= r.p95_latency);
+        assert!(r.p95_latency <= r.p99_latency);
         assert_eq!(r.gc_cycles, 0);
     }
 
@@ -442,6 +462,44 @@ mod tests {
         for lun in 0..2 {
             assert!(ssd.map().free_blocks(lun) >= 1, "lun {lun}");
         }
+    }
+
+    /// With tracing enabled, the FTL layer accounts every host completion
+    /// and brackets each GC cycle with start/end events.
+    #[test]
+    fn tracing_accounts_host_ios_and_gc() {
+        let (mut sys, mut ctrl, mut ssd) = tiny_stack(2, false);
+        // Large ring so this GC-heavy job's full event stream is retained
+        // (the default capacity drops the oldest events under this load).
+        sys.trace = babol_trace::Tracer::with_capacity(1 << 21);
+        let wl = FioWorkload {
+            pattern: IoPattern::RandomWrite,
+            total_ios: 280,
+            queue_depth: 1,
+            seed: 3,
+        };
+        let r = ssd.run(&mut sys, &mut ctrl, wl);
+        assert_eq!(
+            sys.trace.counter(Component::Ftl, Counter::OpsCompleted),
+            r.ios
+        );
+        assert_eq!(
+            sys.trace.counter(Component::Ftl, Counter::GcCycles),
+            r.gc_cycles
+        );
+        assert_eq!(sys.trace.metric(Metric::HostLatency).count(), r.ios);
+        let gc_starts = sys
+            .trace
+            .events()
+            .filter(|e| e.kind == TraceKind::GcStart)
+            .count() as u64;
+        let gc_ends = sys
+            .trace
+            .events()
+            .filter(|e| e.kind == TraceKind::GcEnd)
+            .count() as u64;
+        assert_eq!(gc_starts, r.gc_cycles);
+        assert_eq!(gc_ends, r.gc_cycles);
     }
 
     #[test]

@@ -79,6 +79,13 @@ impl<E> EventQueue<E> {
     /// Schedules `event` to fire at time `at`.
     pub fn push(&mut self, at: SimTime, event: E) {
         let seq = self.next_seq;
+        // A wrapped seq would silently reorder ties and break determinism;
+        // at one push per picosecond that is ~584 years of simulated time,
+        // so treat it as a logic error rather than handling it.
+        debug_assert!(
+            seq != u64::MAX,
+            "EventQueue sequence counter exhausted (tie-break order would wrap)"
+        );
         self.next_seq += 1;
         self.heap.push(Scheduled { at, seq, event });
     }

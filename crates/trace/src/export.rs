@@ -1,0 +1,236 @@
+//! Trace exports: line-JSON and Chrome `trace_event` format.
+//!
+//! Both formats are hand-rolled string builders: every field is either an
+//! integer or a static identifier, so no JSON library (and no escaping) is
+//! needed — keeping the workspace hermetic.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use crate::{TraceEvent, TraceKind, Tracer};
+
+impl TraceKind {
+    /// The kind that opens the span this one closes, if any.
+    pub const fn span_begin(self) -> Option<TraceKind> {
+        match self {
+            TraceKind::OpComplete => Some(TraceKind::OpIssue),
+            TraceKind::TaskFinish => Some(TraceKind::TaskSpawn),
+            TraceKind::TxnComplete => Some(TraceKind::TxnIssue),
+            TraceKind::BusRelease => Some(TraceKind::BusAcquire),
+            TraceKind::GcEnd => Some(TraceKind::GcStart),
+            _ => None,
+        }
+    }
+}
+
+fn push_jsonl(out: &mut String, e: &TraceEvent) {
+    let _ = writeln!(
+        out,
+        r#"{{"t_ps":{},"component":"{}","kind":"{}","lun":{},"op_id":{}}}"#,
+        e.t.as_picos(),
+        e.component.name(),
+        e.kind.name(),
+        e.lun,
+        e.op_id
+    );
+}
+
+fn micros(ps: u64) -> f64 {
+    ps as f64 / 1e6
+}
+
+fn push_chrome_span(out: &mut String, begin: &TraceEvent, end: &TraceEvent) {
+    let _ = write!(
+        out,
+        r#"{{"name":"{}","cat":"{}","ph":"X","ts":{:.6},"dur":{:.6},"pid":0,"tid":{},"args":{{"op_id":{}}}}}"#,
+        begin.kind.span_name(),
+        begin.component.name(),
+        micros(begin.t.as_picos()),
+        micros(end.t.as_picos() - begin.t.as_picos()),
+        begin.lun,
+        begin.op_id
+    );
+}
+
+fn push_chrome_instant(out: &mut String, e: &TraceEvent) {
+    let _ = write!(
+        out,
+        r#"{{"name":"{}","cat":"{}","ph":"i","ts":{:.6},"s":"t","pid":0,"tid":{},"args":{{"op_id":{}}}}}"#,
+        e.kind.name(),
+        e.component.name(),
+        micros(e.t.as_picos()),
+        e.lun,
+        e.op_id
+    );
+}
+
+impl Tracer {
+    /// Renders the event ring as line-delimited JSON, one event per line,
+    /// oldest first.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for e in self.events() {
+            push_jsonl(&mut out, e);
+        }
+        out
+    }
+
+    /// Renders the event ring in Chrome `trace_event` format (the JSON
+    /// object flavor), suitable for `chrome://tracing` or Perfetto.
+    ///
+    /// Begin/end kind pairs sharing `(op_id, lun)` fold into `ph:"X"`
+    /// complete spans on track `tid = lun`; unpaired events (and kinds with
+    /// no pair) export as instants. Timestamps are microseconds with
+    /// picosecond precision.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut items: Vec<String> = Vec::new();
+        // Open span starts, keyed by (begin-kind name, op_id, lun). A Vec
+        // per key handles nesting (e.g. retried ops); BTreeMap keeps the
+        // leftover sweep deterministic.
+        let mut open: BTreeMap<(&'static str, u64, u32), Vec<&TraceEvent>> = BTreeMap::new();
+        for e in self.events() {
+            if e.kind.span_end().is_some() {
+                open.entry((e.kind.name(), e.op_id, e.lun))
+                    .or_default()
+                    .push(e);
+            } else if let Some(begin_kind) = e.kind.span_begin() {
+                let key = (begin_kind.name(), e.op_id, e.lun);
+                match open.get_mut(&key).and_then(Vec::pop) {
+                    Some(begin) => {
+                        let mut s = String::new();
+                        push_chrome_span(&mut s, begin, e);
+                        items.push(s);
+                    }
+                    None => {
+                        let mut s = String::new();
+                        push_chrome_instant(&mut s, e);
+                        items.push(s);
+                    }
+                }
+            } else {
+                let mut s = String::new();
+                push_chrome_instant(&mut s, e);
+                items.push(s);
+            }
+        }
+        // Spans still open when the trace ended (op in flight at shutdown,
+        // or the begin fell off the ring): render as instants.
+        for (_, starts) in open {
+            for e in starts {
+                let mut s = String::new();
+                push_chrome_instant(&mut s, e);
+                items.push(s);
+            }
+        }
+        let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+        for (i, item) in items.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            out.push_str(item);
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Writes [`Tracer::to_json_lines`] to `path`.
+    pub fn write_json_lines(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_json_lines())
+    }
+
+    /// Writes [`Tracer::to_chrome_trace`] to `path`.
+    pub fn write_chrome_trace(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_chrome_trace())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use babol_sim::SimTime;
+
+    use crate::{Component, TraceEvent, TraceKind, TraceSink, Tracer};
+
+    fn ev(ps: u64, kind: TraceKind, lun: u32, op: u64) -> TraceEvent {
+        TraceEvent {
+            t: SimTime::from_picos(ps),
+            component: Component::Channel,
+            kind,
+            lun,
+            op_id: op,
+        }
+    }
+
+    #[test]
+    fn jsonl_one_line_per_event() {
+        let mut t = Tracer::enabled();
+        t.record(ev(1_000, TraceKind::BusAcquire, 2, 7));
+        t.record(ev(5_000, TraceKind::BusRelease, 2, 7));
+        let s = t.to_json_lines();
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.starts_with(
+            r#"{"t_ps":1000,"component":"channel","kind":"bus_acquire","lun":2,"op_id":7}"#
+        ));
+    }
+
+    #[test]
+    fn chrome_pairs_fold_into_spans() {
+        let mut t = Tracer::enabled();
+        t.record(ev(1_000_000, TraceKind::BusAcquire, 2, 7));
+        t.record(ev(3_000_000, TraceKind::SchedPick, 0, 7));
+        t.record(ev(5_000_000, TraceKind::BusRelease, 2, 7));
+        // Unpaired begin: stays open, exported as an instant.
+        t.record(ev(6_000_000, TraceKind::BusAcquire, 3, 8));
+        let s = t.to_chrome_trace();
+        assert!(s.contains(r#""ph":"X""#), "no complete span in {s}");
+        assert!(s.contains(r#""dur":4.000000"#), "wrong duration in {s}");
+        assert_eq!(s.matches(r#""ph":"i""#).count(), 2, "instants in {s}");
+        assert!(s.contains(r#""tid":2"#));
+    }
+
+    #[test]
+    fn chrome_trace_is_structurally_valid_json() {
+        // A tiny recursive-descent check: balanced braces/brackets outside
+        // strings, since we can't pull in a JSON parser.
+        let mut t = Tracer::enabled();
+        for i in 0..10 {
+            t.record(ev(i * 1000, TraceKind::OpIssue, i as u32, i));
+            t.record(ev(i * 1000 + 500, TraceKind::OpComplete, i as u32, i));
+        }
+        let s = t.to_chrome_trace();
+        let (mut brace, mut bracket, mut in_str) = (0i64, 0i64, false);
+        let mut prev = ' ';
+        for c in s.chars() {
+            if in_str {
+                if c == '"' && prev != '\\' {
+                    in_str = false;
+                }
+            } else {
+                match c {
+                    '"' => in_str = true,
+                    '{' => brace += 1,
+                    '}' => brace -= 1,
+                    '[' => bracket += 1,
+                    ']' => bracket -= 1,
+                    _ => {}
+                }
+                assert!(brace >= 0 && bracket >= 0);
+            }
+            prev = c;
+        }
+        assert_eq!((brace, bracket, in_str), (0, 0, false));
+        assert!(s.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn empty_trace_still_exports_valid_skeleton() {
+        let t = Tracer::enabled();
+        assert_eq!(t.to_json_lines(), "");
+        assert_eq!(
+            t.to_chrome_trace(),
+            "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n]}\n"
+        );
+    }
+}

@@ -1,0 +1,397 @@
+//! Structured observability for the BABOL reproduction.
+//!
+//! The paper's argument (§VI) is quantitative: controller time is split
+//! between CPU scheduler passes, channel occupancy, and array time, and the
+//! software-defined design wins or loses on where those picoseconds go.
+//! This crate gives every layer of the simulation a shared, allocation-free
+//! way to account for them:
+//!
+//! * **Counters** — per-[`Component`] monotonic `u64` counts (events
+//!   scheduled, transactions issued, bus segments transmitted, ...), stored
+//!   in a fixed 2-D array.
+//! * **Histograms** — log2-bucketed latency distributions ([`Histogram`])
+//!   for op issue→complete, channel acquire→release, scheduler pick wait,
+//!   and friends. Fixed size, no allocation on the record path.
+//! * **Event trace** — a bounded ring buffer of [`TraceEvent`]s exportable
+//!   as line-JSON or Chrome `trace_event` JSON, so `chrome://tracing` (or
+//!   Perfetto) renders a controller timeline with one LUN per track.
+//!
+//! Everything funnels through the [`TraceSink`] trait. The default sink,
+//! [`NoopSink`], does nothing; the real [`Tracer`] starts disabled and every
+//! record method begins with an `#[inline]` branch on a `bool`, so the cost
+//! of tracing in a disabled run is one predictable branch per site. Tracing
+//! is a pure observer: it never mutates simulation state, consumes
+//! randomness, or influences scheduling, which is what makes the
+//! tracing-on/tracing-off determinism test in `tests/determinism.rs` hold.
+
+mod export;
+mod hist;
+mod tracer;
+
+pub use hist::Histogram;
+pub use tracer::Tracer;
+
+use babol_sim::{SimDuration, SimTime};
+
+/// The subsystem a trace event or counter belongs to.
+///
+/// Mirrors the crate layering: the simulation core, the shared channel bus,
+/// the μFSM instruction layer, the software scheduler, the controller
+/// front-end, and the FTL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Component {
+    /// Event queue / simulation core (`babol-sim`).
+    Sim,
+    /// Shared channel bus arbiter (`babol-channel`).
+    Channel,
+    /// μFSM instruction layer (`babol-ufsm`).
+    Ufsm,
+    /// Task/transaction schedulers inside `SoftRuntime`.
+    Sched,
+    /// Controller front-end (`SoftController`: op submit/harvest).
+    Ctrl,
+    /// Flash translation layer (`babol-ftl`).
+    Ftl,
+}
+
+impl Component {
+    /// Number of components (array dimension for counter storage).
+    pub const COUNT: usize = 6;
+
+    /// All components, in display order.
+    pub const ALL: [Component; Component::COUNT] = [
+        Component::Sim,
+        Component::Channel,
+        Component::Ufsm,
+        Component::Sched,
+        Component::Ctrl,
+        Component::Ftl,
+    ];
+
+    /// Dense index for array storage.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short lowercase name (used as the Chrome trace `cat` field).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Component::Sim => "sim",
+            Component::Channel => "channel",
+            Component::Ufsm => "ufsm",
+            Component::Sched => "sched",
+            Component::Ctrl => "ctrl",
+            Component::Ftl => "ftl",
+        }
+    }
+}
+
+/// What happened. Begin/end pairs share an `op_id` and fold into Chrome
+/// "complete" (`ph:"X"`) spans; everything else exports as an instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceKind {
+    /// Host-visible operation submitted to the controller.
+    OpIssue,
+    /// Host-visible operation completed (pairs with [`TraceKind::OpIssue`]).
+    OpComplete,
+    /// A software task was spawned into the runtime.
+    TaskSpawn,
+    /// A software task ran to completion (pairs with
+    /// [`TraceKind::TaskSpawn`]).
+    TaskFinish,
+    /// The task scheduler picked a task to run.
+    SchedPick,
+    /// A built transaction entered the ready queue.
+    TxnEnqueue,
+    /// A transaction was issued to the hardware instruction queue (pairs
+    /// with [`TraceKind::TxnComplete`]).
+    TxnIssue,
+    /// A transaction's completion interrupt fired.
+    TxnComplete,
+    /// The channel bus was acquired for a transmission (pairs with
+    /// [`TraceKind::BusRelease`]).
+    BusAcquire,
+    /// The channel bus went idle again.
+    BusRelease,
+    /// A μFSM instruction was dispatched onto the bus.
+    InstrDispatch,
+    /// Foreground garbage collection started (pairs with
+    /// [`TraceKind::GcEnd`]).
+    GcStart,
+    /// Foreground garbage collection finished.
+    GcEnd,
+}
+
+impl TraceKind {
+    /// Short name used in exports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            TraceKind::OpIssue => "op_issue",
+            TraceKind::OpComplete => "op_complete",
+            TraceKind::TaskSpawn => "task_spawn",
+            TraceKind::TaskFinish => "task_finish",
+            TraceKind::SchedPick => "sched_pick",
+            TraceKind::TxnEnqueue => "txn_enqueue",
+            TraceKind::TxnIssue => "txn_issue",
+            TraceKind::TxnComplete => "txn_complete",
+            TraceKind::BusAcquire => "bus_acquire",
+            TraceKind::BusRelease => "bus_release",
+            TraceKind::InstrDispatch => "instr_dispatch",
+            TraceKind::GcStart => "gc_start",
+            TraceKind::GcEnd => "gc_end",
+        }
+    }
+
+    /// The kind that closes this one into a span, if it opens one.
+    pub const fn span_end(self) -> Option<TraceKind> {
+        match self {
+            TraceKind::OpIssue => Some(TraceKind::OpComplete),
+            TraceKind::TaskSpawn => Some(TraceKind::TaskFinish),
+            TraceKind::TxnIssue => Some(TraceKind::TxnComplete),
+            TraceKind::BusAcquire => Some(TraceKind::BusRelease),
+            TraceKind::GcStart => Some(TraceKind::GcEnd),
+            _ => None,
+        }
+    }
+
+    /// Span label for paired kinds (the Chrome trace `name` field).
+    pub const fn span_name(self) -> &'static str {
+        match self {
+            TraceKind::OpIssue => "op",
+            TraceKind::TaskSpawn => "task",
+            TraceKind::TxnIssue => "txn",
+            TraceKind::BusAcquire => "bus",
+            TraceKind::GcStart => "gc",
+            _ => self.name(),
+        }
+    }
+}
+
+/// One record in the bounded event trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated time the event occurred.
+    pub t: SimTime,
+    /// Which subsystem recorded it.
+    pub component: Component,
+    /// What happened.
+    pub kind: TraceKind,
+    /// Target LUN (0 when not LUN-addressed).
+    pub lun: u32,
+    /// Owning operation/request id (0 when anonymous).
+    pub op_id: u64,
+}
+
+/// Monotonic counters, indexed per [`Component`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Counter {
+    /// Events pushed onto the simulation event queue.
+    EventsScheduled,
+    /// Events popped off the simulation event queue.
+    EventsPopped,
+    /// Tasks spawned into the runtime.
+    TasksSpawned,
+    /// Tasks that ran to completion.
+    TasksFinished,
+    /// Task-scheduler picks performed.
+    SchedPicks,
+    /// Transactions enqueued by tasks.
+    TxnsEnqueued,
+    /// Transactions issued to the hardware queue.
+    TxnsIssued,
+    /// Transaction completion interrupts taken.
+    TxnsCompleted,
+    /// μFSM instructions dispatched.
+    InstrsDispatched,
+    /// Bus segments (transmissions) carried.
+    SegmentsTransmitted,
+    /// Individual bus phases carried.
+    PhasesTransmitted,
+    /// Bytes written toward the flash array.
+    BytesToFlash,
+    /// Bytes read back from the flash array.
+    BytesFromFlash,
+    /// Host-visible operations submitted.
+    OpsSubmitted,
+    /// Host-visible operations completed.
+    OpsCompleted,
+    /// Foreground GC cycles run.
+    GcCycles,
+}
+
+impl Counter {
+    /// Number of counters (array dimension for storage).
+    pub const COUNT: usize = 16;
+
+    /// All counters, in display order.
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::EventsScheduled,
+        Counter::EventsPopped,
+        Counter::TasksSpawned,
+        Counter::TasksFinished,
+        Counter::SchedPicks,
+        Counter::TxnsEnqueued,
+        Counter::TxnsIssued,
+        Counter::TxnsCompleted,
+        Counter::InstrsDispatched,
+        Counter::SegmentsTransmitted,
+        Counter::PhasesTransmitted,
+        Counter::BytesToFlash,
+        Counter::BytesFromFlash,
+        Counter::OpsSubmitted,
+        Counter::OpsCompleted,
+        Counter::GcCycles,
+    ];
+
+    /// Dense index for array storage.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Snake-case name used in exports and tables.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Counter::EventsScheduled => "events_scheduled",
+            Counter::EventsPopped => "events_popped",
+            Counter::TasksSpawned => "tasks_spawned",
+            Counter::TasksFinished => "tasks_finished",
+            Counter::SchedPicks => "sched_picks",
+            Counter::TxnsEnqueued => "txns_enqueued",
+            Counter::TxnsIssued => "txns_issued",
+            Counter::TxnsCompleted => "txns_completed",
+            Counter::InstrsDispatched => "instrs_dispatched",
+            Counter::SegmentsTransmitted => "segments_transmitted",
+            Counter::PhasesTransmitted => "phases_transmitted",
+            Counter::BytesToFlash => "bytes_to_flash",
+            Counter::BytesFromFlash => "bytes_from_flash",
+            Counter::OpsSubmitted => "ops_submitted",
+            Counter::OpsCompleted => "ops_completed",
+            Counter::GcCycles => "gc_cycles",
+        }
+    }
+}
+
+/// Latency distributions tracked as log2 histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// Host op issue → completion (controller front-end view).
+    OpLatency,
+    /// Host request latency as the FTL sees it (fio driver view).
+    HostLatency,
+    /// Transaction enqueue → completion interrupt.
+    TxnLatency,
+    /// Channel bus acquire → release (occupancy per transmission).
+    BusHold,
+    /// Task became runnable → task scheduler picked it.
+    SchedWait,
+}
+
+impl Metric {
+    /// Number of metrics (array dimension for storage).
+    pub const COUNT: usize = 5;
+
+    /// All metrics, in display order.
+    pub const ALL: [Metric; Metric::COUNT] = [
+        Metric::OpLatency,
+        Metric::HostLatency,
+        Metric::TxnLatency,
+        Metric::BusHold,
+        Metric::SchedWait,
+    ];
+
+    /// Dense index for array storage.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Snake-case name used in exports and tables.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Metric::OpLatency => "op_latency",
+            Metric::HostLatency => "host_latency",
+            Metric::TxnLatency => "txn_latency",
+            Metric::BusHold => "bus_hold",
+            Metric::SchedWait => "sched_wait",
+        }
+    }
+}
+
+/// Destination for trace records. Every method has a no-op default, so a
+/// sink only overrides what it cares about, and the disabled path costs a
+/// single branch per call site.
+pub trait TraceSink {
+    /// Whether the sink wants records at all. Call sites that need to do
+    /// extra work to *build* a record (e.g. compute per-instruction
+    /// timestamps) should guard on this first; plain `record`/`count`/
+    /// `observe` calls are cheap enough to make unconditionally.
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        false
+    }
+
+    /// Appends an event to the trace ring.
+    #[inline]
+    fn record(&mut self, _event: TraceEvent) {}
+
+    /// Adds `n` to a per-component counter.
+    #[inline]
+    fn count(&mut self, _component: Component, _counter: Counter, _n: u64) {}
+
+    /// Records one latency observation.
+    #[inline]
+    fn observe(&mut self, _metric: Metric, _latency: SimDuration) {}
+}
+
+/// The default sink: discards everything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_indices_are_consistent() {
+        for (i, c) in Component::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        for (i, m) in Metric::ALL.iter().enumerate() {
+            assert_eq!(m.index(), i);
+        }
+    }
+
+    #[test]
+    fn span_pairs_are_symmetric_names() {
+        assert_eq!(TraceKind::OpIssue.span_end(), Some(TraceKind::OpComplete));
+        assert_eq!(
+            TraceKind::BusAcquire.span_end(),
+            Some(TraceKind::BusRelease)
+        );
+        assert_eq!(TraceKind::SchedPick.span_end(), None);
+        assert_eq!(TraceKind::OpIssue.span_name(), "op");
+        assert_eq!(TraceKind::SchedPick.span_name(), "sched_pick");
+    }
+
+    #[test]
+    fn noop_sink_is_disabled() {
+        let mut s = NoopSink;
+        assert!(!s.is_enabled());
+        s.count(Component::Sim, Counter::EventsScheduled, 3);
+        s.observe(Metric::BusHold, SimDuration::from_nanos(5));
+        s.record(TraceEvent {
+            t: SimTime::ZERO,
+            component: Component::Sim,
+            kind: TraceKind::SchedPick,
+            lun: 0,
+            op_id: 0,
+        });
+    }
+}

@@ -1,0 +1,200 @@
+//! The concrete trace sink: counters + histograms + bounded event ring.
+
+use std::collections::VecDeque;
+
+use babol_sim::{SimDuration, SimTime};
+
+use crate::hist::Histogram;
+use crate::{Component, Counter, Metric, TraceEvent, TraceSink};
+
+/// Default ring capacity: enough for every event of a Fig. 10 microbench
+/// point or a tiny fio job, small enough (~2 MiB) to leave resident in
+/// every `System` without thought.
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// Counters, histograms and a bounded event ring.
+///
+/// Starts **disabled**: every record method is an `#[inline]` early return
+/// on one `bool`, so a non-traced run pays a predictable branch per site
+/// and nothing else. When the ring fills, the oldest events are dropped
+/// (and counted in [`Tracer::dropped`]) — a timeline wants the most recent
+/// window, and bounding memory keeps long fio runs safe.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    enabled: bool,
+    capacity: usize,
+    ring: VecDeque<TraceEvent>,
+    dropped: u64,
+    counters: [[u64; Counter::COUNT]; Component::COUNT],
+    metrics: [Histogram; Metric::COUNT],
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::disabled()
+    }
+}
+
+impl Tracer {
+    /// A disabled tracer: records nothing until [`Tracer::set_enabled`].
+    pub fn disabled() -> Self {
+        Tracer {
+            enabled: false,
+            capacity: DEFAULT_CAPACITY,
+            ring: VecDeque::new(),
+            dropped: 0,
+            counters: [[0; Counter::COUNT]; Component::COUNT],
+            metrics: std::array::from_fn(|_| Histogram::new()),
+        }
+    }
+
+    /// An enabled tracer with the default ring capacity.
+    pub fn enabled() -> Self {
+        Tracer::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// An enabled tracer holding at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut t = Tracer::disabled();
+        t.capacity = capacity.max(1);
+        t.enabled = true;
+        t
+    }
+
+    /// Turns recording on or off. Already-collected data is kept.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Events dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events currently held in the ring, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.ring.iter()
+    }
+
+    /// Current value of one counter.
+    pub fn counter(&self, component: Component, counter: Counter) -> u64 {
+        self.counters[component.index()][counter.index()]
+    }
+
+    /// Sum of one counter across all components.
+    pub fn counter_total(&self, counter: Counter) -> u64 {
+        self.counters.iter().map(|row| row[counter.index()]).sum()
+    }
+
+    /// The histogram behind one metric.
+    pub fn metric(&self, metric: Metric) -> &Histogram {
+        &self.metrics[metric.index()]
+    }
+
+    /// Convenience: record an event from its parts.
+    #[inline]
+    pub fn event(
+        &mut self,
+        t: SimTime,
+        component: Component,
+        kind: crate::TraceKind,
+        lun: u32,
+        op_id: u64,
+    ) {
+        self.record(TraceEvent {
+            t,
+            component,
+            kind,
+            lun,
+            op_id,
+        });
+    }
+}
+
+impl TraceSink for Tracer {
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    #[inline]
+    fn record(&mut self, event: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(event);
+    }
+
+    #[inline]
+    fn count(&mut self, component: Component, counter: Counter, n: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.counters[component.index()][counter.index()] += n;
+    }
+
+    #[inline]
+    fn observe(&mut self, metric: Metric, latency: SimDuration) {
+        if !self.enabled {
+            return;
+        }
+        self.metrics[metric.index()].record(latency);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceKind;
+
+    fn ev(ps: u64, op: u64) -> TraceEvent {
+        TraceEvent {
+            t: SimTime::from_picos(ps),
+            component: Component::Channel,
+            kind: TraceKind::BusAcquire,
+            lun: 1,
+            op_id: op,
+        }
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Tracer::disabled();
+        t.record(ev(1, 1));
+        t.count(Component::Sim, Counter::EventsScheduled, 9);
+        t.observe(Metric::BusHold, SimDuration::from_nanos(3));
+        assert_eq!(t.events().count(), 0);
+        assert_eq!(t.counter(Component::Sim, Counter::EventsScheduled), 0);
+        assert!(t.metric(Metric::BusHold).is_empty());
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let mut t = Tracer::with_capacity(3);
+        for i in 0..5 {
+            t.record(ev(i, i));
+        }
+        assert_eq!(t.dropped(), 2);
+        let ops: Vec<u64> = t.events().map(|e| e.op_id).collect();
+        assert_eq!(ops, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn counters_and_metrics_accumulate() {
+        let mut t = Tracer::enabled();
+        t.count(Component::Channel, Counter::SegmentsTransmitted, 2);
+        t.count(Component::Channel, Counter::SegmentsTransmitted, 1);
+        t.count(Component::Ufsm, Counter::SegmentsTransmitted, 4);
+        assert_eq!(
+            t.counter(Component::Channel, Counter::SegmentsTransmitted),
+            3
+        );
+        assert_eq!(t.counter_total(Counter::SegmentsTransmitted), 7);
+        t.observe(Metric::SchedWait, SimDuration::from_nanos(10));
+        assert_eq!(t.metric(Metric::SchedWait).count(), 1);
+    }
+}

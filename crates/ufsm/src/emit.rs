@@ -10,6 +10,7 @@ use babol_channel::{Channel, ChannelError};
 use babol_onfi::bus::{BusPhase, PhaseKind};
 use babol_onfi::timing::{DataInterface, TimingParams};
 use babol_sim::{Dram, SimDuration, SimTime};
+use babol_trace::{Component, Counter, TraceKind, TraceSink};
 
 use crate::instr::{DmaDest, Instr, Latch, PostWait, Transaction};
 use crate::packetizer::PacketizerConfig;
@@ -111,11 +112,42 @@ pub fn execute(
     start: SimTime,
     txn: &Transaction,
 ) -> Result<Outcome, ChannelError> {
+    execute_traced(
+        channel,
+        dram,
+        cfg,
+        start,
+        txn,
+        0,
+        &mut babol_trace::NoopSink,
+    )
+}
+
+/// [`execute`], reporting to a trace sink: one `InstrDispatch` event per
+/// μFSM instruction (timestamped at the instruction's first bus phase), an
+/// instruction counter, and — via [`Channel::transmit_traced`] — the bus
+/// acquire/release pair for the whole segment.
+pub fn execute_traced(
+    channel: &mut Channel,
+    dram: &mut Dram,
+    cfg: &EmitConfig,
+    start: SimTime,
+    txn: &Transaction,
+    op_id: u64,
+    sink: &mut dyn TraceSink,
+) -> Result<Outcome, ChannelError> {
+    let trace_on = sink.is_enabled();
     let mut phases = Vec::new();
     // (phase index, length, dest) for each data-out burst, to split the
     // returned byte stream afterwards.
     let mut reads: Vec<(usize, DmaDest)> = Vec::new();
+    // Phase index where each instruction's waveform starts (traced runs
+    // only; the disabled path must not allocate beyond `execute`'s own).
+    let mut instr_marks: Vec<usize> = Vec::new();
     for instr in txn.instrs() {
+        if trace_on {
+            instr_marks.push(phases.len());
+        }
         match instr {
             Instr::CaWriter { latches, post } => {
                 for latch in latches {
@@ -166,7 +198,30 @@ pub fn execute(
             }
         }
     }
-    let tx = channel.transmit(start, txn.chip_mask(), &phases)?;
+    let tx = channel.transmit_traced(start, txn.chip_mask(), &phases, op_id, sink)?;
+    sink.count(
+        Component::Ufsm,
+        Counter::InstrsDispatched,
+        txn.instrs().len() as u64,
+    );
+    if trace_on {
+        let lun = txn.chip_mask().iter().next().unwrap_or(0);
+        let mut t = start;
+        let mut next_phase = 0usize;
+        for &mark in &instr_marks {
+            while next_phase < mark {
+                t += phases[next_phase].duration;
+                next_phase += 1;
+            }
+            sink.record(babol_trace::TraceEvent {
+                t,
+                component: Component::Ufsm,
+                kind: TraceKind::InstrDispatch,
+                lun,
+                op_id,
+            });
+        }
+    }
     // Split the returned stream across the data readers.
     let mut inline = Vec::new();
     let mut cursor = 0usize;
@@ -329,6 +384,43 @@ mod tests {
         for i in 0..4 {
             assert!(ch.lun(i).busy_until().is_some(), "LUN {i}");
         }
+    }
+
+    #[test]
+    fn traced_execute_matches_plain_and_marks_instrs() {
+        let (mut ch, mut dram, cfg) = setup(1);
+        let txn = Transaction::new(ChipMask::single(0))
+            .ca(vec![Latch::Cmd(op::READ_STATUS)], PostWait::Whr)
+            .read(1, DmaDest::Inline);
+        let mut tracer = babol_trace::Tracer::enabled();
+        let traced = execute_traced(
+            &mut ch,
+            &mut dram,
+            &cfg,
+            SimTime::ZERO,
+            &txn,
+            7,
+            &mut tracer,
+        )
+        .unwrap();
+        let (mut ch2, mut dram2, _) = setup(1);
+        let plain = execute(&mut ch2, &mut dram2, &cfg, SimTime::ZERO, &txn).unwrap();
+        assert_eq!(traced, plain, "tracing changed the outcome");
+        assert_eq!(
+            tracer.counter(Component::Ufsm, Counter::InstrsDispatched),
+            2
+        );
+        let dispatches: Vec<_> = tracer
+            .events()
+            .filter(|e| e.kind == TraceKind::InstrDispatch)
+            .collect();
+        assert_eq!(dispatches.len(), 2);
+        // First instruction starts with the bus; the reader starts after
+        // the CA segment + tWHR.
+        assert_eq!(dispatches[0].t, SimTime::ZERO);
+        assert!(dispatches[1].t > SimTime::ZERO);
+        assert!(dispatches[1].t < traced.end);
+        assert!(dispatches.iter().all(|e| e.op_id == 7));
     }
 
     #[test]

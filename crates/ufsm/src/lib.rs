@@ -27,6 +27,6 @@ pub mod emit;
 pub mod instr;
 pub mod packetizer;
 
-pub use emit::{execute, EmitConfig, Outcome};
+pub use emit::{execute, execute_traced, EmitConfig, Outcome};
 pub use instr::{DmaDest, Instr, Latch, PostWait, Transaction};
 pub use packetizer::PacketizerConfig;

@@ -3,7 +3,12 @@
 //!
 //! ```sh
 //! cargo run --release --example ssd_fio
+//! cargo run --release --example ssd_fio -- --trace /tmp/ssd.json
 //! ```
+//!
+//! With `--trace`, the GC-heavy random-write job runs with the tracing
+//! layer enabled and its timeline is written as a Chrome `trace_event`
+//! file (open at `chrome://tracing` or <https://ui.perfetto.dev>).
 
 use babol::factory::rtos_controller;
 use babol::runtime::RuntimeConfig;
@@ -47,6 +52,20 @@ fn stack(preloaded: bool) -> (System, babol::runtime::SoftController, Ssd) {
 }
 
 fn main() {
+    let mut trace_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            trace_path = Some(args.next().unwrap_or_else(|| {
+                eprintln!("--trace requires a file path");
+                std::process::exit(2);
+            }));
+        } else {
+            eprintln!("unrecognized argument: {arg}");
+            std::process::exit(2);
+        }
+    }
+
     // Read jobs over a preloaded device.
     for (name, pattern) in [
         ("sequential read", IoPattern::SequentialRead),
@@ -64,16 +83,21 @@ fn main() {
             },
         );
         println!(
-            "{name:17}  {:7.1} MB/s  {:8.0} IOPS  mean {}  p99 {}",
+            "{name:17}  {:7.1} MB/s  {:8.0} IOPS  mean {}  p50 {}  p95 {}  p99 {}",
             r.bandwidth_mbps(),
             r.iops(),
             r.mean_latency,
+            r.p50_latency,
+            r.p95_latency,
             r.p99_latency
         );
     }
 
     // A sustained random-write job: 3x the logical space, forcing GC.
     let (mut sys, mut ctrl, mut ssd) = stack(false);
+    if trace_path.is_some() {
+        sys.trace = babol_trace::Tracer::enabled();
+    }
     let r = ssd.run(
         &mut sys,
         &mut ctrl,
@@ -85,11 +109,26 @@ fn main() {
         },
     );
     println!(
-        "random write x3    {:7.1} MB/s  {:8.0} IOPS  mean {}  ({} GC cycles ran)",
+        "random write x3    {:7.1} MB/s  {:8.0} IOPS  mean {}  p50 {}  p95 {}  p99 {}  ({} GC cycles ran)",
         r.bandwidth_mbps(),
         r.iops(),
         r.mean_latency,
+        r.p50_latency,
+        r.p95_latency,
+        r.p99_latency,
         r.gc_cycles
     );
     assert!(r.gc_cycles > 0);
+
+    if let Some(path) = trace_path {
+        if let Err(e) = sys.trace.write_chrome_trace(&path) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "trace: wrote {} events ({} dropped) to {path}",
+            sys.trace.events().count(),
+            sys.trace.dropped()
+        );
+    }
 }

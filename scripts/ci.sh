@@ -33,4 +33,18 @@ for ex in quickstart boot_and_calibrate advanced_ops read_retry_ecc ssd_fio; do
   cargo run --release --offline --example "$ex"
 done
 
+step "trace export smoke (ssd_fio --trace)"
+cargo run --release --offline --example ssd_fio -- --trace /tmp/babol_trace.json
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+d = json.load(open("/tmp/babol_trace.json"))
+assert d["traceEvents"], "trace file has no events"
+assert all("ph" in e and "ts" in e for e in d["traceEvents"])
+print(f"trace OK: {len(d['traceEvents'])} events")
+EOF
+else
+  echo "python3 not found; skipped trace JSON validation"
+fi
+
 step "CI mirror: all green"

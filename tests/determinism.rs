@@ -8,7 +8,9 @@
 //! included), so comparing the rendered traces is an exact equality check
 //! on the simulated event history.
 
-use babol_bench::{build_controller, build_system, read_microbench, ControllerKind};
+use babol_bench::{
+    build_controller, build_system, read_microbench, read_microbench_traced, ControllerKind,
+};
 use babol_flash::PackageProfile;
 use babol_ftl::{FioWorkload, IoPattern, Ssd, SsdConfig};
 
@@ -33,6 +35,55 @@ fn microbench_trace_is_reproducible() {
             format!("{a:?}"),
             format!("{b:?}"),
             "{kind:?} run report diverged"
+        );
+    }
+}
+
+/// The tracing layer is a pure observer: switching it on must not move a
+/// single completion timestamp, and two traced runs of the same seed must
+/// export bit-identical timelines.
+#[test]
+fn tracing_does_not_perturb_the_simulation() {
+    let profile = PackageProfile::test_tiny();
+    for kind in [
+        ControllerKind::HwAsync,
+        ControllerKind::HwSync,
+        ControllerKind::Rtos,
+        ControllerKind::Coro,
+    ] {
+        let plain = read_microbench(&profile, 2, 200, 1000, kind, 32);
+        let (traced, tracer) = read_microbench_traced(&profile, 2, 200, 1000, kind, 32, true);
+        assert_eq!(
+            plain.completions, traced.completions,
+            "{kind:?}: tracing changed the completion trace"
+        );
+        assert_eq!(
+            format!("{plain:?}"),
+            format!("{traced:?}"),
+            "{kind:?}: tracing changed the run report"
+        );
+        // The engine always schedules and pops simulation events, so even
+        // the hardware controllers leave a counter trail; the software
+        // runtimes additionally fill the event ring.
+        assert!(
+            tracer.counter_total(babol_trace::Counter::EventsScheduled) > 0,
+            "{kind:?}: no sim events counted"
+        );
+        if matches!(kind, ControllerKind::Rtos | ControllerKind::Coro) {
+            assert!(tracer.events().count() > 0, "{kind:?}: no events recorded");
+        }
+
+        // And the recorded timeline itself is reproducible.
+        let (_, tracer2) = read_microbench_traced(&profile, 2, 200, 1000, kind, 32, true);
+        assert_eq!(
+            tracer.to_json_lines(),
+            tracer2.to_json_lines(),
+            "{kind:?}: traced event streams diverged"
+        );
+        assert_eq!(
+            tracer.to_chrome_trace(),
+            tracer2.to_chrome_trace(),
+            "{kind:?}: chrome exports diverged"
         );
     }
 }

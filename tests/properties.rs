@@ -141,6 +141,52 @@ fn event_queue_is_stable_priority() {
     });
 }
 
+/// The queue stays a stable priority queue under sustained load with
+/// interleaved pops: 10k pushes per case, times drawn from a narrow range
+/// so ties are dense, checked against a `BTreeMap<time, FIFO>` model.
+#[test]
+fn event_queue_survives_mixed_10k_pushes() {
+    Property::new("event_queue_survives_mixed_10k_pushes")
+        .cases(16)
+        .run((any::<u64>(), range(1u64..32)), |&(seed, spread)| {
+            use std::collections::{BTreeMap, VecDeque};
+            let mut rng = babol_sim::rng::SplitMix64::new(seed);
+            let mut q = EventQueue::new();
+            let mut model: BTreeMap<u64, VecDeque<usize>> = BTreeMap::new();
+            for i in 0..10_000usize {
+                let t = rng.next_below(spread);
+                q.push(SimTime::from_picos(t), i);
+                model.entry(t).or_default().push_back(i);
+                // Interleave pops (~1 in 3) so the heap churns instead of
+                // only growing. (No global monotonic check: a push behind
+                // an already-popped time is legal, only earliest-first
+                // relative to the *current* contents is guaranteed.)
+                if rng.next_below(3) == 0 {
+                    let (pt, pi) = q.pop().expect("queue has pending events");
+                    let entry = model.first_entry().expect("model has pending events");
+                    prop_assert_eq!(*entry.key(), pt.as_picos(), "wrong time popped");
+                    let mut fifo = entry;
+                    let want = fifo.get_mut().pop_front().expect("nonempty bucket");
+                    prop_assert_eq!(pi, want, "FIFO violated among ties");
+                    if fifo.get().is_empty() {
+                        fifo.remove();
+                    }
+                }
+            }
+            // Drain the rest; the queue and the model must agree exactly.
+            while let Some((pt, pi)) = q.pop() {
+                let mut entry = model.first_entry().expect("model matches queue length");
+                prop_assert_eq!(*entry.key(), pt.as_picos());
+                prop_assert_eq!(pi, entry.get_mut().pop_front().expect("nonempty bucket"));
+                if entry.get().is_empty() {
+                    entry.remove();
+                }
+            }
+            prop_assert!(model.is_empty(), "queue dropped events");
+            Ok(())
+        });
+}
+
 /// Frequency/cycle math: cycles(a) + cycles(b) within rounding of
 /// cycles(a+b) for any frequency.
 #[test]
