@@ -23,7 +23,7 @@ use std::fmt;
 
 use babol_flash::{Lun, LunError, LunResponse};
 use babol_onfi::bus::{BusPhase, ChipMask, PhaseKind};
-use babol_sim::{SimDuration, SimTime};
+use babol_sim::{BufPool, PageBuf, PageBufMut, SimDuration, SimTime};
 use babol_trace::{Component, Counter, Metric, TraceKind, TraceSink};
 
 pub use analyzer::{Analyzer, TraceEvent};
@@ -80,8 +80,11 @@ pub struct Transmission {
     /// When the segment finished on the bus (bus free again).
     pub end: SimTime,
     /// Bytes that flowed controller-ward during the segment (data-out
-    /// phases), concatenated in phase order.
-    pub data: Vec<u8>,
+    /// phases), concatenated in phase order. A segment with a single
+    /// data-out phase hands the LUN's pooled buffer through unchanged
+    /// (zero-copy); multi-packet segments concatenate into one pooled
+    /// buffer (the packetizer's gather DMA).
+    pub data: PageBuf,
 }
 
 /// Cumulative channel statistics.
@@ -105,6 +108,7 @@ pub struct Channel {
     busy_until: SimTime,
     analyzer: Analyzer,
     stats: ChannelStats,
+    pool: BufPool,
 }
 
 impl fmt::Debug for Channel {
@@ -133,6 +137,17 @@ impl Channel {
             busy_until: SimTime::ZERO,
             analyzer: Analyzer::new(false),
             stats: ChannelStats::default(),
+            pool: BufPool::default(),
+        }
+    }
+
+    /// Shares a buffer pool across the whole data path: the channel's
+    /// gather buffers and every attached LUN's data-out responses recycle
+    /// from the same free list.
+    pub fn set_pool(&mut self, pool: &BufPool) {
+        self.pool = pool.clone();
+        for lun in &mut self.luns {
+            lun.set_pool(pool);
         }
     }
 
@@ -237,7 +252,10 @@ impl Channel {
         }
         let stats_before = self.stats;
         let mut t = start;
-        let mut data = Vec::new();
+        // Single data-out segments pass the LUN's buffer through unchanged;
+        // multi-packet segments gather into one pooled buffer.
+        let mut single: Option<PageBuf> = None;
+        let mut gather: Option<PageBufMut> = None;
         for phase in phases {
             let phase_end = t + phase.duration;
             let mut reader = None;
@@ -255,7 +273,16 @@ impl Channel {
             }
             if let Some(bytes) = reader {
                 self.stats.bytes_out += bytes.len() as u64;
-                data.extend_from_slice(&bytes);
+                match (&mut gather, &mut single) {
+                    (Some(g), _) => g.extend_from_slice(&bytes),
+                    (None, None) => single = Some(bytes),
+                    (None, Some(_)) => {
+                        let mut g = self.pool.acquire();
+                        g.extend_from_slice(&single.take().expect("just matched"));
+                        g.extend_from_slice(&bytes);
+                        gather = Some(g);
+                    }
+                }
             }
             if let PhaseKind::DataIn(ref d) = phase.kind {
                 self.stats.bytes_in += d.len() as u64;
@@ -264,6 +291,11 @@ impl Channel {
             self.stats.phases += 1;
             t = phase_end;
         }
+        let data = match (gather, single) {
+            (Some(g), _) => g.freeze(),
+            (None, Some(s)) => s,
+            (None, None) => PageBuf::empty(),
+        };
         self.stats.segments += 1;
         self.stats.busy += t - start;
         self.busy_until = t;

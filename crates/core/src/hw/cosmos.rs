@@ -360,7 +360,7 @@ fn build_program_phases(
             + emit.iface.data_cycle() * pkt as u64
             + emit.timing.t_wpst;
         phases.push(BusPhase::new(
-            PhaseKind::DataIn(sys_data[offset..offset + pkt].to_vec()),
+            PhaseKind::DataIn(sys_data[offset..offset + pkt].to_vec().into()),
             burst,
         ));
         offset += pkt;

@@ -264,7 +264,7 @@ impl OpFsm {
                     OpState::PgPacketGap
                 };
                 self.pkt_offset += pkt;
-                StepAction::Emit(BusPhase::new(PhaseKind::DataIn(data), burst), next)
+                StepAction::Emit(BusPhase::new(PhaseKind::DataIn(data.into()), burst), next)
             }
             OpState::PgIssueCmd2 => StepAction::Emit(
                 BusPhase::new(PhaseKind::CmdLatch(op::PROGRAM_2), one_ca),

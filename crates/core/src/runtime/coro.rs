@@ -18,7 +18,7 @@ use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll, Waker};
 
-use babol_sim::{SimDuration, SimTime};
+use babol_sim::{BufPool, PageBuf, SimDuration, SimTime};
 use babol_ufsm::Transaction;
 
 use crate::runtime::{Mailbox, OpError, SoftTask, TaskStatus, TxnResult};
@@ -65,7 +65,7 @@ impl OpCtx {
     /// Stages bytes into DRAM (the CPU preparing a buffer the Packetizer
     /// will DMA from, e.g. SET FEATURES parameter bytes).
     pub fn stage_bytes(&self, addr: u64, bytes: &[u8]) {
-        self.mb.borrow_mut().staged.push((addr, bytes.to_vec()));
+        self.mb.borrow_mut().stage(addr, bytes);
     }
 
     /// Suspends the operation for at least `dur` of simulated time.
@@ -190,8 +190,12 @@ impl SoftTask for CoroTask {
         self.mb.borrow_mut().sleep.take()
     }
 
-    fn drain_staged(&mut self) -> Vec<(u64, Vec<u8>)> {
-        std::mem::take(&mut self.mb.borrow_mut().staged)
+    fn drain_staged(&mut self, out: &mut Vec<(u64, PageBuf)>) {
+        out.append(&mut self.mb.borrow_mut().staged);
+    }
+
+    fn attach_pool(&mut self, pool: &BufPool) {
+        self.mb.borrow_mut().pool = pool.clone();
     }
 
     fn take_steps(&mut self) -> u32 {

@@ -23,7 +23,7 @@ pub mod rtos;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
-use babol_sim::{SimDuration, SimTime};
+use babol_sim::{BufPool, PageBuf, SimDuration, SimTime};
 use babol_trace::{Component, Counter, Metric, TraceKind, TraceSink};
 use babol_ufsm::{execute_traced, Transaction};
 
@@ -88,8 +88,12 @@ pub struct Mailbox {
     /// Sleep request set during the current advance.
     pub sleep: Option<SimDuration>,
     /// DRAM staging writes requested during the current advance (the CPU
-    /// preparing buffers the Packetizer will read).
-    pub staged: Vec<(u64, Vec<u8>)>,
+    /// preparing buffers the Packetizer will read). Payloads come from the
+    /// system's buffer pool; see [`Mailbox::stage`].
+    pub staged: Vec<(u64, PageBuf)>,
+    /// Page-buffer pool shared with the rest of the system, attached by the
+    /// runtime at spawn time.
+    pub pool: BufPool,
     /// Straight-line work steps performed during the current advance.
     pub steps: u32,
     /// Final outcome, set by the operation before finishing.
@@ -118,6 +122,14 @@ impl Mailbox {
     pub fn take_result(&mut self, ticket: u64) -> Option<TxnResult> {
         self.results.remove(&ticket)
     }
+
+    /// Queues a DRAM staging write of `bytes` at `addr`, copying once into
+    /// a pooled buffer.
+    pub fn stage(&mut self, addr: u64, bytes: &[u8]) {
+        let mut buf = self.pool.acquire();
+        buf.extend_from_slice(bytes);
+        self.staged.push((addr, buf.freeze()));
+    }
 }
 
 /// Progress of a task after one advance.
@@ -141,8 +153,12 @@ pub trait SoftTask {
     fn deliver(&mut self, local_ticket: u64, result: TxnResult);
     /// Takes a pending sleep request.
     fn take_sleep(&mut self) -> Option<SimDuration>;
-    /// Drains DRAM staging writes requested during the last advance.
-    fn drain_staged(&mut self) -> Vec<(u64, Vec<u8>)>;
+    /// Drains DRAM staging writes requested during the last advance into
+    /// `out` (an out-parameter so the runtime reuses one scratch vector).
+    fn drain_staged(&mut self, out: &mut Vec<(u64, PageBuf)>);
+    /// Connects the task's mailbox to the system's buffer pool. Called by
+    /// the runtime at spawn time; tasks without staging may ignore it.
+    fn attach_pool(&mut self, _pool: &BufPool) {}
     /// Takes the count of body steps executed during the last advance.
     fn take_steps(&mut self) -> u32;
     /// Takes the final outcome (valid once finished).
@@ -255,6 +271,8 @@ pub struct SoftRuntime {
     /// Per-ticket (enqueue time, lun, op id) for transaction latency and
     /// event attribution (traced runs only).
     txn_info: HashMap<u64, (SimTime, u32, u64)>,
+    /// Reused receptacle for staged DRAM writes drained each pump pass.
+    staged_scratch: Vec<(u64, PageBuf)>,
 }
 
 impl fmt::Debug for SoftRuntime {
@@ -292,6 +310,7 @@ impl SoftRuntime {
             txns_issued: 0,
             runnable_since: HashMap::new(),
             txn_info: HashMap::new(),
+            staged_scratch: Vec::new(),
         }
     }
 
@@ -307,7 +326,8 @@ impl SoftRuntime {
 
     /// Admits a task; returns its id. The caller should schedule a
     /// zero-delay [`Event::CpuDone`] so the pump runs.
-    pub fn spawn(&mut self, sys: &mut System, task: Box<dyn SoftTask>) -> TaskId {
+    pub fn spawn(&mut self, sys: &mut System, mut task: Box<dyn SoftTask>) -> TaskId {
+        task.attach_pool(sys.pool());
         let lun = task.meta().lun;
         let op_id = task.op_id();
         let tid = if let Some(tid) = self.free_ids.pop() {
@@ -419,7 +439,8 @@ impl SoftRuntime {
             if steps > 0 {
                 sys.cpu.charge(sys.now, steps as u64 * cost.op_body_step);
             }
-            for (addr, bytes) in task.drain_staged() {
+            task.drain_staged(&mut self.staged_scratch);
+            for (addr, bytes) in self.staged_scratch.drain(..) {
                 sys.cpu.charge(sys.now, cost.op_body_step);
                 sys.dram.write(addr, &bytes);
             }

@@ -16,7 +16,7 @@
 use babol_onfi::addr::{ColumnAddr, RowAddr};
 use babol_onfi::opcode::op;
 use babol_onfi::status::Status;
-use babol_sim::{SimDuration, SimTime};
+use babol_sim::{BufPool, PageBuf, SimDuration, SimTime};
 use babol_ufsm::{DmaDest, Latch, PostWait, Transaction};
 
 use crate::ops::Target;
@@ -108,8 +108,12 @@ impl<M: RtosMachine> SoftTask for RtosTask<M> {
         self.mb.sleep.take()
     }
 
-    fn drain_staged(&mut self) -> Vec<(u64, Vec<u8>)> {
-        std::mem::take(&mut self.mb.staged)
+    fn drain_staged(&mut self, out: &mut Vec<(u64, PageBuf)>) {
+        out.append(&mut self.mb.staged);
+    }
+
+    fn attach_pool(&mut self, pool: &BufPool) {
+        self.mb.pool = pool.clone();
     }
 
     fn take_steps(&mut self) -> u32 {

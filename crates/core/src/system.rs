@@ -9,7 +9,7 @@ use std::collections::VecDeque;
 use std::fmt;
 
 use babol_channel::Channel;
-use babol_sim::{Cpu, Dram, EventQueue, SimDuration, SimTime};
+use babol_sim::{BufPool, Cpu, Dram, EventQueue, SimDuration, SimTime};
 use babol_trace::{Component, Counter, TraceSink, Tracer};
 use babol_ufsm::EmitConfig;
 
@@ -87,6 +87,9 @@ pub struct System {
     /// non-traced run pays one branch per record site and nothing else.
     pub trace: Tracer,
     events: EventQueue<Event>,
+    /// Page-buffer pool shared by the whole data path (DRAM, channel, LUNs,
+    /// runtime mailboxes). One pool per system keeps recycling global.
+    pool: BufPool,
 }
 
 impl fmt::Debug for System {
@@ -99,17 +102,40 @@ impl fmt::Debug for System {
 }
 
 impl System {
-    /// Assembles a system.
-    pub fn new(channel: Channel, emit: EmitConfig, cpu: Cpu) -> Self {
+    /// Assembles a system. Every data-path layer shares one page-buffer
+    /// pool, so buffers released by one layer are reused by the next.
+    pub fn new(mut channel: Channel, emit: EmitConfig, cpu: Cpu) -> Self {
+        let pool = BufPool::default();
+        let mut dram = Dram::new();
+        dram.set_pool(&pool);
+        channel.set_pool(&pool);
         System {
             now: SimTime::ZERO,
             channel,
-            dram: Dram::new(),
+            dram,
             emit,
             cpu,
             trace: Tracer::disabled(),
             events: EventQueue::new(),
+            pool,
         }
+    }
+
+    /// The system-wide page-buffer pool.
+    pub fn pool(&self) -> &BufPool {
+        &self.pool
+    }
+
+    /// Copies the pool's allocation counters into the tracer's counter set,
+    /// making zero-alloc claims observable in exported trace reports.
+    pub fn export_pool_stats(&mut self) {
+        let s = self.pool.stats();
+        self.trace
+            .set_counter(Component::Sim, Counter::PoolAcquires, s.acquires);
+        self.trace
+            .set_counter(Component::Sim, Counter::PoolHeapAllocs, s.heap_allocs());
+        self.trace
+            .set_counter(Component::Sim, Counter::PoolHighWater, s.high_water);
     }
 
     /// Schedules `event` at absolute time `at`.

@@ -13,7 +13,7 @@ use crate::gf::{Gf, N};
 /// `t` errors.
 #[derive(Debug, Clone)]
 pub struct Bch {
-    gf: Gf,
+    gf: &'static Gf,
     t: u32,
     data_bits: usize,
     parity_bits: usize,
@@ -30,8 +30,8 @@ impl Bch {
     /// (8191 bits) or the parity would not fit the internal 128-bit LFSR.
     pub fn new(data_bits: usize, t: u32) -> Self {
         assert!(t >= 1, "t must be at least 1");
-        let gf = Gf::new();
-        let generator = generator_poly(&gf, t);
+        let gf = Gf::shared();
+        let generator = generator_poly(gf, t);
         let parity_bits = (127 - generator.leading_zeros()) as usize;
         assert!(parity_bits < 128, "generator exceeds LFSR width");
         assert!(
@@ -131,12 +131,21 @@ impl Bch {
     }
 
     /// Syndromes S_1..S_2t of the received word.
+    ///
+    /// Binary BCH: squaring is linear over GF(2), so S_{2k} = S_k². Only the
+    /// odd syndromes are accumulated over the received bits (halving the
+    /// dominant decode loop); the even ones are filled in by squaring.
     fn syndromes(&self, data: &[u8], parity: &[u8]) -> Vec<u16> {
         let p = self.parity_bits;
-        let mut s = vec![0u16; 2 * self.t as usize];
-        let add_bit = |s: &mut Vec<u16>, exponent: usize| {
-            for (j, sj) in s.iter_mut().enumerate() {
-                *sj ^= self.gf.alpha_pow(exponent * (j + 1));
+        let n2t = 2 * self.t as usize;
+        let mut s = vec![0u16; n2t];
+        let gf = self.gf;
+        // s[j] holds S_{j+1}; odd syndromes sit at even indices.
+        let add_bit = |s: &mut [u16], exponent: usize| {
+            let mut j = 0;
+            while j < n2t {
+                s[j] ^= gf.alpha_pow(exponent * (j + 1));
+                j += 2;
             }
         };
         for (byte_idx, &b) in parity.iter().enumerate() {
@@ -159,6 +168,10 @@ impl Bch {
                     add_bit(&mut s, p + byte_idx * 8 + bit);
                 }
             }
+        }
+        for k in 1..=n2t / 2 {
+            let sk = s[k - 1];
+            s[2 * k - 1] = gf.mul(sk, sk);
         }
         s
     }
@@ -213,22 +226,20 @@ impl Bch {
         if deg == 0 || deg > self.t as usize {
             return None;
         }
-        let gf = &self.gf;
+        let gf = self.gf;
         let total = self.parity_bits + self.data_bits;
         let mut positions = Vec::with_capacity(deg);
         // Λ(α^{-i}) == 0 ⇔ error at position i. Evaluate incrementally:
-        // term_j starts at Λ_j and is multiplied by α^{-j} each step.
+        // term_j starts at Λ_j and is multiplied by α^{-j} each step. The
+        // scan is bounded to the shortened codeword: a root beyond `total`
+        // is a miscorrection, indistinguishable from finding too few roots.
         let mut terms: Vec<u16> = lambda.to_vec();
-        for i in 0..N {
+        for i in 0..total {
             let mut sum = 0u16;
             for t in terms.iter() {
                 sum ^= *t;
             }
             if sum == 0 {
-                if i >= total {
-                    // Root outside the shortened codeword: miscorrection.
-                    return None;
-                }
                 positions.push(i);
                 if positions.len() == deg {
                     break;

@@ -20,6 +20,15 @@ pub struct Gf {
 }
 
 impl Gf {
+    /// The process-wide shared field. The tables are immutable and identical
+    /// for every code instance, so they are built exactly once; constructing
+    /// a [`crate::bch::Bch`] (or a `PageCodec` per read) costs no table
+    /// rebuild.
+    pub fn shared() -> &'static Gf {
+        static SHARED: std::sync::OnceLock<Gf> = std::sync::OnceLock::new();
+        SHARED.get_or_init(Gf::new)
+    }
+
     /// Builds the field tables.
     pub fn new() -> Self {
         let mut exp = vec![0u16; 2 * N];

@@ -26,7 +26,7 @@ use babol_onfi::opcode::{mnemonic, op};
 use babol_onfi::status::Status;
 use babol_onfi::timing::DataInterface;
 use babol_sim::rng::SplitMix64;
-use babol_sim::{SimDuration, SimTime};
+use babol_sim::{BufPool, PageBuf, PageBufMut, SimDuration, SimTime};
 
 use crate::array::{ArrayStore, ContentMode};
 use crate::ber::{raw_ber, BerContext};
@@ -189,8 +189,9 @@ enum OutSource {
 pub enum LunResponse {
     /// Phase consumed; nothing flows back.
     Accepted,
-    /// Bytes flowing back to the controller (data-out phases).
-    Data(Vec<u8>),
+    /// Bytes flowing back to the controller (data-out phases). The payload
+    /// is a pooled [`PageBuf`]: filled once here, read in place downstream.
+    Data(PageBuf),
 }
 
 /// Running statistics, used by experiments and assertions.
@@ -237,6 +238,7 @@ pub struct Lun {
     last_row: Option<RowAddr>,
     rng: SplitMix64,
     stats: LunStats,
+    pool: BufPool,
 }
 
 impl std::fmt::Debug for Lun {
@@ -281,8 +283,15 @@ impl Lun {
             last_row: None,
             rng,
             stats: LunStats::default(),
+            pool: BufPool::new(raw),
             cfg,
         }
+    }
+
+    /// Shares a buffer pool with the rest of the data path; data-out
+    /// responses recycle its buffers.
+    pub fn set_pool(&mut self, pool: &BufPool) {
+        self.pool = pool.clone();
     }
 
     /// The package profile this LUN instantiates.
@@ -913,15 +922,20 @@ impl Lun {
                 });
             }
         }
-        let data = match self.out {
+        // Every response streams into one pooled buffer: the single write
+        // of the payload on its way to the controller.
+        let mut out = self.pool.acquire();
+        match self.out {
             OutSource::Status => {
                 self.stats.status_polls += 1;
                 let st = self.current_status();
-                vec![st.bits(); bytes.max(1)]
+                out.resize(bytes.max(1), st.bits());
             }
             OutSource::Features(f) => {
                 let v = self.features.get(f);
-                v.iter().copied().cycle().take(bytes.max(1)).collect()
+                for i in 0..bytes.max(1) {
+                    out.push(v[i % v.len()]);
+                }
             }
             OutSource::Id => {
                 let id = [
@@ -931,24 +945,25 @@ impl Lun {
                     self.cfg.profile.geometry.luns as u8,
                     0x51, // ONFI 5.1 marker byte
                 ];
-                id.iter().copied().cycle().take(bytes.max(1)).collect()
+                for i in 0..bytes.max(1) {
+                    out.push(id[i % id.len()]);
+                }
             }
             OutSource::ParamPage => {
                 self.check_bulk_data_allowed()?;
-                let out = slice_register(&self.param_buf, &mut self.col, bytes);
-                self.maybe_scramble(now, out)
+                self.col = slice_register(&self.param_buf, self.col, bytes, &mut out);
+                self.maybe_scramble(now, out.as_mut_slice());
             }
             OutSource::PageRegister => {
                 self.check_bulk_data_allowed()?;
                 let reg = &self.page_regs[self.active_plane as usize];
-                let out = slice_register(reg, &mut self.col, bytes);
-                self.maybe_scramble(now, out)
+                self.col = slice_register(reg, self.col, bytes, &mut out);
+                self.maybe_scramble(now, out.as_mut_slice());
             }
             OutSource::CacheRegister => {
                 self.check_bulk_data_allowed()?;
-                let reg = self.cache_reg.clone();
-                let out = slice_register(&reg, &mut self.col, bytes);
-                self.maybe_scramble(now, out)
+                self.col = slice_register(&self.cache_reg, self.col, bytes, &mut out);
+                self.maybe_scramble(now, out.as_mut_slice());
             }
             OutSource::None => {
                 return Err(LunError::UnexpectedPhase {
@@ -957,8 +972,8 @@ impl Lun {
                 })
             }
         };
-        self.stats.bytes_out += data.len() as u64;
-        Ok(LunResponse::Data(data))
+        self.stats.bytes_out += out.len() as u64;
+        Ok(LunResponse::Data(out.freeze()))
     }
 
     /// Bulk data phases require the boot contract to have been honoured.
@@ -972,22 +987,21 @@ impl Lun {
         Ok(())
     }
 
-    /// Corrupts bulk data deterministically when the controller's DQS phase
-    /// does not match the board trace (until calibration fixes it).
-    fn maybe_scramble(&mut self, _now: SimTime, data: Vec<u8>) -> Vec<u8> {
+    /// Corrupts bulk data (in place) deterministically when the controller's
+    /// DQS phase does not match the board trace (until calibration fixes it).
+    fn maybe_scramble(&self, _now: SimTime, data: &mut [u8]) {
         if !self.cfg.require_init {
-            return data;
+            return;
         }
         if matches!(self.iface, DataInterface::Sdr { .. }) {
-            return data; // SDR is slow enough to be phase-insensitive.
+            return; // SDR is slow enough to be phase-insensitive.
         }
         if self.configured_phase == Some(self.required_phase) {
-            return data;
+            return;
         }
-        data.into_iter()
-            .enumerate()
-            .map(|(i, b)| b ^ 0xA5 ^ (i as u8).rotate_left(3))
-            .collect()
+        for (i, b) in data.iter_mut().enumerate() {
+            *b ^= 0xA5 ^ (i as u8).rotate_left(3);
+        }
     }
 
     fn apply_timing_mode(&mut self, value: [u8; 4]) {
@@ -1066,15 +1080,14 @@ impl Lun {
     }
 }
 
-/// Copies `bytes` from `reg[*col..]`, padding past-the-end with `0xFF`, and
-/// advances the column pointer.
-fn slice_register(reg: &[u8], col: &mut u32, bytes: usize) -> Vec<u8> {
-    let start = (*col as usize).min(reg.len());
+/// Streams `bytes` from `reg[col..]` into `out`, padding past-the-end with
+/// `0xFF`; returns the advanced column pointer.
+fn slice_register(reg: &[u8], col: u32, bytes: usize, out: &mut PageBufMut) -> u32 {
+    let start = (col as usize).min(reg.len());
     let end = (start + bytes).min(reg.len());
-    let mut out = reg[start..end].to_vec();
+    out.extend_from_slice(&reg[start..end]);
     out.resize(bytes, 0xFF);
-    *col = (start + bytes) as u32;
-    out
+    (start + bytes) as u32
 }
 
 fn unexpected(state: &Decode, phase: &str) -> LunError {
@@ -1152,7 +1165,9 @@ mod tests {
 
         fn din(&mut self, data: Vec<u8>) -> LunResponse {
             self.tick(SimDuration::from_nanos(100));
-            self.lun.phase(self.now, &PhaseKind::DataIn(data)).unwrap()
+            self.lun
+                .phase(self.now, &PhaseKind::DataIn(data.into()))
+                .unwrap()
         }
 
         fn dout(&mut self, bytes: usize) -> Vec<u8> {
@@ -1162,7 +1177,7 @@ mod tests {
                 .phase(self.now, &PhaseKind::DataOut { bytes })
                 .unwrap()
             {
-                LunResponse::Data(d) => d,
+                LunResponse::Data(d) => d.to_vec(),
                 other => panic!("expected data, got {other:?}"),
             }
         }

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use babol::system::{Controller, Event, IoKind, IoRequest, System};
 use babol_flash::Geometry;
 use babol_sim::rng::SplitMix64;
-use babol_sim::{SimDuration, SimTime};
+use babol_sim::{PageBufMut, SimDuration, SimTime};
 use babol_trace::{Component, Counter, Metric, TraceKind, TraceSink};
 
 use crate::fio::{FioReport, FioWorkload};
@@ -76,6 +76,9 @@ pub struct Ssd {
     /// Host completions observed while an internal (GC) request was being
     /// waited on; drained by the main loop.
     stashed: Vec<(IoRequest, SimTime)>,
+    /// Pooled scratch for building host-write patterns, acquired once from
+    /// the system's pool and reused for every write.
+    scratch: Option<PageBufMut>,
     /// GC cycles performed since construction.
     pub gc_cycles: u64,
 }
@@ -88,6 +91,7 @@ impl Ssd {
             cfg,
             next_internal: INTERNAL_ID,
             stashed: Vec::new(),
+            scratch: None,
             gc_cycles: 0,
         }
     }
@@ -208,11 +212,14 @@ impl Ssd {
         buf: u64,
         id: u64,
     ) -> IoRequest {
-        // Host data: a recognizable pattern keyed by LPN.
-        let pattern: Vec<u8> = (0..self.cfg.geometry.page_size)
-            .map(|i| (lpn as u8).wrapping_add(i as u8))
-            .collect();
-        sys.dram.write(buf, &pattern);
+        // Host data: a recognizable pattern keyed by LPN, rebuilt in one
+        // pooled scratch buffer instead of a fresh Vec per write.
+        let scratch = self.scratch.get_or_insert_with(|| sys.pool().acquire());
+        scratch.resize(self.cfg.geometry.page_size, 0);
+        for (i, b) in scratch.as_mut_slice().iter_mut().enumerate() {
+            *b = (lpn as u8).wrapping_add(i as u8);
+        }
+        sys.dram.write(buf, scratch);
         // Run GC on every LUN that is short on space.
         for lun in 0..self.cfg.luns {
             while self.map.needs_gc(lun) {
@@ -500,6 +507,60 @@ mod tests {
             .count() as u64;
         assert_eq!(gc_starts, r.gc_cycles);
         assert_eq!(gc_ends, r.gc_cycles);
+    }
+
+    /// The zero-copy data path's core claim: once warmed up, a steady-state
+    /// fio job performs **zero** page-buffer heap allocations — every DRAM
+    /// read, channel transfer, LUN register slice, staged write, and FTL
+    /// pattern build recycles pooled buffers. Verified through the pool
+    /// counters exported into the tracer.
+    #[test]
+    fn steady_state_fio_does_no_page_buffer_allocations() {
+        let (mut sys, mut ctrl, mut ssd) = tiny_stack(2, false);
+        sys.trace = babol_trace::Tracer::enabled();
+        // Warm-up: overwrite the logical space until GC has run.
+        let warm = FioWorkload {
+            pattern: IoPattern::RandomWrite,
+            total_ios: 160,
+            queue_depth: 1,
+            seed: 3,
+        };
+        let w = ssd.run(&mut sys, &mut ctrl, warm);
+        assert!(w.gc_cycles > 0, "warm-up must reach GC");
+        let warmed = sys.pool().stats();
+        // Steady state: a GC-heavy follow-up job on the warmed system.
+        let steady = FioWorkload {
+            pattern: IoPattern::RandomWrite,
+            total_ios: 120,
+            queue_depth: 1,
+            seed: 4,
+        };
+        let r = ssd.run(&mut sys, &mut ctrl, steady);
+        assert!(r.gc_cycles > 0, "steady state must include GC");
+        let stats = sys.pool().stats();
+        assert!(
+            stats.acquires > warmed.acquires,
+            "steady state must exercise the pool"
+        );
+        assert_eq!(
+            stats.heap_allocs(),
+            warmed.heap_allocs(),
+            "steady-state fio must not allocate page buffers"
+        );
+        // The same numbers are visible through the trace counter export.
+        sys.export_pool_stats();
+        assert_eq!(
+            sys.trace.counter(Component::Sim, Counter::PoolHeapAllocs),
+            stats.heap_allocs()
+        );
+        assert_eq!(
+            sys.trace.counter(Component::Sim, Counter::PoolAcquires),
+            stats.acquires
+        );
+        assert_eq!(
+            sys.trace.counter(Component::Sim, Counter::PoolHighWater),
+            stats.high_water
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use std::fmt;
 
-use babol_sim::SimDuration;
+use babol_sim::{PageBuf, SimDuration};
 
 use crate::opcode;
 
@@ -22,8 +22,9 @@ pub enum PhaseKind {
     /// Address latches carrying the given bytes (ALE high, WE# strobed).
     AddrLatch(Vec<u8>),
     /// A data-in burst: `data` flows from controller to the selected LUN's
-    /// page register at the current column offset.
-    DataIn(Vec<u8>),
+    /// page register at the current column offset. The payload is a shared
+    /// [`PageBuf`], so building a phase never copies page contents.
+    DataIn(PageBuf),
     /// A data-out burst: the selected LUN streams `bytes` bytes from its
     /// page register at the current column offset.
     DataOut {
@@ -199,7 +200,7 @@ mod tests {
         );
         assert_eq!(PhaseKind::AddrLatch(vec![1, 2, 3]).label(), "ADDR[3]");
         assert_eq!(PhaseKind::DataOut { bytes: 16384 }.label(), "DOUT[16384]");
-        assert_eq!(PhaseKind::DataIn(vec![0; 4]).label(), "DIN[4]");
+        assert_eq!(PhaseKind::DataIn(vec![0; 4].into()).label(), "DIN[4]");
         assert_eq!(PhaseKind::Pause.label(), "PAUSE");
     }
 

@@ -272,7 +272,7 @@ mod tests {
         for phase in [
             PhaseKind::CmdLatch(op::READ_STATUS),
             PhaseKind::AddrLatch(vec![0, 1]),
-            PhaseKind::DataIn(vec![9; 4]),
+            PhaseKind::DataIn(vec![9; 4].into()),
             PhaseKind::DataOut { bytes: 4 },
             PhaseKind::Pause,
         ] {

@@ -9,6 +9,8 @@
 
 use std::collections::BTreeMap;
 
+use crate::pool::{BufPool, PageBuf};
+
 /// Granularity of the sparse backing chunks.
 const CHUNK: u64 = 4096;
 
@@ -33,6 +35,7 @@ const CHUNK: u64 = 4096;
 #[derive(Debug, Clone, Default)]
 pub struct Dram {
     chunks: BTreeMap<u64, Box<[u8; CHUNK as usize]>>,
+    pool: BufPool,
     bytes_read: u64,
     bytes_written: u64,
 }
@@ -41,6 +44,17 @@ impl Dram {
     /// Creates an empty DRAM.
     pub fn new() -> Self {
         Dram::default()
+    }
+
+    /// Shares a buffer pool with the rest of the data path; reads through
+    /// [`Dram::read_buf`] recycle its buffers.
+    pub fn set_pool(&mut self, pool: &BufPool) {
+        self.pool = pool.clone();
+    }
+
+    /// The pool backing [`Dram::read_buf`].
+    pub fn pool(&self) -> &BufPool {
+        &self.pool
     }
 
     /// Writes `data` starting at byte address `addr`.
@@ -81,10 +95,22 @@ impl Dram {
     }
 
     /// Convenience: reads `len` bytes starting at `addr` into a new vector.
+    ///
+    /// Allocates per call; hot paths should use [`Dram::read_buf`], which
+    /// recycles pooled buffers.
     pub fn read_vec(&mut self, addr: u64, len: usize) -> Vec<u8> {
         let mut buf = vec![0u8; len];
         self.read(addr, &mut buf);
         buf
+    }
+
+    /// Reads `len` bytes starting at `addr` into a pooled, shareable page
+    /// buffer — the zero-copy counterpart of [`Dram::read_vec`].
+    pub fn read_buf(&mut self, addr: u64, len: usize) -> PageBuf {
+        let mut buf = self.pool.acquire();
+        buf.resize(len, 0);
+        self.read(addr, buf.as_mut_slice());
+        buf.freeze()
     }
 
     /// Total bytes written through this DRAM (DMA accounting).
@@ -153,6 +179,19 @@ mod tests {
         d.write(0, &[1; 8]);
         d.write(4, &[2; 8]);
         assert_eq!(d.read_vec(0, 12), vec![1, 1, 1, 1, 2, 2, 2, 2, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn read_buf_matches_read_vec_and_recycles() {
+        let mut d = Dram::new();
+        let data: Vec<u8> = (0..=255).collect();
+        d.write(CHUNK - 100, &data);
+        for _ in 0..10 {
+            let b = d.read_buf(CHUNK - 100, 256);
+            assert_eq!(b.as_slice(), d.read_vec(CHUNK - 100, 256).as_slice());
+        }
+        // Sequential acquire/drop cycles reuse one pooled buffer.
+        assert_eq!(d.pool().stats().allocs, 1);
     }
 
     #[test]

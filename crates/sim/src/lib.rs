@@ -21,16 +21,21 @@
 //!   the same controller software is run on CPUs from 150 MHz to 1 GHz.
 //! * [`dram::Dram`] — the SSD's DRAM staging buffer that the Packetizer DMA
 //!   unit moves page data in and out of.
+//! * [`pool::BufPool`] — the slab buffer pool behind the zero-copy data
+//!   path: page payloads are written once into a [`pool::PageBufMut`] and
+//!   shared read-only as [`pool::PageBuf`] handles across every layer.
 //! * [`rng::SplitMix64`] — a tiny deterministic RNG used where the kernel
 //!   itself needs randomness without pulling in external crates.
 
 pub mod cpu;
 pub mod dram;
+pub mod pool;
 pub mod queue;
 pub mod rng;
 pub mod time;
 
 pub use cpu::{CostModel, Cpu};
 pub use dram::Dram;
+pub use pool::{BufPool, PageBuf, PageBufMut, PoolStats};
 pub use queue::EventQueue;
 pub use time::{Freq, SimDuration, SimTime};

@@ -218,11 +218,18 @@ pub enum Counter {
     OpsCompleted,
     /// Foreground GC cycles run.
     GcCycles,
+    /// Page buffers handed out by the shared pool.
+    PoolAcquires,
+    /// Heap allocations performed by the pool (fresh buffers + capacity
+    /// growths). Flat in steady state — the zero-copy data path's claim.
+    PoolHeapAllocs,
+    /// Maximum simultaneously checked-out page buffers.
+    PoolHighWater,
 }
 
 impl Counter {
     /// Number of counters (array dimension for storage).
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 19;
 
     /// All counters, in display order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -242,6 +249,9 @@ impl Counter {
         Counter::OpsSubmitted,
         Counter::OpsCompleted,
         Counter::GcCycles,
+        Counter::PoolAcquires,
+        Counter::PoolHeapAllocs,
+        Counter::PoolHighWater,
     ];
 
     /// Dense index for array storage.
@@ -269,6 +279,9 @@ impl Counter {
             Counter::OpsSubmitted => "ops_submitted",
             Counter::OpsCompleted => "ops_completed",
             Counter::GcCycles => "gc_cycles",
+            Counter::PoolAcquires => "pool_acquires",
+            Counter::PoolHeapAllocs => "pool_heap_allocs",
+            Counter::PoolHighWater => "pool_high_water",
         }
     }
 }

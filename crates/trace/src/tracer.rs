@@ -81,6 +81,16 @@ impl Tracer {
         self.counters[component.index()][counter.index()]
     }
 
+    /// Overwrites one counter with an externally maintained value (gauges
+    /// such as the buffer-pool statistics, which accumulate outside the
+    /// tracer and are snapshotted in).
+    pub fn set_counter(&mut self, component: Component, counter: Counter, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.counters[component.index()][counter.index()] = value;
+    }
+
     /// Sum of one counter across all components.
     pub fn counter_total(&self, counter: Counter) -> u64 {
         self.counters.iter().map(|row| row[counter.index()]).sum()

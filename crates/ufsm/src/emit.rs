@@ -171,7 +171,9 @@ pub fn execute_traced(
                 let mut offset = 0u64;
                 for pkt in cfg.packetizer.packets(*bytes) {
                     phases.push(BusPhase::new(PhaseKind::Pause, cfg.packetizer.packet_gap));
-                    let data = dram.read_vec(*src + offset, pkt);
+                    // Zero-copy: the packet is read once into a pooled
+                    // buffer; the phase and the LUN share it read-only.
+                    let data = dram.read_buf(*src + offset, pkt);
                     phases.push(BusPhase::new(
                         PhaseKind::DataIn(data),
                         cfg.timing.data_in_burst(cfg.iface, pkt),

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Compare a fresh babol-bench-v1 JSON against the committed baseline.
+
+    scripts/bench_check.py <baseline.json> <fresh.json>
+
+Fails (exit 1) when any *gated* benchmark's median regresses by more than
+BABOL_BENCH_REGRESSION_PCT percent (default 25). Gated benchmarks are the
+simulator-throughput paths — names starting with one of GATED_PREFIXES —
+because those are the ones the zero-copy data path and the calendar event
+queue are accountable for. Latency microbenches (table1/fig10/table3) and
+the loc counter are reported but not gated: their medians swing with host
+load far more than 25%.
+
+New benchmarks missing from the baseline pass with a note (the baseline
+just predates them); a gated benchmark missing from the FRESH run fails,
+since silently dropping a bench is how regressions hide.
+
+Stdlib only — the workspace is hermetic and CI must not pip install.
+"""
+
+import json
+import os
+import sys
+
+GATED_PREFIXES = ("sim/", "fio/")
+
+
+def medians(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "babol-bench-v1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return {r["name"]: float(r["median_ns"]) for r in doc["results"]}
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    baseline_path, fresh_path = sys.argv[1], sys.argv[2]
+    threshold = float(os.environ.get("BABOL_BENCH_REGRESSION_PCT", "25"))
+    base = medians(baseline_path)
+    fresh = medians(fresh_path)
+
+    failures = []
+    print(f"{'benchmark':40} {'baseline':>12} {'fresh':>12} {'delta':>8}  gate")
+    for name in sorted(set(base) | set(fresh)):
+        gated = name.startswith(GATED_PREFIXES)
+        tag = "GATED" if gated else "info"
+        if name not in fresh:
+            print(f"{name:40} {base[name]:12.1f} {'missing':>12} {'':>8}  {tag}")
+            if gated:
+                failures.append(f"{name}: present in baseline but not in fresh run")
+            continue
+        if name not in base:
+            print(f"{name:40} {'new':>12} {fresh[name]:12.1f} {'':>8}  {tag}")
+            continue
+        delta = (fresh[name] - base[name]) / base[name] * 100.0
+        print(f"{name:40} {base[name]:12.1f} {fresh[name]:12.1f} {delta:+7.1f}%  {tag}")
+        if gated and delta > threshold:
+            failures.append(
+                f"{name}: median {base[name]:.0f} ns -> {fresh[name]:.0f} ns "
+                f"({delta:+.1f}% > +{threshold:.0f}% allowed)"
+            )
+
+    if failures:
+        print(f"\nbench regression gate FAILED ({len(failures)}):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        sys.exit(1)
+    print(f"\nbench regression gate OK (threshold +{threshold:.0f}%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -24,9 +24,21 @@ cargo build --release --offline
 step "cargo test --workspace -q --offline"
 cargo test --workspace -q --offline
 
-step "bench harness smoke (BABOL_BENCH_ITERS=2)"
+# The smoke run writes to a scratch path: the committed
+# results/BENCH_paper.json is the full-iteration baseline and a 2-iter
+# smoke run must never clobber it.
+step "bench harness smoke (BABOL_BENCH_ITERS=2, scratch output)"
 BABOL_BENCH_WARMUP=1 BABOL_BENCH_ITERS=2 \
-  cargo bench --offline -p babol-bench --bench paper
+  cargo bench --offline -p babol-bench --bench paper -- --json /tmp/BENCH_smoke.json
+
+if command -v python3 >/dev/null 2>&1; then
+  step "bench regression gate (medians vs results/BENCH_paper.json)"
+  BABOL_BENCH_WARMUP=2 BABOL_BENCH_ITERS=5 \
+    cargo bench --offline -p babol-bench --bench paper -- --json /tmp/BENCH_fresh.json
+  python3 scripts/bench_check.py results/BENCH_paper.json /tmp/BENCH_fresh.json
+else
+  echo "python3 not found; skipped bench regression gate"
+fi
 
 for ex in quickstart boot_and_calibrate advanced_ops read_retry_ecc ssd_fio; do
   step "cargo run --release --example $ex"

@@ -13,7 +13,7 @@ use babol_flash::Geometry;
 use babol_ftl::PageMap;
 use babol_onfi::addr::{AddrLayout, ColumnAddr, RowAddr};
 use babol_onfi::param_page::ParamPage;
-use babol_sim::{Dram, EventQueue, Freq, SimDuration, SimTime};
+use babol_sim::{Dram, EventQueue, Freq, PageBuf, SimDuration, SimTime};
 
 /// Row/column addresses survive packing into ONFI cycles for any
 /// geometry in the supported range.
@@ -183,6 +183,184 @@ fn event_queue_survives_mixed_10k_pushes() {
                 }
             }
             prop_assert!(model.is_empty(), "queue dropped events");
+            Ok(())
+        });
+}
+
+/// The calendar queue agrees with a `BTreeMap` model when event times span
+/// every wheel level: L0 grains, L1 cascades, the overflow heap, and
+/// `SimTime::FAR_FUTURE` itself — 10k mixed pushes and pops per case.
+#[test]
+fn event_queue_spans_wheel_levels_matches_model() {
+    Property::new("event_queue_spans_wheel_levels_matches_model")
+        .cases(16)
+        .run(any::<u64>(), |&seed| {
+            use std::collections::{BTreeMap, VecDeque};
+            let mut rng = babol_sim::rng::SplitMix64::new(seed);
+            let mut q = EventQueue::new();
+            let mut model: BTreeMap<u64, VecDeque<usize>> = BTreeMap::new();
+            for i in 0..10_000usize {
+                // A random right-shift spreads times across all magnitudes,
+                // with an occasional FAR_FUTURE sentinel.
+                let t = if rng.next_below(50) == 0 {
+                    SimTime::FAR_FUTURE.as_picos()
+                } else {
+                    rng.next_u64() >> rng.next_below(64)
+                };
+                q.push(SimTime::from_picos(t), i);
+                model.entry(t).or_default().push_back(i);
+                if rng.next_below(3) == 0 {
+                    let (pt, pi) = q.pop().expect("queue has pending events");
+                    let mut entry = model.first_entry().expect("model has pending events");
+                    prop_assert_eq!(*entry.key(), pt.as_picos(), "wrong time popped");
+                    let want = entry.get_mut().pop_front().expect("nonempty bucket");
+                    prop_assert_eq!(pi, want, "FIFO violated among ties");
+                    if entry.get().is_empty() {
+                        entry.remove();
+                    }
+                }
+            }
+            while let Some((pt, pi)) = q.pop() {
+                let mut entry = model.first_entry().expect("model matches queue length");
+                prop_assert_eq!(*entry.key(), pt.as_picos());
+                prop_assert_eq!(pi, entry.get_mut().pop_front().expect("nonempty bucket"));
+                if entry.get().is_empty() {
+                    entry.remove();
+                }
+            }
+            prop_assert!(model.is_empty(), "queue dropped events");
+            Ok(())
+        });
+}
+
+/// The pooled data path is byte-identical to a flat `Vec<u8>` reference
+/// model under randomized interleavings of DRAM writes, pooled reads whose
+/// handles stay live, clone aliasing, and releases (the buffer "GC" that
+/// returns storage to the free list). A live handle must keep its snapshot
+/// even as the pool recycles storage underneath.
+#[test]
+fn pooled_data_path_matches_vec_model() {
+    const SPACE: usize = 4096;
+    Property::new("pooled_data_path_matches_vec_model").run(
+        (any::<u64>(), range(8usize..64)),
+        |&(seed, nops)| {
+            let mut rng = babol_sim::rng::SplitMix64::new(seed);
+            let mut dram = Dram::new();
+            let mut model = vec![0u8; SPACE];
+            // Held pooled buffers with the contents they must still show.
+            let mut held: Vec<(Vec<u8>, PageBuf)> = Vec::new();
+            for _ in 0..nops {
+                let addr = rng.next_below(SPACE as u64 - 128);
+                let len = 1 + rng.next_below(127) as usize;
+                match rng.next_below(4) {
+                    0 | 1 => {
+                        let data: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+                        dram.write(addr, &data);
+                        model[addr as usize..addr as usize + len].copy_from_slice(&data);
+                    }
+                    2 => {
+                        let buf = dram.read_buf(addr, len);
+                        let want = model[addr as usize..addr as usize + len].to_vec();
+                        prop_assert_eq!(buf.as_slice(), &want[..], "pooled read diverged");
+                        if rng.next_below(2) == 0 {
+                            held.push((want.clone(), buf.clone())); // alias
+                        }
+                        held.push((want, buf));
+                    }
+                    _ => {
+                        if !held.is_empty() {
+                            let idx = rng.next_below(held.len() as u64) as usize;
+                            let (want, buf) = held.swap_remove(idx);
+                            prop_assert_eq!(
+                                buf.as_slice(),
+                                &want[..],
+                                "live handle corrupted by recycling"
+                            );
+                        }
+                    }
+                }
+            }
+            for (want, buf) in held.drain(..) {
+                prop_assert_eq!(buf.as_slice(), &want[..]);
+            }
+            let stats = dram.pool().stats();
+            prop_assert_eq!(stats.in_use, 0, "all buffers returned");
+            prop_assert!(
+                stats.allocs <= stats.high_water,
+                "pool allocated beyond its high-water mark"
+            );
+            Ok(())
+        },
+    );
+}
+
+/// End-to-end pooled write path: after a GC-heavy random-write fio job,
+/// every mapped logical page's flash contents are byte-identical to the
+/// LPN-keyed reference pattern — relocations through pooled buffers lose
+/// nothing.
+#[test]
+fn ssd_write_path_with_gc_matches_pattern_model() {
+    use babol::factory::coro_controller;
+    use babol::runtime::RuntimeConfig;
+    use babol_channel::Channel;
+    use babol_flash::array::ContentMode;
+    use babol_flash::lun::LunConfig;
+    use babol_flash::{Lun, PackageProfile};
+    use babol_ftl::{FioWorkload, IoPattern, Ssd, SsdConfig};
+    use babol_sim::{CostModel, Cpu};
+    use babol_ufsm::EmitConfig;
+
+    Property::new("ssd_write_path_with_gc_matches_pattern_model")
+        .cases(8)
+        .run(any::<u64>(), |&seed| {
+            let luns = 2u32;
+            let l = (0..luns)
+                .map(|i| {
+                    Lun::new(LunConfig {
+                        profile: PackageProfile::test_tiny(),
+                        content: ContentMode::Pristine,
+                        seed: i as u64 + 1,
+                        inject_errors: false,
+                        require_init: false,
+                    })
+                })
+                .collect();
+            let mut sys = babol::system::System::new(
+                Channel::new(l),
+                EmitConfig::nv_ddr2(200),
+                Cpu::new(Freq::from_ghz(1), CostModel::coroutine()),
+            );
+            let layout = PackageProfile::test_tiny().layout();
+            let mut ctrl = coro_controller(layout, RuntimeConfig::coroutine());
+            let mut ssd = Ssd::new(SsdConfig::tiny(luns));
+            let wl = FioWorkload {
+                pattern: IoPattern::RandomWrite,
+                total_ios: 200,
+                queue_depth: 2,
+                seed,
+            };
+            let r = ssd.run(&mut sys, &mut ctrl, wl);
+            prop_assert!(r.gc_cycles > 0, "workload must exercise GC");
+            let page_size = 512usize;
+            for lpn in 0..96u64 {
+                let Some(ppn) = ssd.map().translate(lpn) else {
+                    continue;
+                };
+                let page = sys
+                    .channel
+                    .lun(ppn.lun)
+                    .array()
+                    .read_page(RowAddr {
+                        lun: ppn.lun,
+                        block: ppn.block,
+                        page: ppn.page,
+                    })
+                    .expect("mapped page readable");
+                let expect: Vec<u8> = (0..page_size)
+                    .map(|i| (lpn as u8).wrapping_add(i as u8))
+                    .collect();
+                prop_assert_eq!(&page[..page_size], &expect[..], "lpn {} diverged", lpn);
+            }
             Ok(())
         });
 }
