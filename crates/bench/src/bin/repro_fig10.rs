@@ -8,11 +8,15 @@
 //! * the coroutine controller needs ~1 GHz, and fares best (relative to the
 //!   baseline) on busy 100 MT/s channels with many LUNs.
 //!
-//! Usage: `repro_fig10 [COUNT] [--trace OUT.json]`. With `--trace`, one
-//! representative point per controller reruns with the tracing layer on and
-//! the merged event timeline is written as a Chrome `trace_event` file
-//! (load it at `chrome://tracing` or <https://ui.perfetto.dev>); a line-JSON
-//! dump lands next to it at `OUT.json.jsonl`.
+//! Usage: `repro_fig10 [COUNT] [--trace OUT.json] [--report]`. With
+//! `--trace`, one representative point per controller reruns with the
+//! tracing layer on and the merged event timeline is written as a Chrome
+//! `trace_event` file (load it at `chrome://tracing` or
+//! <https://ui.perfetto.dev>); a line-JSON dump lands next to it at
+//! `OUT.json.jsonl`. With `--report`, the Coro point's trace is analyzed
+//! in-process and a utilization/idle-gap/phase report is printed — the
+//! idle-gap percentiles are the software analogue of the paper's Fig. 10
+//! reaction-time story.
 
 use babol_bench::{
     read_microbench, read_microbench_traced, render_table, ControllerKind, FIG10_FREQS_MHZ,
@@ -22,6 +26,7 @@ use babol_flash::PackageProfile;
 fn main() {
     let mut count = 240u64;
     let mut trace_path: Option<String> = None;
+    let mut report = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--trace" {
@@ -29,6 +34,8 @@ fn main() {
                 eprintln!("--trace requires a file path");
                 std::process::exit(2);
             }));
+        } else if arg == "--report" {
+            report = true;
         } else if let Ok(n) = arg.parse() {
             count = n;
         } else {
@@ -90,8 +97,15 @@ fn main() {
         ControllerKind::Rtos,
         ControllerKind::Coro,
     ] {
-        let (r, tracer) =
-            read_microbench_traced(&profile, luns, 200, 1000, kind, count, trace_path.is_some());
+        let (r, tracer) = read_microbench_traced(
+            &profile,
+            luns,
+            200,
+            1000,
+            kind,
+            count,
+            trace_path.is_some() || report,
+        );
         rows.push(vec![
             kind.label().to_string(),
             format!("{}", r.latency_percentile(0.50)),
@@ -105,6 +119,15 @@ fn main() {
         "{}",
         render_table(&["Controller", "p50", "p95", "p99", "mean"], &rows)
     );
+
+    if report {
+        let (kind, tracer) = traces.last().expect("traced runs exist");
+        println!(
+            "\n[{}] {}",
+            kind.label(),
+            babol_trace::TraceReport::from_tracer(tracer).render_table()
+        );
+    }
 
     if let Some(path) = trace_path {
         // One trace file per controller would fragment the timeline view;

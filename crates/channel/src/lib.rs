@@ -24,7 +24,7 @@ use std::fmt;
 use babol_flash::{Lun, LunError, LunResponse};
 use babol_onfi::bus::{BusPhase, ChipMask, PhaseKind};
 use babol_sim::{BufPool, PageBuf, PageBufMut, SimDuration, SimTime};
-use babol_trace::{Component, Counter, Metric, TraceKind, TraceSink};
+use babol_trace::{Component, Counter, IntervalSet, Metric, TraceKind, TraceSink};
 
 pub use analyzer::{Analyzer, TraceEvent};
 
@@ -109,6 +109,13 @@ pub struct Channel {
     analyzer: Analyzer,
     stats: ChannelStats,
     pool: BufPool,
+    /// Bus ownership intervals, kept when tracking is on or the segment
+    /// was transmitted with an enabled trace sink.
+    busy_log: IntervalSet,
+    track_busy: bool,
+    /// Utilization measurement mark (see [`Channel::mark_utilization`]).
+    mark_time: SimTime,
+    mark_busy: SimDuration,
 }
 
 impl fmt::Debug for Channel {
@@ -138,6 +145,10 @@ impl Channel {
             analyzer: Analyzer::new(false),
             stats: ChannelStats::default(),
             pool: BufPool::default(),
+            busy_log: IntervalSet::new(),
+            track_busy: false,
+            mark_time: SimTime::ZERO,
+            mark_busy: SimDuration::ZERO,
         }
     }
 
@@ -154,6 +165,25 @@ impl Channel {
     /// Enables or disables trace capture.
     pub fn set_tracing(&mut self, on: bool) {
         self.analyzer.set_enabled(on);
+    }
+
+    /// Enables busy/idle interval accounting on this channel and every
+    /// attached LUN, independent of whether transmissions carry an enabled
+    /// trace sink. Pure bookkeeping: it never changes bus behaviour.
+    pub fn set_busy_tracking(&mut self, on: bool) {
+        self.track_busy = on;
+        for lun in &mut self.luns {
+            lun.set_busy_tracking(on);
+        }
+    }
+
+    /// Bus ownership intervals collected so far (see
+    /// [`Channel::set_busy_tracking`]; also populated by traced
+    /// transmissions). Windowed queries answer "how busy was the bus
+    /// between t₀ and t₁" — the number [`Channel::utilization`] flattens
+    /// away.
+    pub fn busy_intervals(&self) -> &IntervalSet {
+        &self.busy_log
     }
 
     /// The captured trace.
@@ -251,6 +281,7 @@ impl Channel {
             }
         }
         let stats_before = self.stats;
+        let traced = sink.is_enabled();
         let mut t = start;
         // Single data-out segments pass the LUN's buffer through unchanged;
         // multi-packet segments gather into one pooled buffer.
@@ -264,9 +295,35 @@ impl Channel {
                 if matches!(phase.kind, PhaseKind::DataOut { .. }) && reader.is_some() {
                     break;
                 }
+                let deadline_before = traced
+                    .then(|| self.luns[lun as usize].busy_until())
+                    .flatten();
                 let resp = self.luns[lun as usize]
                     .phase(phase_end, &phase.kind)
                     .map_err(|error| ChannelError::Lun { lun, error })?;
+                // An array busy period starting (or being replaced) at this
+                // phase edge: its deadline is already known, so both span
+                // events are recorded now, the end eagerly future-stamped.
+                if traced {
+                    if let Some(deadline) = self.luns[lun as usize].busy_until() {
+                        if Some(deadline) != deadline_before && deadline > phase_end {
+                            sink.record(babol_trace::TraceEvent {
+                                t: phase_end,
+                                component: Component::Channel,
+                                kind: TraceKind::ArrayBegin,
+                                lun,
+                                op_id,
+                            });
+                            sink.record(babol_trace::TraceEvent {
+                                t: deadline,
+                                component: Component::Channel,
+                                kind: TraceKind::ArrayEnd,
+                                lun,
+                                op_id,
+                            });
+                        }
+                    }
+                }
                 if let LunResponse::Data(bytes) = resp {
                     reader = Some(bytes);
                 }
@@ -299,6 +356,9 @@ impl Channel {
         self.stats.segments += 1;
         self.stats.busy += t - start;
         self.busy_until = t;
+        if self.track_busy || traced {
+            self.busy_log.add(start, t);
+        }
         sink.count(Component::Channel, Counter::SegmentsTransmitted, 1);
         sink.count(
             Component::Channel,
@@ -316,7 +376,7 @@ impl Channel {
             self.stats.bytes_in - stats_before.bytes_in,
         );
         sink.observe(Metric::BusHold, t - start);
-        if sink.is_enabled() {
+        if traced {
             let lun = mask.iter().next().unwrap_or(0);
             sink.record(babol_trace::TraceEvent {
                 t: start,
@@ -337,11 +397,35 @@ impl Channel {
     }
 
     /// Bus utilization over `[SimTime::ZERO, now]`.
+    ///
+    /// Cumulative from epoch — boot/calibration traffic dilutes it. For a
+    /// post-warm-up window, set a mark with [`Channel::mark_utilization`]
+    /// and read [`Channel::utilization_since`].
     pub fn utilization(&self, now: SimTime) -> f64 {
         if now == SimTime::ZERO {
             return 0.0;
         }
         (self.stats.busy.as_picos() as f64 / now.since_epoch().as_picos() as f64).min(1.0)
+    }
+
+    /// Starts a fresh utilization measurement window at `now`: subsequent
+    /// [`Channel::utilization_since`] calls report only bus time accrued
+    /// after this point.
+    pub fn mark_utilization(&mut self, now: SimTime) {
+        self.mark_time = now;
+        self.mark_busy = self.stats.busy;
+    }
+
+    /// Bus utilization over `[mark, now]`, where `mark` is the last
+    /// [`Channel::mark_utilization`] call (epoch if never marked).
+    /// Returns 0 for an empty window.
+    pub fn utilization_since(&self, now: SimTime) -> f64 {
+        let window = now.saturating_since(self.mark_time);
+        if window.is_zero() {
+            return 0.0;
+        }
+        let busy = self.stats.busy.saturating_sub(self.mark_busy);
+        (busy.as_picos() as f64 / window.as_picos() as f64).min(1.0)
     }
 }
 
@@ -526,6 +610,94 @@ mod tests {
             .unwrap();
         assert_eq!(ta, tb);
         assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn traced_transmit_emits_array_span_for_busy_start() {
+        let mut ch = channel(2);
+        let mut tracer = babol_trace::Tracer::enabled();
+        // RESET starts an array busy period on the selected LUN.
+        let tx = ch
+            .transmit_traced(
+                SimTime::ZERO,
+                ChipMask::single(1),
+                &[ca(op::RESET)],
+                9,
+                &mut tracer,
+            )
+            .unwrap();
+        let deadline = ch.lun(1).busy_until().expect("LUN busy after RESET");
+        let kinds: Vec<_> = tracer
+            .events()
+            .map(|e| (e.kind, e.t, e.lun, e.op_id))
+            .collect();
+        assert!(kinds.contains(&(TraceKind::ArrayBegin, tx.end, 1, 9)));
+        assert!(kinds.contains(&(TraceKind::ArrayEnd, deadline, 1, 9)));
+        // A status poll that starts no busy period adds no array events.
+        let before = tracer.events().count();
+        ch.transmit_traced(
+            deadline,
+            ChipMask::single(1),
+            &[ca(op::READ_STATUS)],
+            9,
+            &mut tracer,
+        )
+        .unwrap();
+        let new: Vec<_> = tracer.events().skip(before).map(|e| e.kind).collect();
+        assert_eq!(new, vec![TraceKind::BusAcquire, TraceKind::BusRelease]);
+    }
+
+    #[test]
+    fn busy_intervals_accumulate_when_tracked_or_traced() {
+        let phases = vec![ca(op::READ_STATUS)];
+        // Untracked, untraced: nothing logged (hot path stays lean).
+        let mut ch = channel(1);
+        ch.transmit(SimTime::ZERO, ChipMask::single(0), &phases)
+            .unwrap();
+        assert!(ch.busy_intervals().is_empty());
+        // Explicit tracking without a sink.
+        let mut ch = channel(1);
+        ch.set_busy_tracking(true);
+        let t1 = ch
+            .transmit(SimTime::ZERO, ChipMask::single(0), &phases)
+            .unwrap()
+            .end;
+        ch.transmit(
+            t1 + SimDuration::from_nanos(100),
+            ChipMask::single(0),
+            &phases,
+        )
+        .unwrap();
+        assert_eq!(ch.busy_intervals().len(), 2);
+        assert_eq!(ch.busy_intervals().total_busy(), ch.stats().busy);
+        assert_eq!(ch.busy_intervals().gaps().count(), 1);
+        // An enabled sink logs too, without explicit tracking.
+        let mut ch = channel(1);
+        let mut tracer = babol_trace::Tracer::enabled();
+        ch.transmit_traced(SimTime::ZERO, ChipMask::single(0), &phases, 0, &mut tracer)
+            .unwrap();
+        assert_eq!(ch.busy_intervals().len(), 1);
+    }
+
+    #[test]
+    fn utilization_since_ignores_traffic_before_the_mark() {
+        let mut ch = channel(1);
+        let phases = vec![ca(op::READ_STATUS)];
+        // "Boot" traffic saturates the bus up to t1.
+        let t1 = ch
+            .transmit(SimTime::ZERO, ChipMask::single(0), &phases)
+            .unwrap()
+            .end;
+        ch.mark_utilization(t1);
+        // Idle for as long again: windowed reads 0, cumulative stays high.
+        let now = t1 + (t1 - SimTime::ZERO);
+        assert_eq!(ch.utilization_since(now), 0.0);
+        assert!(ch.utilization(now) > 0.4);
+        // One more segment in the window: windowed ≈ busy/(window).
+        let t2 = ch.transmit(now, ChipMask::single(0), &phases).unwrap().end;
+        let u = ch.utilization_since(t2);
+        assert!(u > 0.3, "windowed utilization {u}");
+        assert_eq!(ch.utilization_since(t1), 0.0, "empty window");
     }
 
     #[test]

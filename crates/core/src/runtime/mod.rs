@@ -344,19 +344,40 @@ impl SoftRuntime {
         // One operation per LUN at a time: a LUN has one page register, so
         // overlapping operations would corrupt each other. Later arrivals
         // park until the LUN frees up.
-        match self.lun_active.entry(lun) {
+        let admitted = match self.lun_active.entry(lun) {
             std::collections::hash_map::Entry::Occupied(_) => {
                 self.lun_parked.entry(lun).or_default().push_back(tid);
+                false
             }
             std::collections::hash_map::Entry::Vacant(e) => {
                 e.insert(tid);
-                self.runnable.push_back(tid);
-                if sys.trace.is_enabled() {
-                    self.runnable_since.insert(tid, sys.now);
-                }
+                true
             }
+        };
+        if admitted {
+            self.mark_runnable(sys, tid);
         }
         tid
+    }
+
+    /// Pushes a task onto the runnable queue. Traced runs also stamp when
+    /// the wait began (for the scheduler-latency metric) and emit a
+    /// `TaskReady` event — the anchor phase attribution pairs with the
+    /// matching `SchedPick` to measure scheduler wait.
+    fn mark_runnable(&mut self, sys: &mut System, tid: TaskId) {
+        self.runnable.push_back(tid);
+        if sys.trace.is_enabled() {
+            self.runnable_since.insert(tid, sys.now);
+            if let Some(task) = self.tasks[tid].as_ref() {
+                sys.trace.event(
+                    sys.now,
+                    Component::Sched,
+                    TraceKind::TaskReady,
+                    task.meta().lun,
+                    task.op_id(),
+                );
+            }
+        }
     }
 
     /// Drains tasks that finished since the last call.
@@ -382,10 +403,7 @@ impl SoftRuntime {
 
     fn on_timer(&mut self, sys: &mut System, tag: u64) {
         if let Some(tid) = self.sleeping.remove(&tag) {
-            self.runnable.push_back(tid);
-            if sys.trace.is_enabled() {
-                self.runnable_since.insert(tid, sys.now);
-            }
+            self.mark_runnable(sys, tid);
             self.pump(sys);
         }
     }
@@ -413,12 +431,10 @@ impl SoftRuntime {
             }
         }
         if let Some((tid, local)) = self.waiting.remove(&ticket) {
-            if let Some(task) = self.tasks[tid].as_mut() {
+            if self.tasks[tid].is_some() {
+                let task = self.tasks[tid].as_mut().expect("checked above");
                 task.deliver(local, TxnResult { inline: data, end });
-                self.runnable.push_back(tid);
-                if sys.trace.is_enabled() {
-                    self.runnable_since.insert(tid, sys.now);
-                }
+                self.mark_runnable(sys, tid);
             }
         }
         // The hardware proceeds to the next queued transaction regardless of
@@ -431,6 +447,23 @@ impl SoftRuntime {
     /// hardware queue, charging the CPU for each step.
     fn pump(&mut self, sys: &mut System) {
         let cost = self.cfg.cost;
+        if sys.trace.is_enabled() {
+            // Queue-depth-over-time sample: one event per pump entry, all
+            // four depths packed into the op_id word (layout unchanged).
+            let depths = babol_trace::QueueDepths::from_lens(
+                self.runnable.len(),
+                self.ready.len(),
+                self.hw_queue.len(),
+                usize::from(self.in_flight.is_some()),
+            );
+            sys.trace.event(
+                sys.now,
+                Component::Sched,
+                TraceKind::QueueDepth,
+                0,
+                depths.pack(),
+            );
+        }
         while let Some(tid) = self.pick_runnable(sys) {
             sys.cpu.charge(sys.now, cost.resume);
             let task = self.tasks[tid].as_mut().expect("runnable task exists");
@@ -521,10 +554,7 @@ impl SoftRuntime {
                 });
                 if let Some(next) = next {
                     self.lun_active.insert(lun, next);
-                    self.runnable.push_back(next);
-                    if sys.trace.is_enabled() {
-                        self.runnable_since.insert(next, sys.now);
-                    }
+                    self.mark_runnable(sys, next);
                 }
             }
         }

@@ -153,6 +153,12 @@ impl System {
         self.events.push(self.now + delay, event);
     }
 
+    /// Number of events pending in the queue — used by stall diagnostics
+    /// to distinguish a live-lock (events flowing) from a drained queue.
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
     /// Removes the earliest pending event. Intended for drivers that own
     /// the event loop (the engine, the SSD host driver).
     pub fn pop_event(&mut self) -> Option<(SimTime, Event)> {
@@ -253,9 +259,15 @@ impl RunReport {
 /// until `total` requests complete.
 pub struct Engine {
     queue_depth_per_lun: usize,
+    watchdog_budget: Option<SimDuration>,
 }
 
 impl Engine {
+    /// Default stall budget: no single request on a loaded microbenchmark
+    /// system takes anywhere near a second of simulated time, so a second
+    /// without one completion is a live-lock, not a slow run.
+    pub const DEFAULT_WATCHDOG_BUDGET: SimDuration = SimDuration::from_secs(1);
+
     /// An engine keeping up to `queue_depth_per_lun` requests outstanding on
     /// each LUN (the paper's microbenchmarks submit "a sequence of read
     /// operations through each channel controller": depth 1 per LUN keeps
@@ -264,7 +276,58 @@ impl Engine {
         assert!(queue_depth_per_lun >= 1);
         Engine {
             queue_depth_per_lun,
+            watchdog_budget: Some(Self::DEFAULT_WATCHDOG_BUDGET),
         }
+    }
+
+    /// Overrides the stall watchdog budget; `None` disarms it.
+    pub fn watchdog_budget(mut self, budget: Option<SimDuration>) -> Self {
+        self.watchdog_budget = budget;
+        self
+    }
+
+    /// Renders the stall diagnostic the watchdog panics with: progress so
+    /// far, the oldest in-flight request, queue/activity snapshots.
+    fn stall_report(
+        sys: &System,
+        controller: &dyn Controller,
+        done: usize,
+        total: usize,
+        submit_times: &std::collections::HashMap<u64, SimTime>,
+        stalled_for: SimDuration,
+    ) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!(
+            "stall watchdog: no host completion for {stalled_for:?} \
+             ({done} of {total} requests complete, controller {})\n",
+            controller.name()
+        );
+        if let Some((id, at)) = submit_times.iter().min_by_key(|(_, &at)| at) {
+            let _ = writeln!(
+                s,
+                "  oldest pending op: id {id}, submitted at {at:?} \
+                 ({:?} ago)",
+                sys.now.saturating_since(*at)
+            );
+        }
+        let _ = writeln!(
+            s,
+            "  controller in-flight: {}, pending events: {}",
+            controller.in_flight(),
+            sys.pending_events()
+        );
+        let _ = writeln!(
+            s,
+            "  cpu busy until {:?}, channel busy until {:?}",
+            sys.cpu.busy_until(),
+            sys.channel.busy_until()
+        );
+        for c in Component::ALL {
+            if let Some(t) = sys.trace.last_activity(c) {
+                let _ = writeln!(s, "  last {} event at {t:?}", c.name());
+            }
+        }
+        s
     }
 
     /// Runs `requests` to completion against `controller` on `sys`.
@@ -292,6 +355,11 @@ impl Engine {
         let mut completions = Vec::with_capacity(total);
         let mut scratch = Vec::new();
         let mut bytes = 0u64;
+        let mut watchdog = match self.watchdog_budget {
+            Some(budget) => babol_sim::Watchdog::new(budget),
+            None => babol_sim::Watchdog::disarmed(),
+        };
+        watchdog.arm_at(start);
 
         loop {
             // Collect completions first so freed slots can be refilled in
@@ -300,6 +368,7 @@ impl Engine {
             for (req, at) in scratch.drain(..) {
                 per_lun_inflight[req.lun as usize] -= 1;
                 bytes += req.len as u64;
+                watchdog.note_progress(at);
                 completions.push(Completion {
                     req,
                     submitted: submit_times.remove(&req.id).unwrap_or(start),
@@ -333,6 +402,19 @@ impl Engine {
             };
             debug_assert!(at >= sys.now);
             sys.now = at;
+            if watchdog.is_stalled(sys.now) {
+                panic!(
+                    "{}",
+                    Self::stall_report(
+                        sys,
+                        controller,
+                        completions.len(),
+                        total,
+                        &submit_times,
+                        watchdog.stalled_for(sys.now),
+                    )
+                );
+            }
             controller.on_event(sys, ev);
         }
         RunReport {
@@ -455,6 +537,35 @@ mod tests {
         let report = Engine::new(2).run(&mut sys, &mut ctrl, reqs(16, 0));
         assert!(report.latency_percentile(0.5) <= report.latency_percentile(0.99));
         assert!(report.throughput_mbps() > 0.0);
+    }
+
+    /// Events flow forever (a timer endlessly rescheduling itself) but no
+    /// request ever completes: the deadlock panic can't see it, the stall
+    /// watchdog must.
+    #[test]
+    #[should_panic(expected = "stall watchdog")]
+    fn live_lock_trips_the_watchdog() {
+        struct Spinner;
+        impl Controller for Spinner {
+            fn name(&self) -> &'static str {
+                "spinner"
+            }
+            fn submit(&mut self, sys: &mut System, _r: IoRequest) -> bool {
+                sys.schedule_in(SimDuration::from_micros(10), Event::Timer { tag: 0 });
+                true
+            }
+            fn on_event(&mut self, sys: &mut System, _e: Event) {
+                sys.schedule_in(SimDuration::from_micros(10), Event::Timer { tag: 0 });
+            }
+            fn take_completions(&mut self, _o: &mut Vec<(IoRequest, SimTime)>) {}
+            fn in_flight(&self) -> usize {
+                1
+            }
+        }
+        let mut sys = tiny_system(1);
+        Engine::new(1)
+            .watchdog_budget(Some(SimDuration::from_millis(1)))
+            .run(&mut sys, &mut Spinner, reqs(1, 0));
     }
 
     #[test]

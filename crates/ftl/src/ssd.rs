@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use babol::system::{Controller, Event, IoKind, IoRequest, System};
 use babol_flash::Geometry;
 use babol_sim::rng::SplitMix64;
-use babol_sim::{PageBufMut, SimDuration, SimTime};
+use babol_sim::{PageBufMut, SimDuration, SimTime, Watchdog};
 use babol_trace::{Component, Counter, Metric, TraceKind, TraceSink};
 
 use crate::fio::{FioReport, FioWorkload};
@@ -81,9 +81,18 @@ pub struct Ssd {
     scratch: Option<PageBufMut>,
     /// GC cycles performed since construction.
     pub gc_cycles: u64,
+    /// Stall watchdog. Progress is *any* completion, host or internal:
+    /// a foreground GC storm on the paper geometry can legitimately hold
+    /// off host completions for a long stretch while relocations complete
+    /// steadily, and those relocations are forward progress.
+    watchdog: Watchdog,
 }
 
 impl Ssd {
+    /// Default stall budget. Far more generous than the engine's: a full
+    /// GC cycle relocates up to a block's worth of pages inline.
+    pub const DEFAULT_WATCHDOG_BUDGET: SimDuration = SimDuration::from_secs(10);
+
     /// Builds the SSD.
     pub fn new(cfg: SsdConfig) -> Self {
         Ssd {
@@ -93,7 +102,16 @@ impl Ssd {
             stashed: Vec::new(),
             scratch: None,
             gc_cycles: 0,
+            watchdog: Watchdog::new(Self::DEFAULT_WATCHDOG_BUDGET),
         }
+    }
+
+    /// Overrides the stall watchdog budget; `None` disarms it.
+    pub fn set_watchdog(&mut self, budget: Option<SimDuration>) {
+        self.watchdog = match budget {
+            Some(b) => Watchdog::new(b),
+            None => Watchdog::disarmed(),
+        };
     }
 
     /// The translation map (inspection and tests).
@@ -115,6 +133,7 @@ impl Ssd {
         wl: FioWorkload,
     ) -> FioReport {
         let start = sys.now;
+        self.watchdog.arm_at(start);
         let mut rng = SplitMix64::new(wl.seed);
         let mut issued = 0u64;
         let mut completed = 0u64;
@@ -127,6 +146,7 @@ impl Ssd {
             controller.take_completions(&mut scratch);
             scratch.append(&mut self.stashed);
             for (req, at) in scratch.drain(..) {
+                self.watchdog.note_progress(at);
                 if let Some(t0) = inflight.remove(&req.id) {
                     latencies.push(at - t0);
                     completed += 1;
@@ -199,6 +219,30 @@ impl Ssd {
             panic!("SSD driver deadlock: controller holds requests but no events pending");
         };
         sys.now = at;
+        if self.watchdog.is_stalled(sys.now) {
+            let mut s = format!(
+                "SSD stall watchdog: no completion (host or internal) for {:?} \
+                 (controller {}, {} in flight, {} events pending, {} GC cycles)\n",
+                self.watchdog.stalled_for(sys.now),
+                controller.name(),
+                controller.in_flight(),
+                sys.pending_events(),
+                self.gc_cycles,
+            );
+            use std::fmt::Write as _;
+            let _ = writeln!(
+                s,
+                "  cpu busy until {:?}, channel busy until {:?}",
+                sys.cpu.busy_until(),
+                sys.channel.busy_until()
+            );
+            for c in Component::ALL {
+                if let Some(t) = sys.trace.last_activity(c) {
+                    let _ = writeln!(s, "  last {} event at {t:?}", c.name());
+                }
+            }
+            panic!("{s}");
+        }
         controller.on_event(sys, ev);
     }
 
@@ -327,6 +371,7 @@ impl Ssd {
             controller.take_completions(&mut done);
             let mut finished = false;
             for (r, at) in done {
+                self.watchdog.note_progress(at);
                 if r.id == id {
                     finished = true;
                 } else {

@@ -26,6 +26,9 @@
 //!   shared read-only as [`pool::PageBuf`] handles across every layer.
 //! * [`rng::SplitMix64`] — a tiny deterministic RNG used where the kernel
 //!   itself needs randomness without pulling in external crates.
+//! * [`watchdog::Watchdog`] — a sim-time progress monitor that turns a
+//!   silently live-locked run (events flowing, no op ever completing) into
+//!   a loud diagnostic.
 
 pub mod cpu;
 pub mod dram;
@@ -33,9 +36,11 @@ pub mod pool;
 pub mod queue;
 pub mod rng;
 pub mod time;
+pub mod watchdog;
 
 pub use cpu::{CostModel, Cpu};
 pub use dram::Dram;
 pub use pool::{BufPool, PageBuf, PageBufMut, PoolStats};
 pub use queue::EventQueue;
 pub use time::{Freq, SimDuration, SimTime};
+pub use watchdog::Watchdog;

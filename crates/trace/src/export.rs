@@ -20,6 +20,7 @@ impl TraceKind {
             TraceKind::TxnComplete => Some(TraceKind::TxnIssue),
             TraceKind::BusRelease => Some(TraceKind::BusAcquire),
             TraceKind::GcEnd => Some(TraceKind::GcStart),
+            TraceKind::ArrayEnd => Some(TraceKind::ArrayBegin),
             _ => None,
         }
     }
@@ -68,12 +69,22 @@ fn push_chrome_instant(out: &mut String, e: &TraceEvent) {
 
 impl Tracer {
     /// Renders the event ring as line-delimited JSON, one event per line,
-    /// oldest first.
+    /// oldest first, terminated by a footer record
+    /// `{"footer":true,"events":N,"dropped":M}`. A non-zero `dropped` means
+    /// the ring overflowed and the timeline's oldest edge is truncated —
+    /// consumers (`trace_report`, `parse_json_lines`) surface it so a
+    /// partial trace is never read as complete.
     pub fn to_json_lines(&self) -> String {
         let mut out = String::new();
         for e in self.events() {
             push_jsonl(&mut out, e);
         }
+        let _ = writeln!(
+            out,
+            r#"{{"footer":true,"events":{},"dropped":{}}}"#,
+            self.events().count(),
+            self.dropped()
+        );
         out
     }
 
@@ -124,7 +135,14 @@ impl Tracer {
                 items.push(s);
             }
         }
-        let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+        // `metadata` is not part of the trace_event schema but Chrome and
+        // Perfetto ignore unknown top-level keys; it carries the ring-drop
+        // count so a truncated timeline is detectable from the file alone.
+        let mut out = format!(
+            "{{\"displayTimeUnit\":\"ns\",\"metadata\":{{\"events\":{},\"dropped\":{}}},\"traceEvents\":[",
+            self.events().count(),
+            self.dropped()
+        );
         for (i, item) in items.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -169,10 +187,29 @@ mod tests {
         t.record(ev(1_000, TraceKind::BusAcquire, 2, 7));
         t.record(ev(5_000, TraceKind::BusRelease, 2, 7));
         let s = t.to_json_lines();
-        assert_eq!(s.lines().count(), 2);
+        assert_eq!(s.lines().count(), 3, "2 events + footer");
         assert!(s.starts_with(
             r#"{"t_ps":1000,"component":"channel","kind":"bus_acquire","lun":2,"op_id":7}"#
         ));
+        assert_eq!(
+            s.lines().last().unwrap(),
+            r#"{"footer":true,"events":2,"dropped":0}"#
+        );
+    }
+
+    #[test]
+    fn jsonl_footer_reports_ring_drops() {
+        let mut t = Tracer::with_capacity(2);
+        for i in 0..5u64 {
+            t.record(ev(i * 1000, TraceKind::SchedPick, 0, i));
+        }
+        let s = t.to_json_lines();
+        assert_eq!(
+            s.lines().last().unwrap(),
+            r#"{"footer":true,"events":2,"dropped":3}"#
+        );
+        let chrome = t.to_chrome_trace();
+        assert!(chrome.contains(r#""metadata":{"events":2,"dropped":3}"#));
     }
 
     #[test]
@@ -227,10 +264,13 @@ mod tests {
     #[test]
     fn empty_trace_still_exports_valid_skeleton() {
         let t = Tracer::enabled();
-        assert_eq!(t.to_json_lines(), "");
+        assert_eq!(
+            t.to_json_lines(),
+            "{\"footer\":true,\"events\":0,\"dropped\":0}\n"
+        );
         assert_eq!(
             t.to_chrome_trace(),
-            "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n]}\n"
+            "{\"displayTimeUnit\":\"ns\",\"metadata\":{\"events\":0,\"dropped\":0},\"traceEvents\":[\n]}\n"
         );
     }
 }

@@ -101,6 +101,21 @@ impl Histogram {
         self.max()
     }
 
+    /// Folds `other` into `self`: bucket counts, observation count and sum
+    /// add; the maximum takes the larger of the two. Merging histograms is
+    /// exactly equivalent to having recorded every observation into one
+    /// histogram (the property test in `tests/properties.rs` checks this),
+    /// which is what lets per-LUN phase histograms aggregate per-channel
+    /// and per-system without re-walking the trace.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum_ps += other.sum_ps;
+        self.max_ps = self.max_ps.max(other.max_ps);
+    }
+
     /// Raw bucket counts (index = bit length of the picosecond value).
     pub fn buckets(&self) -> &[u64; BUCKETS] {
         &self.buckets
@@ -149,6 +164,24 @@ mod tests {
         // p100 clamps to the observed max, not the bucket bound (1023).
         assert_eq!(h.percentile(100.0), ps(1000));
         assert_eq!(Histogram::new().percentile(99.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn merge_matches_direct_recording() {
+        let (mut a, mut b, mut direct) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for v in [0u64, 1, 7, 1 << 20, u64::MAX] {
+            a.record(ps(v));
+            direct.record(ps(v));
+        }
+        for v in [3u64, 9, 1 << 40] {
+            b.record(ps(v));
+            direct.record(ps(v));
+        }
+        a.merge(&b);
+        assert_eq!(a.buckets(), direct.buckets());
+        assert_eq!(a.count(), direct.count());
+        assert_eq!(a.mean(), direct.mean());
+        assert_eq!(a.max(), direct.max());
     }
 
     #[test]

@@ -26,9 +26,17 @@
 
 mod export;
 mod hist;
+mod interval;
+mod parse;
+mod phase;
+mod report;
 mod tracer;
 
 pub use hist::Histogram;
+pub use interval::IntervalSet;
+pub use parse::{parse_json_lines, ParseError, ParsedTrace};
+pub use phase::{OpPhase, PhaseBreakdown, PhaseLedger};
+pub use report::TraceReport;
 pub use tracer::Tracer;
 
 use babol_sim::{SimDuration, SimTime};
@@ -85,6 +93,11 @@ impl Component {
             Component::Ftl => "ftl",
         }
     }
+
+    /// Inverse of [`Component::name`], for parsing exported traces back.
+    pub fn from_name(name: &str) -> Option<Component> {
+        Component::ALL.into_iter().find(|c| c.name() == name)
+    }
 }
 
 /// What happened. Begin/end pairs share an `op_id` and fold into Chrome
@@ -121,6 +134,20 @@ pub enum TraceKind {
     GcStart,
     /// Foreground garbage collection finished.
     GcEnd,
+    /// A software task entered the runnable queue (spawn admission, timer
+    /// wake, completion delivery, or LUN-park release). `TaskReady` →
+    /// [`TraceKind::SchedPick`] is the scheduler-wait an op experiences.
+    TaskReady,
+    /// A LUN's array went busy (tR/tPROG/tBERS began; pairs with
+    /// [`TraceKind::ArrayEnd`]).
+    ArrayBegin,
+    /// The LUN's array busy period ended. Recorded eagerly at begin time —
+    /// the deadline is deterministic — so the timestamp may lie in the
+    /// future relative to neighbouring ring entries.
+    ArrayEnd,
+    /// A queue-depth sample; the depths are packed into `op_id` (see
+    /// [`QueueDepths`]).
+    QueueDepth,
 }
 
 impl TraceKind {
@@ -140,7 +167,37 @@ impl TraceKind {
             TraceKind::InstrDispatch => "instr_dispatch",
             TraceKind::GcStart => "gc_start",
             TraceKind::GcEnd => "gc_end",
+            TraceKind::TaskReady => "task_ready",
+            TraceKind::ArrayBegin => "array_begin",
+            TraceKind::ArrayEnd => "array_end",
+            TraceKind::QueueDepth => "queue_depth",
         }
+    }
+
+    /// All kinds, in declaration order (drives name→kind parsing).
+    pub const ALL: [TraceKind; 17] = [
+        TraceKind::OpIssue,
+        TraceKind::OpComplete,
+        TraceKind::TaskSpawn,
+        TraceKind::TaskFinish,
+        TraceKind::SchedPick,
+        TraceKind::TxnEnqueue,
+        TraceKind::TxnIssue,
+        TraceKind::TxnComplete,
+        TraceKind::BusAcquire,
+        TraceKind::BusRelease,
+        TraceKind::InstrDispatch,
+        TraceKind::GcStart,
+        TraceKind::GcEnd,
+        TraceKind::TaskReady,
+        TraceKind::ArrayBegin,
+        TraceKind::ArrayEnd,
+        TraceKind::QueueDepth,
+    ];
+
+    /// Inverse of [`TraceKind::name`], for parsing exported traces back.
+    pub fn from_name(name: &str) -> Option<TraceKind> {
+        TraceKind::ALL.into_iter().find(|k| k.name() == name)
     }
 
     /// The kind that closes this one into a span, if it opens one.
@@ -151,6 +208,7 @@ impl TraceKind {
             TraceKind::TxnIssue => Some(TraceKind::TxnComplete),
             TraceKind::BusAcquire => Some(TraceKind::BusRelease),
             TraceKind::GcStart => Some(TraceKind::GcEnd),
+            TraceKind::ArrayBegin => Some(TraceKind::ArrayEnd),
             _ => None,
         }
     }
@@ -163,6 +221,7 @@ impl TraceKind {
             TraceKind::TxnIssue => "txn",
             TraceKind::BusAcquire => "bus",
             TraceKind::GcStart => "gc",
+            TraceKind::ArrayBegin => "array",
             _ => self.name(),
         }
     }
@@ -181,6 +240,54 @@ pub struct TraceEvent {
     pub lun: u32,
     /// Owning operation/request id (0 when anonymous).
     pub op_id: u64,
+}
+
+/// A queue-depth sample taken by the runtime, packed into the `op_id` field
+/// of a [`TraceKind::QueueDepth`] event so the fixed [`TraceEvent`] layout
+/// (and both exporters) need no new fields. Each depth saturates at
+/// `u16::MAX`, far above any realistic queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueDepths {
+    /// Tasks in the runnable queue (have CPU work pending).
+    pub runnable: u16,
+    /// Transactions built and waiting in the scheduler's ready queue.
+    pub ready: u16,
+    /// Transactions sitting in the hardware instruction queue.
+    pub hw: u16,
+    /// Host ops in flight in the controller front-end.
+    pub inflight: u16,
+}
+
+impl QueueDepths {
+    /// Packs the four depths into a `u64` for the event's `op_id` field.
+    pub fn pack(self) -> u64 {
+        u64::from(self.runnable)
+            | u64::from(self.ready) << 16
+            | u64::from(self.hw) << 32
+            | u64::from(self.inflight) << 48
+    }
+
+    /// Inverse of [`QueueDepths::pack`].
+    pub fn unpack(raw: u64) -> Self {
+        QueueDepths {
+            runnable: raw as u16,
+            ready: (raw >> 16) as u16,
+            hw: (raw >> 32) as u16,
+            inflight: (raw >> 48) as u16,
+        }
+    }
+
+    /// Builds a sample from `usize` queue lengths, saturating each at
+    /// `u16::MAX`.
+    pub fn from_lens(runnable: usize, ready: usize, hw: usize, inflight: usize) -> Self {
+        let clamp = |n: usize| n.min(u16::MAX as usize) as u16;
+        QueueDepths {
+            runnable: clamp(runnable),
+            ready: clamp(ready),
+            hw: clamp(hw),
+            inflight: clamp(inflight),
+        }
+    }
 }
 
 /// Monotonic counters, indexed per [`Component`].
@@ -391,6 +498,31 @@ mod tests {
         assert_eq!(TraceKind::SchedPick.span_end(), None);
         assert_eq!(TraceKind::OpIssue.span_name(), "op");
         assert_eq!(TraceKind::SchedPick.span_name(), "sched_pick");
+    }
+
+    #[test]
+    fn names_roundtrip_through_from_name() {
+        for c in Component::ALL {
+            assert_eq!(Component::from_name(c.name()), Some(c));
+        }
+        for k in TraceKind::ALL {
+            assert_eq!(TraceKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(TraceKind::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn queue_depths_pack_roundtrip() {
+        let d = QueueDepths {
+            runnable: 3,
+            ready: 0,
+            hw: 65_535,
+            inflight: 1_000,
+        };
+        assert_eq!(QueueDepths::unpack(d.pack()), d);
+        let s = QueueDepths::from_lens(1, 2, usize::MAX, 4);
+        assert_eq!(s.hw, u16::MAX);
+        assert_eq!(QueueDepths::unpack(s.pack()), s);
     }
 
     #[test]

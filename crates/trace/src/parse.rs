@@ -1,0 +1,188 @@
+//! Parsing exported line-JSON traces back into [`TraceEvent`]s.
+//!
+//! The inverse of [`Tracer::to_json_lines`][crate::Tracer::to_json_lines]:
+//! a minimal parser for exactly the flat-object, no-string-escapes format
+//! the exporter emits, so `trace_report` can analyze a trace file offline
+//! without a JSON library. Unknown keys are ignored (forward-compatible);
+//! malformed lines are errors, not silently skipped — a truncated or
+//! corrupted trace should fail loudly, not produce a subtly wrong report.
+
+use std::fmt;
+
+use babol_sim::SimTime;
+
+use crate::{Component, TraceEvent, TraceKind};
+
+/// A trace read back from line-JSON.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedTrace {
+    /// The events, in file order (oldest first).
+    pub events: Vec<TraceEvent>,
+    /// Ring-drop count from the footer record (0 if the file had no
+    /// footer — traces from older exporters).
+    pub dropped: u64,
+    /// Whether a footer record was present.
+    pub has_footer: bool,
+}
+
+/// Why a trace file failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.reason
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Splits one flat JSON object (`{"k":v,...}`, no nesting except the
+/// values themselves being bare ints/strings/bools) into key/value pairs.
+fn fields(line: &str) -> Option<Vec<(&str, &str)>> {
+    let body = line.trim().strip_prefix('{')?.strip_suffix('}')?;
+    if body.trim().is_empty() {
+        return Some(Vec::new());
+    }
+    let mut out = Vec::new();
+    for pair in body.split(',') {
+        let (k, v) = pair.split_once(':')?;
+        let k = k.trim().strip_prefix('"')?.strip_suffix('"')?;
+        out.push((k, v.trim()));
+    }
+    Some(out)
+}
+
+fn unquote(v: &str) -> Option<&str> {
+    v.strip_prefix('"')?.strip_suffix('"')
+}
+
+/// Parses a line-JSON trace export (see
+/// [`Tracer::to_json_lines`][crate::Tracer::to_json_lines]). Blank lines
+/// are skipped; the footer record, if present, must be last.
+pub fn parse_json_lines(text: &str) -> Result<ParsedTrace, ParseError> {
+    let mut trace = ParsedTrace::default();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let err = |reason: &str| ParseError {
+            line: lineno,
+            reason: reason.to_string(),
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        if trace.has_footer {
+            return Err(err("event record after footer"));
+        }
+        let fields = fields(line).ok_or_else(|| err("not a flat JSON object"))?;
+        if fields.iter().any(|&(k, _)| k == "footer") {
+            for (k, v) in fields {
+                if k == "dropped" {
+                    trace.dropped = v.parse().map_err(|_| err("bad dropped count"))?;
+                }
+            }
+            trace.has_footer = true;
+            continue;
+        }
+        let (mut t, mut component, mut kind, mut lun, mut op_id) = (None, None, None, None, None);
+        for (k, v) in fields {
+            match k {
+                "t_ps" => t = Some(v.parse().map_err(|_| err("bad t_ps"))?),
+                "component" => {
+                    let name = unquote(v).ok_or_else(|| err("component not a string"))?;
+                    component =
+                        Some(Component::from_name(name).ok_or_else(|| err("unknown component"))?);
+                }
+                "kind" => {
+                    let name = unquote(v).ok_or_else(|| err("kind not a string"))?;
+                    kind = Some(TraceKind::from_name(name).ok_or_else(|| err("unknown kind"))?);
+                }
+                "lun" => lun = Some(v.parse().map_err(|_| err("bad lun"))?),
+                "op_id" => op_id = Some(v.parse().map_err(|_| err("bad op_id"))?),
+                _ => {} // unknown keys: forward-compatible skip
+            }
+        }
+        trace.events.push(TraceEvent {
+            t: SimTime::from_picos(t.ok_or_else(|| err("missing t_ps"))?),
+            component: component.ok_or_else(|| err("missing component"))?,
+            kind: kind.ok_or_else(|| err("missing kind"))?,
+            lun: lun.ok_or_else(|| err("missing lun"))?,
+            op_id: op_id.ok_or_else(|| err("missing op_id"))?,
+        });
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TraceSink, Tracer};
+
+    #[test]
+    fn roundtrips_exporter_output() {
+        let mut t = Tracer::enabled();
+        for i in 0..8u64 {
+            t.record(TraceEvent {
+                t: SimTime::from_picos(i * 1_000),
+                component: Component::ALL[(i % 6) as usize],
+                kind: TraceKind::ALL[(i % 17) as usize],
+                lun: i as u32 % 4,
+                op_id: i,
+            });
+        }
+        let parsed = parse_json_lines(&t.to_json_lines()).unwrap();
+        let original: Vec<TraceEvent> = t.events().copied().collect();
+        assert_eq!(parsed.events, original);
+        assert!(parsed.has_footer);
+        assert_eq!(parsed.dropped, 0);
+    }
+
+    #[test]
+    fn footer_carries_drop_count() {
+        let mut t = Tracer::with_capacity(1);
+        for i in 0..4u64 {
+            t.record(TraceEvent {
+                t: SimTime::from_picos(i),
+                component: Component::Sim,
+                kind: TraceKind::SchedPick,
+                lun: 0,
+                op_id: i,
+            });
+        }
+        let parsed = parse_json_lines(&t.to_json_lines()).unwrap();
+        assert_eq!(parsed.events.len(), 1);
+        assert_eq!(parsed.dropped, 3);
+    }
+
+    #[test]
+    fn malformed_lines_error_with_position() {
+        let text = "{\"t_ps\":1,\"component\":\"sim\",\"kind\":\"sched_pick\",\"lun\":0,\"op_id\":0}\nnot json\n";
+        let e = parse_json_lines(text).unwrap_err();
+        assert_eq!(e.line, 2);
+        let text = r#"{"t_ps":1,"component":"bogus","kind":"sched_pick","lun":0,"op_id":0}"#;
+        assert!(parse_json_lines(text).is_err());
+        let text = r#"{"component":"sim","kind":"sched_pick","lun":0,"op_id":0}"#;
+        assert!(parse_json_lines(text)
+            .unwrap_err()
+            .reason
+            .contains("missing t_ps"));
+    }
+
+    #[test]
+    fn unknown_keys_are_skipped() {
+        let text = r#"{"t_ps":5,"component":"ftl","kind":"gc_start","lun":2,"op_id":9,"extra":42}"#;
+        let parsed = parse_json_lines(text).unwrap();
+        assert_eq!(parsed.events.len(), 1);
+        assert_eq!(parsed.events[0].kind, TraceKind::GcStart);
+        assert!(!parsed.has_footer);
+    }
+}

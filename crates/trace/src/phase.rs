@@ -1,0 +1,429 @@
+//! Per-op phase attribution: where did each operation's latency go?
+//!
+//! [`PhaseLedger`] replays a trace's event stream and splits every op's
+//! issue→complete window into the paper's cost centres: queue wait,
+//! scheduler wait, channel wait, array time (tR/tPROG/tBERS), bus
+//! transfer, ECC, and GC interference. Attribution is an exact partition:
+//! the op's window is cut at every interval boundary and each elementary
+//! segment is assigned to the highest-priority phase covering it (transfer
+//! beats array beats waiting, because the wire being busy *is* progress),
+//! with an explicit `other` bucket absorbing controller/CPU time no event
+//! claims. By construction the per-op phase durations sum to exactly the
+//! end-to-end latency — which is what makes the reconciliation check in
+//! the determinism suite and CI meaningful rather than approximate.
+
+use std::collections::BTreeMap;
+
+use babol_sim::SimDuration;
+
+use crate::hist::Histogram;
+use crate::{Component, TraceEvent, TraceKind};
+
+/// A cost centre inside one op's end-to-end latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpPhase {
+    /// Submitted but not yet admitted to the scheduler's runnable queue
+    /// (admission control, LUN-busy parking).
+    QueueWait,
+    /// Runnable but waiting for the task scheduler to pick it.
+    SchedWait,
+    /// Transaction built and enqueued, waiting for the channel bus.
+    ChannelWait,
+    /// NAND array busy on the op's behalf (tR, tPROG, tBERS).
+    Array,
+    /// The op's own bytes/commands on the channel bus.
+    Transfer,
+    /// ECC encode/decode on the op's behalf. The current operation bodies
+    /// model ECC as host-side CPU work with no simulated-time span events,
+    /// so this reads 0 until an ECC engine records `EccBegin`/`EccEnd`
+    /// analogues; it is part of the taxonomy so reports keep a stable
+    /// schema.
+    Ecc,
+    /// Stalled behind a foreground garbage-collection cycle.
+    GcWait,
+    /// Remainder: controller firmware CPU time, interrupt latency, and
+    /// anything the event stream doesn't attribute more precisely.
+    Other,
+}
+
+impl OpPhase {
+    /// Number of phases (array dimension for storage).
+    pub const COUNT: usize = 8;
+
+    /// All phases, in display order.
+    pub const ALL: [OpPhase; OpPhase::COUNT] = [
+        OpPhase::QueueWait,
+        OpPhase::SchedWait,
+        OpPhase::ChannelWait,
+        OpPhase::Array,
+        OpPhase::Transfer,
+        OpPhase::Ecc,
+        OpPhase::GcWait,
+        OpPhase::Other,
+    ];
+
+    /// Dense index for array storage.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Snake-case name used in reports and CSV.
+    pub const fn name(self) -> &'static str {
+        match self {
+            OpPhase::QueueWait => "queue_wait",
+            OpPhase::SchedWait => "sched_wait",
+            OpPhase::ChannelWait => "channel_wait",
+            OpPhase::Array => "array",
+            OpPhase::Transfer => "transfer",
+            OpPhase::Ecc => "ecc",
+            OpPhase::GcWait => "gc_wait",
+            OpPhase::Other => "other",
+        }
+    }
+}
+
+/// Aggregated attribution for a group of ops (one LUN, or everything).
+#[derive(Debug, Clone)]
+pub struct PhaseBreakdown {
+    /// Per-op duration distribution of each phase (zeros included, so
+    /// every phase histogram has `ops` observations).
+    pub phase: [Histogram; OpPhase::COUNT],
+    /// Exact total picoseconds attributed to each phase.
+    pub phase_sum_ps: [u128; OpPhase::COUNT],
+    /// End-to-end (issue → complete) latency distribution.
+    pub e2e: Histogram,
+    /// Exact total end-to-end picoseconds.
+    pub e2e_sum_ps: u128,
+    /// Ops attributed.
+    pub ops: u64,
+}
+
+impl Default for PhaseBreakdown {
+    fn default() -> Self {
+        PhaseBreakdown {
+            phase: std::array::from_fn(|_| Histogram::new()),
+            phase_sum_ps: [0; OpPhase::COUNT],
+            e2e: Histogram::new(),
+            e2e_sum_ps: 0,
+            ops: 0,
+        }
+    }
+}
+
+impl PhaseBreakdown {
+    /// Sum of all phase totals; equals [`PhaseBreakdown::e2e_sum_ps`]
+    /// exactly (the partition invariant).
+    pub fn phase_total_ps(&self) -> u128 {
+        self.phase_sum_ps.iter().sum()
+    }
+
+    /// Folds `other` into `self` ([`Histogram::merge`] under the hood).
+    pub fn merge(&mut self, other: &PhaseBreakdown) {
+        for (h, o) in self.phase.iter_mut().zip(other.phase.iter()) {
+            h.merge(o);
+        }
+        for (s, o) in self.phase_sum_ps.iter_mut().zip(other.phase_sum_ps.iter()) {
+            *s += *o;
+        }
+        self.e2e.merge(&other.e2e);
+        self.e2e_sum_ps += other.e2e_sum_ps;
+        self.ops += other.ops;
+    }
+
+    fn add_op(&mut self, attributed: &[u64; OpPhase::COUNT], e2e_ps: u64) {
+        for (i, &ps) in attributed.iter().enumerate() {
+            self.phase[i].record(SimDuration::from_picos(ps));
+            self.phase_sum_ps[i] += u128::from(ps);
+        }
+        self.e2e.record(SimDuration::from_picos(e2e_ps));
+        self.e2e_sum_ps += u128::from(e2e_ps);
+        self.ops += 1;
+    }
+}
+
+/// Everything observed about one op while scanning the stream.
+#[derive(Debug, Default)]
+struct OpStream {
+    issue: Option<u64>,
+    complete: Option<u64>,
+    lun: u32,
+    ready: Vec<u64>,
+    picks: Vec<u64>,
+    enqueues: Vec<u64>,
+    bus_open: Vec<u64>,
+    bus: Vec<(u64, u64)>,
+    array_open: Vec<u64>,
+    array: Vec<(u64, u64)>,
+}
+
+/// Phase attribution over a whole trace, grouped per LUN.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseLedger {
+    per_lun: BTreeMap<u32, PhaseBreakdown>,
+}
+
+impl PhaseLedger {
+    /// Replays the event stream and attributes every op that has both an
+    /// `OpIssue` and an `OpComplete`. Ops whose issue fell off the ring
+    /// are skipped (their window is unknown); GC-internal page moves are
+    /// attributed like any other op — they go through the same controller
+    /// path and their array/transfer time is real.
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        let mut ops: BTreeMap<u64, OpStream> = BTreeMap::new();
+        let mut gc_open: Vec<u64> = Vec::new();
+        let mut gc: Vec<(u64, u64)> = Vec::new();
+        for e in events {
+            let t = e.t.as_picos();
+            match e.kind {
+                TraceKind::GcStart => gc_open.push(t),
+                TraceKind::GcEnd => {
+                    if let Some(s) = gc_open.pop() {
+                        gc.push((s, t));
+                    }
+                }
+                TraceKind::OpIssue if e.component == Component::Ctrl => {
+                    let op = ops.entry(e.op_id).or_default();
+                    if op.issue.is_none() {
+                        op.issue = Some(t);
+                        op.lun = e.lun;
+                    }
+                }
+                TraceKind::OpComplete if e.component == Component::Ctrl => {
+                    ops.entry(e.op_id).or_default().complete = Some(t);
+                }
+                TraceKind::TaskReady => ops.entry(e.op_id).or_default().ready.push(t),
+                TraceKind::SchedPick => ops.entry(e.op_id).or_default().picks.push(t),
+                TraceKind::TxnEnqueue => ops.entry(e.op_id).or_default().enqueues.push(t),
+                TraceKind::BusAcquire => ops.entry(e.op_id).or_default().bus_open.push(t),
+                TraceKind::BusRelease => {
+                    let op = ops.entry(e.op_id).or_default();
+                    if let Some(s) = op.bus_open.pop() {
+                        op.bus.push((s, t));
+                    }
+                }
+                TraceKind::ArrayBegin => ops.entry(e.op_id).or_default().array_open.push(t),
+                TraceKind::ArrayEnd => {
+                    let op = ops.entry(e.op_id).or_default();
+                    if let Some(s) = op.array_open.pop() {
+                        op.array.push((s, t));
+                    }
+                }
+                _ => {}
+            }
+        }
+        gc.sort_unstable();
+
+        let mut ledger = PhaseLedger::default();
+        for op in ops.values_mut() {
+            let (Some(t0), Some(t1)) = (op.issue, op.complete) else {
+                continue;
+            };
+            if t1 <= t0 {
+                continue;
+            }
+            for list in [&mut op.ready, &mut op.picks, &mut op.enqueues] {
+                list.sort_unstable();
+            }
+            op.bus.sort_unstable();
+            op.array.sort_unstable();
+            // Waiting for the bus: k-th transaction enqueue until the k-th
+            // bus acquisition on the op's behalf.
+            let channel_wait: Vec<(u64, u64)> = op
+                .enqueues
+                .iter()
+                .zip(op.bus.iter())
+                .filter(|&(&enq, &(acq, _))| acq > enq)
+                .map(|(&enq, &(acq, _))| (enq, acq))
+                .collect();
+            // Runnable → picked, pairing the j-th ready with the j-th pick.
+            let sched_wait: Vec<(u64, u64)> = op
+                .ready
+                .iter()
+                .zip(op.picks.iter())
+                .filter(|&(&r, &p)| p > r)
+                .map(|(&r, &p)| (r, p))
+                .collect();
+            // Submitted → first admitted to the runnable queue.
+            let queue_wait: Vec<(u64, u64)> = match op.ready.first() {
+                Some(&first) if first > t0 => vec![(t0, first)],
+                _ => Vec::new(),
+            };
+            // Priority order: the wire/array being busy on the op's behalf
+            // beats every form of waiting; GC interference is the weakest
+            // explicit claim, above only `other`.
+            let ranked: [(OpPhase, &[(u64, u64)]); 7] = [
+                (OpPhase::Transfer, &op.bus),
+                (OpPhase::Ecc, &[]),
+                (OpPhase::Array, &op.array),
+                (OpPhase::ChannelWait, &channel_wait),
+                (OpPhase::SchedWait, &sched_wait),
+                (OpPhase::QueueWait, &queue_wait),
+                (OpPhase::GcWait, &gc),
+            ];
+            let attributed = paint((t0, t1), &ranked);
+            debug_assert_eq!(attributed.iter().sum::<u64>(), t1 - t0);
+            ledger
+                .per_lun
+                .entry(op.lun)
+                .or_default()
+                .add_op(&attributed, t1 - t0);
+        }
+        ledger
+    }
+
+    /// Per-LUN breakdowns, ordered by LUN id.
+    pub fn per_lun(&self) -> impl Iterator<Item = (u32, &PhaseBreakdown)> {
+        self.per_lun.iter().map(|(&lun, b)| (lun, b))
+    }
+
+    /// All LUNs folded together (via [`PhaseBreakdown::merge`]).
+    pub fn merged(&self) -> PhaseBreakdown {
+        let mut total = PhaseBreakdown::default();
+        for b in self.per_lun.values() {
+            total.merge(b);
+        }
+        total
+    }
+
+    /// Total ops attributed across all LUNs.
+    pub fn ops(&self) -> u64 {
+        self.per_lun.values().map(|b| b.ops).sum()
+    }
+}
+
+/// Cuts `[t0, t1)` at every interval boundary and assigns each elementary
+/// segment to the first (highest-priority) phase covering it; uncovered
+/// segments go to [`OpPhase::Other`]. Intervals may extend beyond the
+/// window; they are clipped. The returned durations sum to exactly
+/// `t1 - t0`.
+fn paint((t0, t1): (u64, u64), ranked: &[(OpPhase, &[(u64, u64)])]) -> [u64; OpPhase::COUNT] {
+    let mut cuts: Vec<u64> = vec![t0, t1];
+    for (_, list) in ranked {
+        for &(s, e) in *list {
+            if e > t0 && s < t1 {
+                cuts.push(s.clamp(t0, t1));
+                cuts.push(e.clamp(t0, t1));
+            }
+        }
+    }
+    cuts.sort_unstable();
+    cuts.dedup();
+    let mut acc = [0u64; OpPhase::COUNT];
+    for w in cuts.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        // Every interval edge is a cut, so an interval covers either all
+        // of [a, b) or none of it — containing `a` is containing the
+        // segment.
+        let phase = ranked
+            .iter()
+            .find(|(_, list)| list.iter().any(|&(s, e)| s <= a && e > a))
+            .map(|&(p, _)| p)
+            .unwrap_or(OpPhase::Other);
+        acc[phase.index()] += b - a;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use babol_sim::SimTime;
+
+    fn ev(ps: u64, component: Component, kind: TraceKind, lun: u32, op: u64) -> TraceEvent {
+        TraceEvent {
+            t: SimTime::from_picos(ps),
+            component,
+            kind,
+            lun,
+            op_id: op,
+        }
+    }
+
+    /// One op with a textbook lifecycle; every phase lands where expected
+    /// and the partition is exact.
+    #[test]
+    fn textbook_op_partition_is_exact() {
+        use Component::{Channel, Ctrl, Sched};
+        let events = vec![
+            ev(100, Ctrl, TraceKind::OpIssue, 1, 7),
+            ev(130, Sched, TraceKind::TaskReady, 1, 7), // queue_wait 100..130
+            ev(150, Sched, TraceKind::SchedPick, 1, 7), // sched_wait 130..150
+            ev(160, Sched, TraceKind::TxnEnqueue, 1, 7),
+            ev(200, Channel, TraceKind::BusAcquire, 1, 7), // channel_wait 160..200
+            ev(240, Channel, TraceKind::BusRelease, 1, 7), // transfer 200..240
+            ev(240, Channel, TraceKind::ArrayBegin, 1, 7),
+            ev(400, Channel, TraceKind::ArrayEnd, 1, 7), // array 240..400
+            ev(410, Channel, TraceKind::BusAcquire, 1, 7),
+            ev(450, Channel, TraceKind::BusRelease, 1, 7), // transfer 410..450
+            ev(500, Ctrl, TraceKind::OpComplete, 1, 7),    // other: gaps
+        ];
+        let ledger = PhaseLedger::from_events(&events);
+        assert_eq!(ledger.ops(), 1);
+        let b = ledger.merged();
+        let ps = |p: OpPhase| b.phase_sum_ps[p.index()];
+        assert_eq!(ps(OpPhase::QueueWait), 30);
+        assert_eq!(ps(OpPhase::SchedWait), 20);
+        assert_eq!(ps(OpPhase::ChannelWait), 40);
+        assert_eq!(ps(OpPhase::Transfer), 80);
+        assert_eq!(ps(OpPhase::Array), 160);
+        assert_eq!(ps(OpPhase::Ecc), 0);
+        assert_eq!(ps(OpPhase::GcWait), 0);
+        // 150..160 (task CPU), 400..410 and 450..500 (irq latency) → other.
+        assert_eq!(ps(OpPhase::Other), 70);
+        assert_eq!(b.phase_total_ps(), b.e2e_sum_ps);
+        assert_eq!(b.e2e_sum_ps, 400);
+    }
+
+    /// GC windows claim otherwise-unattributed time inside an op's window.
+    #[test]
+    fn gc_interference_claims_unattributed_time() {
+        use Component::{Ctrl, Ftl};
+        let events = vec![
+            ev(0, Ctrl, TraceKind::OpIssue, 0, 1),
+            ev(100, Ftl, TraceKind::GcStart, 0, 0),
+            ev(300, Ftl, TraceKind::GcEnd, 0, 0),
+            ev(400, Ctrl, TraceKind::OpComplete, 0, 1),
+        ];
+        let b = PhaseLedger::from_events(&events).merged();
+        assert_eq!(b.phase_sum_ps[OpPhase::GcWait.index()], 200);
+        assert_eq!(b.phase_sum_ps[OpPhase::Other.index()], 200);
+        assert_eq!(b.phase_total_ps(), b.e2e_sum_ps);
+    }
+
+    /// Ops missing either endpoint are skipped; zero-duration phases still
+    /// record so histogram counts equal the op count.
+    #[test]
+    fn incomplete_ops_are_skipped_and_zeros_recorded() {
+        use Component::Ctrl;
+        let events = vec![
+            ev(0, Ctrl, TraceKind::OpIssue, 0, 1),
+            ev(50, Ctrl, TraceKind::OpComplete, 0, 1),
+            ev(60, Ctrl, TraceKind::OpIssue, 0, 2), // never completes
+        ];
+        let ledger = PhaseLedger::from_events(&events);
+        assert_eq!(ledger.ops(), 1);
+        let b = ledger.merged();
+        for p in OpPhase::ALL {
+            assert_eq!(b.phase[p.index()].count(), 1, "{}", p.name());
+        }
+        assert_eq!(b.phase_sum_ps[OpPhase::Other.index()], 50);
+    }
+
+    /// Per-LUN grouping splits ops by the LUN on their issue event, and
+    /// `merged` equals the sum.
+    #[test]
+    fn per_lun_grouping_and_merge() {
+        use Component::Ctrl;
+        let mut events = Vec::new();
+        for (op, lun) in [(1u64, 0u32), (2, 1), (3, 1)] {
+            events.push(ev(op * 10, Ctrl, TraceKind::OpIssue, lun, op));
+            events.push(ev(op * 10 + 5, Ctrl, TraceKind::OpComplete, lun, op));
+        }
+        let ledger = PhaseLedger::from_events(&events);
+        let luns: Vec<(u32, u64)> = ledger.per_lun().map(|(l, b)| (l, b.ops)).collect();
+        assert_eq!(luns, vec![(0, 1), (1, 2)]);
+        assert_eq!(ledger.merged().ops, 3);
+        assert_eq!(ledger.merged().e2e_sum_ps, 15);
+    }
+}

@@ -27,6 +27,7 @@ pub struct Tracer {
     dropped: u64,
     counters: [[u64; Counter::COUNT]; Component::COUNT],
     metrics: [Histogram; Metric::COUNT],
+    last_activity: [Option<SimTime>; Component::COUNT],
 }
 
 impl Default for Tracer {
@@ -45,6 +46,7 @@ impl Tracer {
             dropped: 0,
             counters: [[0; Counter::COUNT]; Component::COUNT],
             metrics: std::array::from_fn(|_| Histogram::new()),
+            last_activity: [None; Component::COUNT],
         }
     }
 
@@ -69,6 +71,15 @@ impl Tracer {
     /// Events dropped because the ring was full.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Timestamp of the most recent event a component recorded, or `None`
+    /// if it has recorded none. Feeds the stall watchdog's diagnostic:
+    /// when the sim stops making progress, the staleness pattern across
+    /// components points at the layer that went quiet first. Tracks events
+    /// only, not counter/metric updates.
+    pub fn last_activity(&self, component: Component) -> Option<SimTime> {
+        self.last_activity[component.index()]
     }
 
     /// Events currently held in the ring, oldest first.
@@ -136,6 +147,8 @@ impl TraceSink for Tracer {
             self.ring.pop_front();
             self.dropped += 1;
         }
+        let slot = &mut self.last_activity[event.component.index()];
+        *slot = Some(slot.map_or(event.t, |prev| prev.max(event.t)));
         self.ring.push_back(event);
     }
 
@@ -191,6 +204,19 @@ mod tests {
         assert_eq!(t.dropped(), 2);
         let ops: Vec<u64> = t.events().map(|e| e.op_id).collect();
         assert_eq!(ops, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn last_activity_tracks_latest_event_time() {
+        let mut t = Tracer::enabled();
+        assert_eq!(t.last_activity(Component::Channel), None);
+        t.record(ev(500, 1));
+        t.record(ev(200, 2)); // out-of-order timestamp must not regress it
+        assert_eq!(
+            t.last_activity(Component::Channel),
+            Some(SimTime::from_picos(500))
+        );
+        assert_eq!(t.last_activity(Component::Ftl), None);
     }
 
     #[test]

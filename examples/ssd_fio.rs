@@ -4,11 +4,15 @@
 //! ```sh
 //! cargo run --release --example ssd_fio
 //! cargo run --release --example ssd_fio -- --trace /tmp/ssd.json
+//! cargo run --release --example ssd_fio -- --report
 //! ```
 //!
 //! With `--trace`, the GC-heavy random-write job runs with the tracing
 //! layer enabled and its timeline is written as a Chrome `trace_event`
-//! file (open at `chrome://tracing` or <https://ui.perfetto.dev>).
+//! file (open at `chrome://tracing` or <https://ui.perfetto.dev>) plus a
+//! line-JSON sidecar (`<path>.jsonl`) that `--example trace_report` and
+//! other tools can parse back. With `--report`, the same traced run is
+//! analyzed in-process and a utilization/phase/gap report is printed.
 
 use babol::factory::rtos_controller;
 use babol::runtime::RuntimeConfig;
@@ -53,6 +57,7 @@ fn stack(preloaded: bool) -> (System, babol::runtime::SoftController, Ssd) {
 
 fn main() {
     let mut trace_path: Option<String> = None;
+    let mut report = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--trace" {
@@ -60,6 +65,8 @@ fn main() {
                 eprintln!("--trace requires a file path");
                 std::process::exit(2);
             }));
+        } else if arg == "--report" {
+            report = true;
         } else {
             eprintln!("unrecognized argument: {arg}");
             std::process::exit(2);
@@ -95,8 +102,10 @@ fn main() {
 
     // A sustained random-write job: 3x the logical space, forcing GC.
     let (mut sys, mut ctrl, mut ssd) = stack(false);
-    if trace_path.is_some() {
-        sys.trace = babol_trace::Tracer::enabled();
+    if trace_path.is_some() || report {
+        // The GC-heavy job emits far more events than the default ring
+        // holds; a larger ring keeps the report loss-free.
+        sys.trace = babol_trace::Tracer::with_capacity(1 << 21);
     }
     let r = ssd.run(
         &mut sys,
@@ -121,14 +130,33 @@ fn main() {
     assert!(r.gc_cycles > 0);
 
     if let Some(path) = trace_path {
-        if let Err(e) = sys.trace.write_chrome_trace(&path) {
+        let sidecar = format!("{path}.jsonl");
+        if let Err(e) = sys
+            .trace
+            .write_chrome_trace(&path)
+            .and_then(|()| sys.trace.write_json_lines(&sidecar))
+        {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);
         }
+        if sys.trace.dropped() > 0 {
+            eprintln!(
+                "warning: trace ring overflowed, {} oldest events dropped \
+                 (utilization and phase numbers will undercount early activity)",
+                sys.trace.dropped()
+            );
+        }
         println!(
-            "trace: wrote {} events ({} dropped) to {path}",
+            "trace: wrote {} events ({} dropped) to {path} and {sidecar}",
             sys.trace.events().count(),
             sys.trace.dropped()
+        );
+    }
+
+    if report {
+        print!(
+            "\n{}",
+            babol_trace::TraceReport::from_tracer(&sys.trace).render_table()
         );
     }
 }

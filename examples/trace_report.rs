@@ -1,0 +1,69 @@
+//! Offline trace analyzer: turns an exported line-JSON trace back into
+//! utilization timelines, idle-gap percentiles, and a per-phase latency
+//! breakdown.
+//!
+//! ```sh
+//! cargo run --release --example ssd_fio -- --trace /tmp/ssd.json
+//! cargo run --release --example trace_report -- /tmp/ssd.json.jsonl
+//! cargo run --release --example trace_report -- /tmp/ssd.json.jsonl --csv
+//! ```
+//!
+//! The same analysis is available live via `ssd_fio --report`; this tool
+//! exists so traces can be captured once and interrogated later (or on a
+//! different machine) without re-running the simulation.
+
+use babol_trace::{parse_json_lines, TraceReport};
+
+fn main() {
+    let mut path: Option<String> = None;
+    let mut csv = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--csv" {
+            csv = true;
+        } else if arg.starts_with("--") {
+            eprintln!("unrecognized flag: {arg}");
+            eprintln!("usage: trace_report <trace.jsonl> [--csv]");
+            std::process::exit(2);
+        } else if path.is_some() {
+            eprintln!("only one trace file may be given");
+            std::process::exit(2);
+        } else {
+            path = Some(arg);
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: trace_report <trace.jsonl> [--csv]");
+        std::process::exit(2);
+    };
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let parsed = match parse_json_lines(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    if !parsed.has_footer {
+        eprintln!("warning: {path} has no footer record; trace may be truncated");
+    }
+    if parsed.dropped > 0 {
+        eprintln!(
+            "warning: trace ring dropped {} events; numbers undercount early activity",
+            parsed.dropped
+        );
+    }
+
+    let report = TraceReport::from_events(&parsed.events, parsed.dropped);
+    if csv {
+        print!("{}", report.render_csv());
+    } else {
+        print!("{}", report.render_table());
+    }
+}

@@ -53,10 +53,38 @@ import json
 d = json.load(open("/tmp/babol_trace.json"))
 assert d["traceEvents"], "trace file has no events"
 assert all("ph" in e and "ts" in e for e in d["traceEvents"])
-print(f"trace OK: {len(d['traceEvents'])} events")
+assert d["metadata"]["events"] == len(d["traceEvents"]), "metadata event count mismatch"
+print(f"trace OK: {len(d['traceEvents'])} events, {d['metadata']['dropped']} dropped")
 EOF
 else
   echo "python3 not found; skipped trace JSON validation"
+fi
+
+step "trace report smoke (trace_report on the exported .jsonl)"
+cargo run --release --offline --example trace_report -- /tmp/babol_trace.json.jsonl \
+  > /tmp/babol_report.txt
+cargo run --release --offline --example trace_report -- /tmp/babol_trace.json.jsonl --csv \
+  > /tmp/babol_report.csv
+grep -q "phase breakdown" /tmp/babol_report.txt
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+rows = {}
+for line in open("/tmp/babol_report.csv"):
+    section, key, value = line.strip().split(",", 2)
+    rows[(section, key)] = value
+for need in [("meta", "events"), ("util", "channel_busy_ps"), ("gap", "p50_ps"),
+             ("gap", "p95_ps"), ("gap", "p99_ps"), ("phase", "array_sum_ps"),
+             ("recon", "phase_sum_ps"), ("recon", "e2e_sum_ps")]:
+    assert need in rows, f"CSV missing {need}"
+phase_sum = int(rows[("recon", "phase_sum_ps")])
+e2e_sum = int(rows[("recon", "e2e_sum_ps")])
+assert e2e_sum > 0, "report attributed no ops"
+assert abs(phase_sum - e2e_sum) <= e2e_sum // 100, \
+    f"phase sum {phase_sum} != e2e sum {e2e_sum} (>1% off)"
+print(f"report OK: phase sum reconciles ({phase_sum} ps over {rows[('meta', 'events')]} events)")
+EOF
+else
+  echo "python3 not found; skipped trace report validation"
 fi
 
 step "CI mirror: all green"

@@ -85,6 +85,22 @@ fn tracing_does_not_perturb_the_simulation() {
             tracer2.to_chrome_trace(),
             "{kind:?}: chrome exports diverged"
         );
+
+        // The derived analysis (utilization, gaps, phase attribution) is a
+        // pure function of the trace, so the rendered report — both human
+        // and CSV forms — must be byte-identical across same-seed runs.
+        let ra = babol_trace::TraceReport::from_tracer(&tracer);
+        let rb = babol_trace::TraceReport::from_tracer(&tracer2);
+        assert_eq!(
+            ra.render_table(),
+            rb.render_table(),
+            "{kind:?}: trace report tables diverged"
+        );
+        assert_eq!(
+            ra.render_csv(),
+            rb.render_csv(),
+            "{kind:?}: trace report CSVs diverged"
+        );
     }
 }
 

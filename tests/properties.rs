@@ -453,6 +453,39 @@ fn param_page_roundtrip() {
     );
 }
 
+/// Merging histograms is indistinguishable from recording every
+/// observation into one histogram: same buckets, count, mean, max, and
+/// percentiles, for any split of any observation set.
+#[test]
+fn histogram_merge_matches_direct_recording() {
+    use babol_trace::Histogram;
+    Property::new("histogram_merge_matches_direct_recording").run(
+        (vec_of(any::<u64>(), 0..48), vec_of(any::<u64>(), 0..48)),
+        |(xs, ys)| {
+            let mut direct = Histogram::new();
+            let mut left = Histogram::new();
+            let mut right = Histogram::new();
+            for &ps in xs {
+                direct.record(SimDuration::from_picos(ps));
+                left.record(SimDuration::from_picos(ps));
+            }
+            for &ps in ys {
+                direct.record(SimDuration::from_picos(ps));
+                right.record(SimDuration::from_picos(ps));
+            }
+            left.merge(&right);
+            prop_assert_eq!(left.buckets(), direct.buckets());
+            prop_assert_eq!(left.count(), direct.count());
+            prop_assert_eq!(left.mean(), direct.mean());
+            prop_assert_eq!(left.max(), direct.max());
+            for p in [50.0, 95.0, 99.0, 100.0] {
+                prop_assert_eq!(left.percentile(p), direct.percentile(p));
+            }
+            Ok(())
+        },
+    );
+}
+
 /// Durations format and never panic across magnitudes.
 #[test]
 fn duration_display_total() {

@@ -1,0 +1,176 @@
+//! End-to-end tests of the trace analysis pipeline: a traced run exports,
+//! the export parses back to the identical event stream, and the phase
+//! attribution partitions every host op's latency *exactly* — the phase
+//! sum reconciles with the measured end-to-end latency to the picosecond,
+//! not within a tolerance.
+
+use std::collections::HashMap;
+
+use babol_bench::{build_controller, build_system, read_microbench_traced, ControllerKind};
+use babol_flash::PackageProfile;
+use babol_ftl::{FioWorkload, IoPattern, Ssd, SsdConfig};
+use babol_trace::{parse_json_lines, PhaseLedger, TraceKind, TraceReport, Tracer};
+
+/// A traced Fig. 10 microbench on the Coro controller: dense, multi-LUN,
+/// software-scheduled traffic.
+fn traced_microbench() -> Tracer {
+    let profile = PackageProfile::test_tiny();
+    let (_, tracer) =
+        read_microbench_traced(&profile, 2, 200, 1000, ControllerKind::Coro, 32, true);
+    tracer
+}
+
+/// A traced fio random-write job heavy enough to run GC, so the trace
+/// contains GC windows and parked-task queue waits.
+fn traced_fio() -> Tracer {
+    let profile = PackageProfile::test_tiny();
+    let luns = 2;
+    let mut sys = build_system(&profile, luns, 200, 1000, ControllerKind::Coro);
+    sys.trace = Tracer::with_capacity(1 << 21);
+    let mut ctrl = build_controller(ControllerKind::Coro, &profile, luns);
+    let mut ssd = Ssd::new(SsdConfig::tiny(luns));
+    let wl = FioWorkload {
+        pattern: IoPattern::RandomWrite,
+        total_ios: 2 * ssd.map().logical_pages(),
+        queue_depth: 4,
+        seed: 7,
+    };
+    ssd.run(&mut sys, ctrl.as_mut(), wl);
+    assert!(ssd.gc_cycles > 0, "workload was meant to trigger GC");
+    sys.trace
+}
+
+/// Line-JSON round-trip: every event survives export + parse bit-exactly.
+#[test]
+fn json_lines_round_trip_is_lossless() {
+    let tracer = traced_microbench();
+    let parsed = parse_json_lines(&tracer.to_json_lines()).expect("own export parses");
+    assert!(parsed.has_footer);
+    assert_eq!(parsed.dropped, tracer.dropped());
+    let original: Vec<_> = tracer.events().copied().collect();
+    assert_eq!(parsed.events.len(), original.len());
+    assert_eq!(parsed.events, original);
+}
+
+/// The Chrome export is structurally sound without a JSON parser: the
+/// metadata advertises the event count, and every span kind contributes
+/// one complete (`"ph":"X"`) entry per begin/end pair.
+#[test]
+fn chrome_trace_export_is_structurally_consistent() {
+    let tracer = traced_microbench();
+    let chrome = tracer.to_chrome_trace();
+    assert!(chrome.contains(&format!("\"events\":{}", tracer.events().count())));
+    assert!(chrome.contains("\"dropped\":0"));
+    let begins = tracer
+        .events()
+        .filter(|e| e.kind.span_end().is_some())
+        .count();
+    let completes = chrome.matches("\"ph\":\"X\"").count();
+    assert_eq!(completes, begins, "one complete span per begin event");
+}
+
+/// Span pairing in the recorded stream: per (kind, op_id), begins and ends
+/// balance, and no end precedes its begin. `ArrayEnd` is future-stamped at
+/// the array deadline, so the stream is not globally time-sorted — pairing
+/// is the invariant, not global order.
+#[test]
+fn span_begins_and_ends_pair_up() {
+    let tracer = traced_fio();
+    let mut begin_at: HashMap<(u32, u64), u64> = HashMap::new();
+    let closes_a_span = |k: TraceKind| TraceKind::ALL.iter().any(|b| b.span_end() == Some(k));
+    for e in tracer.events() {
+        if let Some(end_kind) = e.kind.span_end() {
+            begin_at.insert((end_kind as u32, e.op_id), e.t.as_picos());
+        } else if closes_a_span(e.kind) {
+            if let Some(&b) = begin_at.get(&(e.kind as u32, e.op_id)) {
+                assert!(e.t.as_picos() >= b, "{:?} span end precedes begin", e.kind);
+            }
+        }
+    }
+    // Every recorded end had a begin: count them per kind.
+    for kind in TraceKind::ALL {
+        let Some(end) = kind.span_end() else { continue };
+        let b = tracer.events().filter(|e| e.kind == kind).count();
+        let n = tracer.events().filter(|e| e.kind == end).count();
+        assert_eq!(b, n, "{kind:?} begins != {end:?} ends");
+    }
+}
+
+/// Export + parse preserves event *order*, so a monotonic recording stays
+/// monotonic through the round trip. (Live streams are checked for order
+/// preservation in `json_lines_round_trip_is_lossless`; they are not
+/// globally time-sorted because several kinds — `ArrayEnd`, `TaskFinish`,
+/// `TxnIssue` — are deliberately stamped at future completion deadlines.)
+#[test]
+fn round_trip_preserves_monotonic_timestamps() {
+    use babol_trace::Component;
+    let mut tracer = Tracer::enabled();
+    for i in 0..500u64 {
+        tracer.event(
+            babol_sim::SimTime::ZERO + babol_sim::SimDuration::from_nanos(3 * i),
+            Component::ALL[(i % 6) as usize],
+            TraceKind::ALL[(i % 13) as usize],
+            (i % 4) as u32,
+            i,
+        );
+    }
+    let parsed = parse_json_lines(&tracer.to_json_lines()).expect("synthetic export parses");
+    assert_eq!(parsed.events.len(), 500);
+    let mut last = 0u64;
+    for e in &parsed.events {
+        assert!(e.t.as_picos() >= last, "round trip reordered events");
+        last = e.t.as_picos();
+    }
+}
+
+/// The acceptance bar for attribution: on a real GC-heavy fio run, the
+/// per-phase sums reconcile with the measured end-to-end latency sum
+/// *exactly* — the paint algorithm partitions each op's window, so the
+/// phase total equals the e2e total to the picosecond, per LUN and merged.
+#[test]
+fn phase_sums_reconcile_exactly_with_e2e_latency() {
+    let tracer = traced_fio();
+    let events: Vec<_> = tracer.events().copied().collect();
+    let ledger = PhaseLedger::from_events(&events);
+    assert!(ledger.ops() > 0, "no ops attributed");
+    let merged = ledger.merged();
+    assert!(merged.e2e_sum_ps > 0);
+    assert_eq!(
+        merged.phase_total_ps(),
+        merged.e2e_sum_ps,
+        "phase partition must be exact, not approximate"
+    );
+    for (lun, b) in ledger.per_lun() {
+        assert_eq!(
+            b.phase_total_ps(),
+            b.e2e_sum_ps,
+            "lun {lun}: phase partition not exact"
+        );
+    }
+    // And the rendered report agrees with the reconciliation it prints.
+    let report = TraceReport::from_tracer(&tracer);
+    let csv = report.render_csv();
+    let field = |key: &str| -> u128 {
+        csv.lines()
+            .find(|l| l.starts_with(key))
+            .unwrap_or_else(|| panic!("{key} missing from CSV"))
+            .rsplit(',')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap_or_else(|_| panic!("{key} not numeric"))
+    };
+    assert_eq!(field("recon,phase_sum_ps"), field("recon,e2e_sum_ps"));
+}
+
+/// The report renders from a parsed-back export the same as from the live
+/// tracer (up to the drop counter, which the footer preserves too).
+#[test]
+fn report_from_export_matches_report_from_tracer() {
+    let tracer = traced_microbench();
+    let live = TraceReport::from_tracer(&tracer);
+    let parsed = parse_json_lines(&tracer.to_json_lines()).expect("own export parses");
+    let offline = TraceReport::from_events(&parsed.events, parsed.dropped);
+    assert_eq!(live.render_table(), offline.render_table());
+    assert_eq!(live.render_csv(), offline.render_csv());
+}
