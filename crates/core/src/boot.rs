@@ -253,7 +253,7 @@ mod tests {
         }
         // Phases differ across LUNs (different trace lengths), proving the
         // per-package calibration is doing real work.
-        let phases: std::collections::HashSet<u8> = reports.iter().map(|r| r.phase).collect();
+        let phases: std::collections::BTreeSet<u8> = reports.iter().map(|r| r.phase).collect();
         assert!(phases.len() > 1, "phases {phases:?}");
     }
 

@@ -413,3 +413,38 @@ fn build_status_phases(emit: &EmitConfig) -> Vec<BusPhase> {
     ]
 }
 // @loc:hw_async_read:end @loc:hw_async_program:end @loc:hw_async_erase:end
+
+// ------------------------------------------------------- lint surface
+
+/// The complete hard-coded waveform program this controller would put on
+/// the bus for `req`, one `Vec<BusPhase>` per bus tenure, in pipeline
+/// order (latch, status sample, data movement). `prog_data` is the DMA
+/// prefetch payload for program requests (ignored otherwise).
+///
+/// This exists for the static verifier: `ufsm_lint` feeds these phase
+/// lists to `babol_verify::Verifier::check_phases`, so the baseline's
+/// frozen waveforms are linted against the same ONFI rules as BABOL's
+/// software operations. Not used on the simulation path.
+pub fn lint_phase_program(
+    layout: &AddrLayout,
+    emit: &EmitConfig,
+    req: &IoRequest,
+    prog_data: &[u8],
+) -> Vec<Vec<BusPhase>> {
+    let row = RowAddr { lun: req.lun, block: req.block, page: req.page };
+    match req.kind {
+        IoKind::Read => vec![
+            build_read_latch_phases(layout, emit, row),
+            build_status_phases(emit),
+            build_read_data_phases(emit, req.len),
+        ],
+        IoKind::Program => vec![
+            build_program_phases(layout, emit, req, prog_data),
+            build_status_phases(emit),
+        ],
+        IoKind::Erase => vec![
+            build_erase_phases(layout, emit, row),
+            build_status_phases(emit),
+        ],
+    }
+}

@@ -530,3 +530,58 @@ impl Controller for SyncController {
             + self.fsms.iter().filter(|f| f.req.is_some()).count()
     }
 }
+
+// ------------------------------------------------------- lint surface
+
+/// The complete waveform program the per-LUN FSM produces for `req`, one
+/// `Vec<BusPhase>` per bus tenure (grant to release). `prog_data` is the
+/// DMA prefetch payload for program requests (ignored otherwise).
+///
+/// Drives the real `OpFsm` state machine off-bus: R/B# waits release the
+/// tenure, and the status sample is fed RDY|ARDY (what real hardware reads
+/// once R/B# rose) so the check loop advances. The static verifier lints
+/// the result via `babol_verify::Verifier::check_phases`; this is not used
+/// on the simulation path.
+pub fn lint_phase_program(
+    layout: &AddrLayout,
+    emit: &EmitConfig,
+    req: &IoRequest,
+    prog_data: &[u8],
+) -> Vec<Vec<BusPhase>> {
+    let mut fsm = OpFsm::new();
+    fsm.load(*req);
+    let mut tenures = Vec::new();
+    let mut current: Vec<BusPhase> = Vec::new();
+    loop {
+        match fsm.step(layout, emit, prog_data) {
+            StepAction::Emit(phase, next) => {
+                let sampled_status = next == OpState::RdCheckStatus
+                    || next == OpState::PgCheckStatus
+                    || next == OpState::ErCheckStatus;
+                current.push(phase);
+                fsm.state = next;
+                if sampled_status {
+                    fsm.status = Status::RDY | Status::ARDY;
+                }
+            }
+            StepAction::Decide(next) => fsm.state = next,
+            StepAction::ReleaseForRb => {
+                if !current.is_empty() {
+                    tenures.push(std::mem::take(&mut current));
+                }
+                fsm.state = match fsm.state {
+                    OpState::RdWaitRb => OpState::RdIssueStatusCmd,
+                    OpState::PgWaitRb => OpState::PgIssueStatusCmd,
+                    OpState::ErWaitRb => OpState::ErIssueStatusCmd,
+                    other => other,
+                };
+            }
+            StepAction::Complete => {
+                if !current.is_empty() {
+                    tenures.push(current);
+                }
+                return tenures;
+            }
+        }
+    }
+}

@@ -33,6 +33,7 @@
 pub mod boot;
 pub mod factory;
 pub mod hw;
+pub mod lintcap;
 pub mod ops;
 pub mod runtime;
 pub mod sched;

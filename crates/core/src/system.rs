@@ -105,6 +105,9 @@ impl System {
     /// Assembles a system. Every data-path layer shares one page-buffer
     /// pool, so buffers released by one layer are reused by the next.
     pub fn new(mut channel: Channel, emit: EmitConfig, cpu: Cpu) -> Self {
+        // Debug builds gate every transaction behind the static verifier
+        // (release builds compile both the hook and this call out).
+        babol_verify::install_debug_hook();
         let pool = BufPool::default();
         let mut dram = Dram::new();
         dram.set_pool(&pool);
@@ -293,7 +296,7 @@ impl Engine {
         controller: &dyn Controller,
         done: usize,
         total: usize,
-        submit_times: &std::collections::HashMap<u64, SimTime>,
+        submit_times: &std::collections::BTreeMap<u64, SimTime>,
         stalled_for: SimDuration,
     ) -> String {
         use std::fmt::Write as _;
@@ -346,8 +349,8 @@ impl Engine {
         let mut per_lun_inflight: Vec<usize> = vec![0; sys.channel.lun_count() as usize];
         let mut pending: Vec<VecDeque<IoRequest>> =
             vec![VecDeque::new(); sys.channel.lun_count() as usize];
-        let mut submit_times: std::collections::HashMap<u64, SimTime> =
-            std::collections::HashMap::new();
+        let mut submit_times: std::collections::BTreeMap<u64, SimTime> =
+            std::collections::BTreeMap::new();
         let total = requests.len();
         for r in requests {
             pending[r.lun as usize].push_back(r);

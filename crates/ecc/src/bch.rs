@@ -262,7 +262,7 @@ impl Bch {
 /// α, α^2, ..., α^2t.
 fn generator_poly(gf: &Gf, t: u32) -> u128 {
     // Collect the cyclotomic cosets covering exponents 1..=2t.
-    let mut covered = std::collections::HashSet::new();
+    let mut covered = std::collections::BTreeSet::new();
     // g as polynomial coefficients over GF(2), stored as u128 bitmask.
     let mut g: u128 = 1;
     for s in 1..=(2 * t as usize) {

@@ -138,7 +138,7 @@ mod tests {
 
     #[test]
     fn positions_are_distinct_and_skip_powers_of_two() {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for d in 0..64 {
             let p = position(d);
             assert!(!p.is_power_of_two());

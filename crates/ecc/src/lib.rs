@@ -254,7 +254,7 @@ mod tests {
             // Up to 8 errors in one random sector.
             let sector = rng.gen_range(0..4usize);
             let nerr = rng.gen_range_incl(0..=8u32);
-            let mut bits = std::collections::HashSet::new();
+            let mut bits = std::collections::BTreeSet::new();
             while bits.len() < nerr as usize {
                 bits.insert(rng.gen_range(0..4096usize));
             }

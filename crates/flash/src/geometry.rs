@@ -167,7 +167,7 @@ mod tests {
     #[test]
     fn page_index_is_dense() {
         let g = Geometry::tiny();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for block in 0..g.blocks_per_lun() {
             for page in 0..g.pages_per_block {
                 assert!(seen.insert(g.page_index(RowAddr {

@@ -57,7 +57,7 @@ pub struct PageMap {
     geometry: Geometry,
     luns: u32,
     l2p: Vec<Option<Ppn>>,
-    p2l: std::collections::HashMap<Ppn, u64>,
+    p2l: std::collections::BTreeMap<Ppn, u64>,
     alloc: Vec<LunAlloc>,
     next_lun: u32,
     /// GC kicks in when a LUN's free-block count drops below this.
@@ -91,7 +91,7 @@ impl PageMap {
             geometry,
             luns,
             l2p: vec![None; logical_pages as usize],
-            p2l: std::collections::HashMap::new(),
+            p2l: std::collections::BTreeMap::new(),
             alloc,
             next_lun: 0,
             gc_threshold: 2,

@@ -7,7 +7,7 @@
 //! outstanding, and run garbage collection when a LUN runs out of free
 //! blocks.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use babol::system::{Controller, Event, IoKind, IoRequest, System};
 use babol_flash::Geometry;
@@ -137,7 +137,7 @@ impl Ssd {
         let mut rng = SplitMix64::new(wl.seed);
         let mut issued = 0u64;
         let mut completed = 0u64;
-        let mut inflight: HashMap<u64, SimTime> = HashMap::new();
+        let mut inflight: BTreeMap<u64, SimTime> = BTreeMap::new();
         let mut latencies: Vec<SimDuration> = Vec::with_capacity(wl.total_ios as usize);
         let mut scratch = Vec::new();
         let page = self.cfg.geometry.page_size;

@@ -87,6 +87,43 @@ pub mod op {
     pub const ERASE_SUSPEND: u8 = 0x61;
     /// SUSPEND RESUME (vendor; resumes whichever operation is suspended).
     pub const SUSPEND_RESUME: u8 = 0xD2;
+
+    /// Every opcode constant this module defines. New constants MUST be
+    /// added here: the compile-time check next to [`super::classify`]
+    /// walks this table, so an opcode missing from `classify` (or from
+    /// this list's companion arms in [`super::mnemonic`]) fails the build,
+    /// not a test run.
+    pub const ALL: [u8; 29] = [
+        READ_1,
+        READ_2,
+        READ_CACHE_SEQ,
+        READ_CACHE_END,
+        CHANGE_READ_COL_1,
+        CHANGE_READ_COL_2,
+        RANDOM_DATA_OUT_1,
+        PROGRAM_1,
+        PROGRAM_2,
+        PROGRAM_CACHE,
+        CHANGE_WRITE_COL,
+        ERASE_1,
+        ERASE_2,
+        READ_STATUS,
+        READ_STATUS_ENHANCED,
+        READ_ID,
+        READ_PARAM_PAGE,
+        READ_UNIQUE_ID,
+        SET_FEATURES,
+        GET_FEATURES,
+        RESET,
+        SYNC_RESET,
+        MULTI_PLANE_NEXT,
+        MULTI_PLANE_QUEUE,
+        PSLC_PREFIX,
+        READ_RETRY_PREFIX,
+        PROGRAM_SUSPEND,
+        ERASE_SUSPEND,
+        SUSPEND_RESUME,
+    ];
 }
 
 /// Classification of an opcode, used by the flash package model's command
@@ -121,7 +158,7 @@ pub enum OpClass {
 /// assert_eq!(classify(op::PSLC_PREFIX), OpClass::Vendor);
 /// assert_eq!(classify(0xA7), OpClass::Unknown);
 /// ```
-pub fn classify(opcode: u8) -> OpClass {
+pub const fn classify(opcode: u8) -> OpClass {
     use op::*;
     match opcode {
         READ_1 | READ_2 | READ_CACHE_SEQ | READ_CACHE_END | CHANGE_READ_COL_1
@@ -137,6 +174,26 @@ pub fn classify(opcode: u8) -> OpClass {
         _ => OpClass::Unknown,
     }
 }
+
+// Exhaustiveness, checked at compile time: every constant in `op::ALL`
+// must classify to something other than `Unknown`, and no two constants
+// may collide. Adding an opcode without teaching `classify` about it (or
+// reusing a byte) is a build error, not a test failure.
+const _: () = {
+    let mut i = 0;
+    while i < op::ALL.len() {
+        assert!(
+            !matches!(classify(op::ALL[i]), OpClass::Unknown),
+            "op::ALL contains an opcode that classify() does not recognize"
+        );
+        let mut j = i + 1;
+        while j < op::ALL.len() {
+            assert!(op::ALL[i] != op::ALL[j], "duplicate opcode in op::ALL");
+            j += 1;
+        }
+        i += 1;
+    }
+};
 
 /// Returns a human-readable mnemonic for an opcode (for traces and errors).
 pub fn mnemonic(opcode: u8) -> &'static str {
@@ -181,38 +238,7 @@ mod tests {
 
     #[test]
     fn classification_covers_all_defined_opcodes() {
-        let all = [
-            op::READ_1,
-            op::READ_2,
-            op::READ_CACHE_SEQ,
-            op::READ_CACHE_END,
-            op::CHANGE_READ_COL_1,
-            op::CHANGE_READ_COL_2,
-            op::RANDOM_DATA_OUT_1,
-            op::PROGRAM_1,
-            op::PROGRAM_2,
-            op::PROGRAM_CACHE,
-            op::CHANGE_WRITE_COL,
-            op::ERASE_1,
-            op::ERASE_2,
-            op::READ_STATUS,
-            op::READ_STATUS_ENHANCED,
-            op::READ_ID,
-            op::READ_PARAM_PAGE,
-            op::READ_UNIQUE_ID,
-            op::SET_FEATURES,
-            op::GET_FEATURES,
-            op::RESET,
-            op::SYNC_RESET,
-            op::MULTI_PLANE_NEXT,
-            op::MULTI_PLANE_QUEUE,
-            op::PSLC_PREFIX,
-            op::READ_RETRY_PREFIX,
-            op::PROGRAM_SUSPEND,
-            op::ERASE_SUSPEND,
-            op::SUSPEND_RESUME,
-        ];
-        for &o in &all {
+        for &o in &op::ALL {
             assert_ne!(classify(o), OpClass::Unknown, "opcode {o:#04x}");
             assert_ne!(mnemonic(o), "UNKNOWN", "opcode {o:#04x}");
         }
@@ -220,39 +246,8 @@ mod tests {
 
     #[test]
     fn opcodes_are_distinct() {
-        let all = [
-            op::READ_1,
-            op::READ_2,
-            op::READ_CACHE_SEQ,
-            op::READ_CACHE_END,
-            op::CHANGE_READ_COL_1,
-            op::CHANGE_READ_COL_2,
-            op::RANDOM_DATA_OUT_1,
-            op::PROGRAM_1,
-            op::PROGRAM_2,
-            op::PROGRAM_CACHE,
-            op::CHANGE_WRITE_COL,
-            op::ERASE_1,
-            op::ERASE_2,
-            op::READ_STATUS,
-            op::READ_STATUS_ENHANCED,
-            op::READ_ID,
-            op::READ_PARAM_PAGE,
-            op::READ_UNIQUE_ID,
-            op::SET_FEATURES,
-            op::GET_FEATURES,
-            op::RESET,
-            op::SYNC_RESET,
-            op::MULTI_PLANE_NEXT,
-            op::MULTI_PLANE_QUEUE,
-            op::PSLC_PREFIX,
-            op::READ_RETRY_PREFIX,
-            op::PROGRAM_SUSPEND,
-            op::ERASE_SUSPEND,
-            op::SUSPEND_RESUME,
-        ];
-        let mut seen = std::collections::HashSet::new();
-        for &o in &all {
+        let mut seen = std::collections::BTreeSet::new();
+        for &o in &op::ALL {
             assert!(seen.insert(o), "duplicate opcode {o:#04x}");
         }
     }

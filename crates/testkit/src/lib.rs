@@ -15,6 +15,9 @@
 //! * [`bench`] — a benchmark runner (warmup + timed iterations,
 //!   median/p95/stddev, JSON output for the `results/BENCH_*.json`
 //!   trajectory convention). Replaces `criterion`.
+//! * [`mutate`] — targeted mutation operators over μFSM transaction
+//!   streams, used to prove the static verifier (`babol-verify`) catches
+//!   every fault class it claims to, with the right rule id.
 //!
 //! # Replaying a property failure
 //!
@@ -27,5 +30,6 @@
 //! ```
 
 pub mod bench;
+pub mod mutate;
 pub mod prop;
 pub mod rng;

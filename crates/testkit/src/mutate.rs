@@ -1,0 +1,566 @@
+//! Mutation operators for μFSM transaction streams.
+//!
+//! The static verifier (`babol-verify`) claims to catch ONFI-protocol bugs
+//! before they reach the simulated flash. The honest way to test that claim
+//! is mutation analysis: take a known-clean transaction stream (captured
+//! from the shipped operation library), break it in a precisely targeted
+//! way, and require the verifier to report the violation — with the right
+//! rule id, not merely *some* diagnostic. Each [`MutOp`] below is one such
+//! targeted fault, annotated with the rule it must trip.
+//!
+//! The operators are deterministic given the input stream and the caller's
+//! RNG, so failures replay from a seed like every other test in the
+//! workspace.
+
+use babol_onfi::addr::AddrLayout;
+use babol_onfi::bus::ChipMask;
+use babol_onfi::opcode::op;
+use babol_ufsm::{DmaDest, Instr, Latch, PostWait, Transaction};
+
+use crate::rng::Rng;
+
+/// Target parameters the operators need to aim their faults (mirrors the
+/// verifier's notion of the target package, without depending on it).
+#[derive(Debug, Clone)]
+pub struct MutateCtx {
+    /// Address-cycle layout of the package.
+    pub layout: AddrLayout,
+    /// Page-register size (data + spare), bytes.
+    pub raw_page_size: usize,
+    /// LUNs on the channel.
+    pub luns: u32,
+    /// Modelled DRAM capacity, bytes.
+    pub dram_bytes: u64,
+}
+
+/// One targeted protocol fault, named after what it breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutOp {
+    /// Replace a known opcode with a byte no ONFI part decodes.
+    UnknownOpcode,
+    /// Issue a command the target package does not implement.
+    UnsupportedOpcode,
+    /// Issue a confirmation cycle with no sequence started.
+    BareConfirm,
+    /// Drop the last cycle of an address latch.
+    TruncateAddr,
+    /// Append a surplus cycle to an address latch.
+    ExtendAddr,
+    /// Start a latch sequence, then walk away from it.
+    AbandonSequence,
+    /// Remove a mandatory post-segment wait (tWB after a confirm).
+    RemovePostWait,
+    /// Observe the wrong wait class (tADL where tWHR is due).
+    WrongPostWait,
+    /// Keep a post wait that nothing afterwards needs.
+    SpuriousPostWait,
+    /// Stream data into a LUN that is not accepting any.
+    StrayDataIn,
+    /// Ship the wrong number of SET FEATURES parameter bytes.
+    FeatureDataLength,
+    /// Stream data out of a LUN with nothing to output.
+    StrayDataOut,
+    /// Read past the end of the page register.
+    OversizeRead,
+    /// Write past the end of the page register.
+    OversizeWrite,
+    /// Fuse a confirm and its data fetch into one transaction, so the
+    /// fetch addresses a LUN that is certainly still busy.
+    FuseBusyFetch,
+    /// Clear the chip-enable mask entirely.
+    EmptyChipMask,
+    /// Select a chip the channel does not have.
+    OutOfRangeChip,
+    /// Gang-schedule a data-out across several chips at once.
+    GangDataOut,
+    /// Point the packetizer DMA past the end of DRAM.
+    DmaOutOfBounds,
+    /// Insert a transaction with no instructions.
+    EmptyTransaction,
+    /// End the stream with a latch sequence mid-flight.
+    DanglingSequence,
+}
+
+impl MutOp {
+    /// Every operator, in rule-code order of what they trip.
+    pub const ALL: &'static [MutOp] = &[
+        MutOp::UnknownOpcode,
+        MutOp::UnsupportedOpcode,
+        MutOp::BareConfirm,
+        MutOp::TruncateAddr,
+        MutOp::ExtendAddr,
+        MutOp::AbandonSequence,
+        MutOp::RemovePostWait,
+        MutOp::WrongPostWait,
+        MutOp::SpuriousPostWait,
+        MutOp::StrayDataIn,
+        MutOp::FeatureDataLength,
+        MutOp::StrayDataOut,
+        MutOp::OversizeRead,
+        MutOp::OversizeWrite,
+        MutOp::FuseBusyFetch,
+        MutOp::EmptyChipMask,
+        MutOp::OutOfRangeChip,
+        MutOp::GangDataOut,
+        MutOp::DmaOutOfBounds,
+        MutOp::EmptyTransaction,
+        MutOp::DanglingSequence,
+    ];
+
+    /// The operator's name, for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            MutOp::UnknownOpcode => "unknown-opcode",
+            MutOp::UnsupportedOpcode => "unsupported-opcode",
+            MutOp::BareConfirm => "bare-confirm",
+            MutOp::TruncateAddr => "truncate-addr",
+            MutOp::ExtendAddr => "extend-addr",
+            MutOp::AbandonSequence => "abandon-sequence",
+            MutOp::RemovePostWait => "remove-post-wait",
+            MutOp::WrongPostWait => "wrong-post-wait",
+            MutOp::SpuriousPostWait => "spurious-post-wait",
+            MutOp::StrayDataIn => "stray-data-in",
+            MutOp::FeatureDataLength => "feature-data-length",
+            MutOp::StrayDataOut => "stray-data-out",
+            MutOp::OversizeRead => "oversize-read",
+            MutOp::OversizeWrite => "oversize-write",
+            MutOp::FuseBusyFetch => "fuse-busy-fetch",
+            MutOp::EmptyChipMask => "empty-chip-mask",
+            MutOp::OutOfRangeChip => "out-of-range-chip",
+            MutOp::GangDataOut => "gang-data-out",
+            MutOp::DmaOutOfBounds => "dma-out-of-bounds",
+            MutOp::EmptyTransaction => "empty-transaction",
+            MutOp::DanglingSequence => "dangling-sequence",
+        }
+    }
+
+    /// The rule code the verifier must report for this fault.
+    pub fn expected_rule(self) -> &'static str {
+        match self {
+            MutOp::UnknownOpcode => "V001",
+            MutOp::UnsupportedOpcode => "V002",
+            MutOp::BareConfirm => "V003",
+            MutOp::TruncateAddr | MutOp::ExtendAddr => "V004",
+            MutOp::AbandonSequence => "V006",
+            MutOp::RemovePostWait => "V010",
+            MutOp::WrongPostWait => "V011",
+            MutOp::SpuriousPostWait => "V012",
+            MutOp::StrayDataIn => "V020",
+            MutOp::FeatureDataLength => "V021",
+            MutOp::StrayDataOut => "V022",
+            MutOp::OversizeRead => "V023",
+            MutOp::OversizeWrite => "V024",
+            MutOp::FuseBusyFetch => "V030",
+            MutOp::EmptyChipMask => "V040",
+            MutOp::OutOfRangeChip => "V041",
+            MutOp::GangDataOut => "V042",
+            MutOp::DmaOutOfBounds => "V050",
+            MutOp::EmptyTransaction => "V060",
+            MutOp::DanglingSequence => "V061",
+        }
+    }
+
+    /// Applies the fault to a clean stream. Returns `None` when the stream
+    /// offers no site for this fault (e.g. no SET FEATURES transaction for
+    /// [`MutOp::FeatureDataLength`]); otherwise the mutated stream.
+    pub fn apply<R: Rng>(
+        self,
+        stream: &[Transaction],
+        ctx: &MutateCtx,
+        rng: &mut R,
+    ) -> Option<Vec<Transaction>> {
+        let mut out: Vec<Transaction> = stream.to_vec();
+        match self {
+            MutOp::UnknownOpcode => {
+                let (t, i, l) = pick_site(
+                    stream,
+                    rng,
+                    |latch| matches!(latch, Latch::Cmd(c) if *c == op::READ_STATUS),
+                )?;
+                edit_latch(&mut out, t, i, l, Latch::Cmd(0x4B));
+                Some(out)
+            }
+            MutOp::UnsupportedOpcode => {
+                out.insert(
+                    0,
+                    Transaction::new(ChipMask::single(0))
+                        .ca(vec![Latch::Cmd(op::READ_UNIQUE_ID)], PostWait::None),
+                );
+                Some(out)
+            }
+            MutOp::BareConfirm => {
+                out.insert(
+                    0,
+                    Transaction::new(ChipMask::single(0))
+                        .ca(vec![Latch::Cmd(op::READ_2)], PostWait::None),
+                );
+                Some(out)
+            }
+            MutOp::TruncateAddr => {
+                let (t, i, l) = pick_site(
+                    stream,
+                    rng,
+                    |latch| matches!(latch, Latch::Addr(a) if a.len() >= 2),
+                )?;
+                let Latch::Addr(mut a) = latch_at(stream, t, i, l).clone() else {
+                    unreachable!()
+                };
+                a.pop();
+                edit_latch(&mut out, t, i, l, Latch::Addr(a));
+                Some(out)
+            }
+            MutOp::ExtendAddr => {
+                let (t, i, l) = pick_site(stream, rng, |latch| matches!(latch, Latch::Addr(_)))?;
+                let Latch::Addr(mut a) = latch_at(stream, t, i, l).clone() else {
+                    unreachable!()
+                };
+                a.push(0x00);
+                edit_latch(&mut out, t, i, l, Latch::Addr(a));
+                Some(out)
+            }
+            MutOp::AbandonSequence => {
+                let full = vec![0u8; ctx.layout.full_cycles()];
+                out.insert(
+                    0,
+                    Transaction::new(ChipMask::single(0))
+                        .ca(
+                            vec![Latch::Cmd(op::READ_1), Latch::Addr(full)],
+                            PostWait::None,
+                        )
+                        .ca(
+                            vec![Latch::Cmd(op::READ_ID), Latch::Addr(vec![0x00])],
+                            PostWait::Whr,
+                        )
+                        .read(2, DmaDest::Inline),
+                );
+                Some(out)
+            }
+            MutOp::RemovePostWait => {
+                let (t, i) = pick_instr(stream, rng, |instr| {
+                    matches!(
+                        instr,
+                        Instr::CaWriter {
+                            post: PostWait::Wb,
+                            ..
+                        }
+                    )
+                })?;
+                let Instr::CaWriter { latches, .. } = stream[t].instrs()[i].clone() else {
+                    unreachable!()
+                };
+                edit_instr(
+                    &mut out,
+                    t,
+                    i,
+                    Instr::CaWriter {
+                        latches,
+                        post: PostWait::None,
+                    },
+                );
+                Some(out)
+            }
+            MutOp::WrongPostWait => {
+                let (t, i) = pick_instr(stream, rng, |instr| {
+                    matches!(
+                        instr,
+                        Instr::CaWriter {
+                            post: PostWait::Whr,
+                            ..
+                        }
+                    )
+                })?;
+                let Instr::CaWriter { latches, .. } = stream[t].instrs()[i].clone() else {
+                    unreachable!()
+                };
+                edit_instr(
+                    &mut out,
+                    t,
+                    i,
+                    Instr::CaWriter {
+                        latches,
+                        post: PostWait::Adl,
+                    },
+                );
+                Some(out)
+            }
+            MutOp::SpuriousPostWait => {
+                // A READ STATUS transaction whose data byte is dropped: the
+                // tWHR wait it declared now precedes nothing.
+                let sites: Vec<usize> = (0..stream.len())
+                    .filter(|&t| {
+                        let is = stream[t].instrs();
+                        is.len() == 2
+                            && matches!(
+                                &is[0],
+                                Instr::CaWriter { latches, post: PostWait::Whr }
+                                    if latches == &[Latch::Cmd(op::READ_STATUS)]
+                            )
+                            && matches!(is[1], Instr::DataReader { .. })
+                    })
+                    .collect();
+                let t = *pick(&sites, rng)?;
+                let (mask, mut instrs) = parts(&stream[t]);
+                instrs.pop();
+                out[t] = rebuild(mask, instrs);
+                Some(out)
+            }
+            MutOp::StrayDataIn => {
+                out.insert(0, Transaction::new(ChipMask::single(0)).write(4, 0));
+                Some(out)
+            }
+            MutOp::FeatureDataLength => {
+                let sites: Vec<(usize, usize)> = instr_sites(stream, |instr| {
+                    matches!(instr, Instr::DataWriter { bytes: 4, .. })
+                });
+                let &(t, i) = pick(&sites, rng)?;
+                let Instr::DataWriter { src, .. } = stream[t].instrs()[i] else {
+                    unreachable!()
+                };
+                edit_instr(&mut out, t, i, Instr::DataWriter { bytes: 5, src });
+                Some(out)
+            }
+            MutOp::StrayDataOut => {
+                out.insert(
+                    0,
+                    Transaction::new(ChipMask::single(0)).read(1, DmaDest::Inline),
+                );
+                Some(out)
+            }
+            MutOp::OversizeRead => {
+                let (t, i) = pick_instr(
+                    stream,
+                    rng,
+                    |instr| matches!(instr, Instr::DataReader { bytes, .. } if *bytes >= 16),
+                )?;
+                let Instr::DataReader { dest, .. } = stream[t].instrs()[i] else {
+                    unreachable!()
+                };
+                edit_instr(
+                    &mut out,
+                    t,
+                    i,
+                    Instr::DataReader {
+                        bytes: ctx.raw_page_size + 1,
+                        dest,
+                    },
+                );
+                Some(out)
+            }
+            MutOp::OversizeWrite => {
+                let (t, i) = pick_instr(
+                    stream,
+                    rng,
+                    |instr| matches!(instr, Instr::DataWriter { bytes, .. } if *bytes >= 16),
+                )?;
+                let Instr::DataWriter { src, .. } = stream[t].instrs()[i] else {
+                    unreachable!()
+                };
+                edit_instr(
+                    &mut out,
+                    t,
+                    i,
+                    Instr::DataWriter {
+                        bytes: ctx.raw_page_size + 1,
+                        src,
+                    },
+                );
+                Some(out)
+            }
+            MutOp::FuseBusyFetch => {
+                // A latch transaction ending in a confirm, fused with the
+                // first later fetch transaction: the status polls between
+                // them vanish, so the fetch runs into certain busy time.
+                let latch =
+                    (0..stream.len()).find(|&t| last_cmd(&stream[t]) == Some(op::READ_2))?;
+                let fetch = (latch + 1..stream.len())
+                    .find(|&t| first_cmd(&stream[t]) == Some(op::CHANGE_READ_COL_1))?;
+                let (mask, mut instrs) = parts(&stream[latch]);
+                instrs.extend(stream[fetch].instrs().iter().cloned());
+                let mut fused: Vec<Transaction> = stream[..latch].to_vec();
+                fused.push(rebuild(mask, instrs));
+                Some(fused)
+            }
+            MutOp::EmptyChipMask => {
+                let t = rng.next_below(stream.len() as u64) as usize;
+                let (_, instrs) = parts(&stream[t]);
+                out[t] = rebuild(ChipMask::NONE, instrs);
+                Some(out)
+            }
+            MutOp::OutOfRangeChip => {
+                if ctx.luns >= 16 {
+                    return None;
+                }
+                let t = rng.next_below(stream.len() as u64) as usize;
+                let (_, instrs) = parts(&stream[t]);
+                out[t] = rebuild(ChipMask::single(ctx.luns), instrs);
+                Some(out)
+            }
+            MutOp::GangDataOut => {
+                if ctx.luns < 2 {
+                    return None;
+                }
+                let sites: Vec<usize> = (0..stream.len())
+                    .filter(|&t| {
+                        stream[t].chip_mask().count() == 1
+                            && stream[t]
+                                .instrs()
+                                .iter()
+                                .any(|i| matches!(i, Instr::DataReader { .. }))
+                    })
+                    .collect();
+                let t = *pick(&sites, rng)?;
+                let (_, instrs) = parts(&stream[t]);
+                out[t] = rebuild(ChipMask::first_n(2), instrs);
+                Some(out)
+            }
+            MutOp::DmaOutOfBounds => {
+                let (t, i) = pick_instr(stream, rng, |instr| {
+                    matches!(
+                        instr,
+                        Instr::DataReader {
+                            dest: DmaDest::Dram(_),
+                            ..
+                        }
+                    )
+                })?;
+                let Instr::DataReader { bytes, .. } = stream[t].instrs()[i] else {
+                    unreachable!()
+                };
+                edit_instr(
+                    &mut out,
+                    t,
+                    i,
+                    Instr::DataReader {
+                        bytes,
+                        dest: DmaDest::Dram(ctx.dram_bytes.saturating_sub(1)),
+                    },
+                );
+                Some(out)
+            }
+            MutOp::EmptyTransaction => {
+                let at = rng.next_below(stream.len() as u64 + 1) as usize;
+                out.insert(at, Transaction::new(ChipMask::single(0)));
+                Some(out)
+            }
+            MutOp::DanglingSequence => {
+                let full = vec![0u8; ctx.layout.full_cycles()];
+                out.push(Transaction::new(ChipMask::single(0)).ca(
+                    vec![Latch::Cmd(op::READ_1), Latch::Addr(full)],
+                    PostWait::None,
+                ));
+                Some(out)
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------- helpers
+
+fn parts(t: &Transaction) -> (ChipMask, Vec<Instr>) {
+    (t.chip_mask(), t.instrs().to_vec())
+}
+
+fn rebuild(chips: ChipMask, instrs: Vec<Instr>) -> Transaction {
+    let mut t = Transaction::new(chips);
+    for instr in instrs {
+        t = match instr {
+            Instr::CaWriter { latches, post } => t.ca(latches, post),
+            Instr::DataWriter { bytes, src } => t.write(bytes, src),
+            Instr::DataReader { bytes, dest } => t.read(bytes, dest),
+            Instr::Timer { duration } => t.timer(duration),
+        };
+    }
+    t
+}
+
+fn pick<'a, T, R: Rng>(sites: &'a [T], rng: &mut R) -> Option<&'a T> {
+    if sites.is_empty() {
+        None
+    } else {
+        Some(&sites[rng.next_below(sites.len() as u64) as usize])
+    }
+}
+
+/// All (transaction, instruction) indices whose instruction matches.
+fn instr_sites(stream: &[Transaction], want: impl Fn(&Instr) -> bool) -> Vec<(usize, usize)> {
+    let mut sites = Vec::new();
+    for (t, txn) in stream.iter().enumerate() {
+        for (i, instr) in txn.instrs().iter().enumerate() {
+            if want(instr) {
+                sites.push((t, i));
+            }
+        }
+    }
+    sites
+}
+
+fn pick_instr<R: Rng>(
+    stream: &[Transaction],
+    rng: &mut R,
+    want: impl Fn(&Instr) -> bool,
+) -> Option<(usize, usize)> {
+    pick(&instr_sites(stream, want), rng).copied()
+}
+
+/// All (transaction, instruction, latch) indices whose latch matches.
+fn pick_site<R: Rng>(
+    stream: &[Transaction],
+    rng: &mut R,
+    want: impl Fn(&Latch) -> bool,
+) -> Option<(usize, usize, usize)> {
+    let mut sites = Vec::new();
+    for (t, txn) in stream.iter().enumerate() {
+        for (i, instr) in txn.instrs().iter().enumerate() {
+            if let Instr::CaWriter { latches, .. } = instr {
+                for (l, latch) in latches.iter().enumerate() {
+                    if want(latch) {
+                        sites.push((t, i, l));
+                    }
+                }
+            }
+        }
+    }
+    pick(&sites, rng).copied()
+}
+
+fn latch_at(stream: &[Transaction], t: usize, i: usize, l: usize) -> &Latch {
+    let Instr::CaWriter { latches, .. } = &stream[t].instrs()[i] else {
+        panic!("site is not a CA writer");
+    };
+    &latches[l]
+}
+
+fn edit_latch(out: &mut [Transaction], t: usize, i: usize, l: usize, new: Latch) {
+    let (mask, mut instrs) = parts(&out[t]);
+    let Instr::CaWriter { latches, .. } = &mut instrs[i] else {
+        panic!("site is not a CA writer");
+    };
+    latches[l] = new;
+    out[t] = rebuild(mask, instrs);
+}
+
+fn edit_instr(out: &mut [Transaction], t: usize, i: usize, new: Instr) {
+    let (mask, mut instrs) = parts(&out[t]);
+    instrs[i] = new;
+    out[t] = rebuild(mask, instrs);
+}
+
+fn first_cmd(t: &Transaction) -> Option<u8> {
+    match t.instrs().first()? {
+        Instr::CaWriter { latches, .. } => match latches.first()? {
+            Latch::Cmd(c) => Some(*c),
+            Latch::Addr(_) => None,
+        },
+        _ => None,
+    }
+}
+
+fn last_cmd(t: &Transaction) -> Option<u8> {
+    match t.instrs().last()? {
+        Instr::CaWriter { latches, .. } => match latches.last()? {
+            Latch::Cmd(c) => Some(*c),
+            Latch::Addr(_) => None,
+        },
+        _ => None,
+    }
+}

@@ -136,10 +136,14 @@ impl Tracer {
             }
         }
         // `metadata` is not part of the trace_event schema but Chrome and
-        // Perfetto ignore unknown top-level keys; it carries the ring-drop
-        // count so a truncated timeline is detectable from the file alone.
+        // Perfetto ignore unknown top-level keys. `events` counts the
+        // entries actually in `traceEvents` (each paired begin/end folds
+        // into one span, so this is less than the ring count once spans
+        // pair); `recorded` is the ring count and `dropped` the ring-drop
+        // count, so a truncated timeline is detectable from the file alone.
         let mut out = format!(
-            "{{\"displayTimeUnit\":\"ns\",\"metadata\":{{\"events\":{},\"dropped\":{}}},\"traceEvents\":[",
+            "{{\"displayTimeUnit\":\"ns\",\"metadata\":{{\"events\":{},\"recorded\":{},\"dropped\":{}}},\"traceEvents\":[",
+            items.len(),
             self.events().count(),
             self.dropped()
         );
@@ -209,7 +213,7 @@ mod tests {
             r#"{"footer":true,"events":2,"dropped":3}"#
         );
         let chrome = t.to_chrome_trace();
-        assert!(chrome.contains(r#""metadata":{"events":2,"dropped":3}"#));
+        assert!(chrome.contains(r#""metadata":{"events":2,"recorded":2,"dropped":3}"#));
     }
 
     #[test]
@@ -270,7 +274,7 @@ mod tests {
         );
         assert_eq!(
             t.to_chrome_trace(),
-            "{\"displayTimeUnit\":\"ns\",\"metadata\":{\"events\":0,\"dropped\":0},\"traceEvents\":[\n]}\n"
+            "{\"displayTimeUnit\":\"ns\",\"metadata\":{\"events\":0,\"recorded\":0,\"dropped\":0},\"traceEvents\":[\n]}\n"
         );
     }
 }

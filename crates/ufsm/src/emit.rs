@@ -136,6 +136,10 @@ pub fn execute_traced(
     op_id: u64,
     sink: &mut dyn TraceSink,
 ) -> Result<Outcome, ChannelError> {
+    // Debug builds verify the transaction before playing it (see
+    // `hook`); release builds compile this line out entirely.
+    #[cfg(debug_assertions)]
+    crate::hook::run(channel, txn);
     let trace_on = sink.is_enabled();
     let mut phases = Vec::new();
     // (phase index, length, dest) for each data-out burst, to split the
@@ -227,7 +231,7 @@ pub fn execute_traced(
     // Split the returned stream across the data readers.
     let mut inline = Vec::new();
     let mut cursor = 0usize;
-    let mut dram_offsets: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    let mut dram_offsets: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
     for (len, dest) in reads {
         let chunk = &tx.data[cursor..cursor + len];
         cursor += len;

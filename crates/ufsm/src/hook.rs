@@ -1,0 +1,34 @@
+//! Debug-build transaction gate.
+//!
+//! Higher layers (the verifier crate) can install a check that every
+//! transaction must pass before the execution engine plays it. The hook is
+//! a plain function pointer behind a `OnceLock`, so `ufsm` needs no
+//! dependency on the checker — and the whole module only exists in debug
+//! builds: release binaries carry neither the hook nor its call site.
+
+use std::sync::OnceLock;
+
+use babol_channel::Channel;
+
+use crate::instr::Transaction;
+
+/// A pre-execution check: `Err` carries a human-readable report.
+pub type Check = fn(&Channel, &Transaction) -> Result<(), String>;
+
+static HOOK: OnceLock<Check> = OnceLock::new();
+
+/// Installs the gate. The first installation wins; later calls (other
+/// controllers in the same process) are no-ops.
+pub fn install(check: Check) {
+    let _ = HOOK.set(check);
+}
+
+/// Runs the gate, panicking on a rejected transaction — a protocol bug in
+/// operation logic should fail the test that exercised it, loudly.
+pub(crate) fn run(channel: &Channel, txn: &Transaction) {
+    if let Some(check) = HOOK.get() {
+        if let Err(report) = check(channel, txn) {
+            panic!("transaction rejected by the pre-execution verifier:\n{report}");
+        }
+    }
+}

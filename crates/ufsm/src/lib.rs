@@ -24,6 +24,8 @@
 
 pub mod area;
 pub mod emit;
+#[cfg(debug_assertions)]
+pub mod hook;
 pub mod instr;
 pub mod packetizer;
 

@@ -1,0 +1,163 @@
+//! Structured diagnostics and the verification report.
+
+use std::fmt;
+
+use crate::rules::{Rule, Severity};
+
+/// One finding: which rule fired, where, and the expected-vs-found detail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Severity (taken from the rule's default).
+    pub severity: Severity,
+    /// Transaction index within the verified stream (0 for single-shot).
+    pub txn: usize,
+    /// Instruction index inside the transaction (or bus-phase index when
+    /// verifying a raw phase program), if attributable.
+    pub at: Option<usize>,
+    /// The LUN whose state machine flagged the problem, if attributable.
+    pub lun: Option<u32>,
+    /// Expected-vs-found description.
+    pub detail: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] txn {}",
+            self.severity,
+            self.rule.code(),
+            self.txn
+        )?;
+        if let Some(at) = self.at {
+            write!(f, ", instr {at}")?;
+        }
+        if let Some(lun) = self.lun {
+            write!(f, ", lun {lun}")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+/// All diagnostics from one verification run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    diags: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Adds a diagnostic, deduplicating identical findings (a gang
+    /// transaction trips the same rule once per selected LUN; one entry is
+    /// enough).
+    pub fn push(&mut self, diag: Diagnostic) {
+        let dup = self.diags.iter().any(|d| {
+            d.rule == diag.rule && d.txn == diag.txn && d.at == diag.at && d.detail == diag.detail
+        });
+        if !dup {
+            self.diags.push(diag);
+        }
+    }
+
+    /// Every diagnostic, in emission order.
+    pub fn diags(&self) -> &[Diagnostic] {
+        &self.diags
+    }
+
+    /// Error-severity diagnostics.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diags.iter().filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Warning-severity diagnostics.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diags
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+    }
+
+    /// Whether any error-severity diagnostic fired.
+    pub fn has_errors(&self) -> bool {
+        self.errors().next().is_some()
+    }
+
+    /// Whether nothing fired at all.
+    pub fn is_clean(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Whether a specific rule fired anywhere.
+    pub fn has_rule(&self, rule: Rule) -> bool {
+        self.diags.iter().any(|d| d.rule == rule)
+    }
+
+    /// Merges another report into this one (with deduplication).
+    pub fn merge(&mut self, other: Report) {
+        for d in other.diags {
+            self.push(d);
+        }
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.diags.is_empty() {
+            return writeln!(f, "clean: no diagnostics");
+        }
+        for d in &self.diags {
+            writeln!(f, "{d}")?;
+        }
+        writeln!(
+            f,
+            "{} error(s), {} warning(s)",
+            self.errors().count(),
+            self.warnings().count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: Rule, txn: usize, detail: &str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            severity: rule.severity(),
+            txn,
+            at: Some(0),
+            lun: Some(0),
+            detail: detail.to_string(),
+        }
+    }
+
+    #[test]
+    fn dedup_collapses_identical_findings() {
+        let mut r = Report::new();
+        r.push(diag(Rule::MissingWait, 0, "expected tWB"));
+        r.push(diag(Rule::MissingWait, 0, "expected tWB"));
+        r.push(diag(Rule::MissingWait, 1, "expected tWB"));
+        assert_eq!(r.diags().len(), 2);
+    }
+
+    #[test]
+    fn severity_queries() {
+        let mut r = Report::new();
+        assert!(r.is_clean());
+        r.push(diag(Rule::SpuriousWait, 0, "tWB"));
+        assert!(!r.is_clean());
+        assert!(!r.has_errors());
+        r.push(diag(Rule::BusyViolation, 0, "busy"));
+        assert!(r.has_errors());
+        assert_eq!(r.errors().count(), 1);
+        assert_eq!(r.warnings().count(), 1);
+        assert!(r.has_rule(Rule::BusyViolation));
+        assert!(!r.has_rule(Rule::UnknownOpcode));
+    }
+}

@@ -1,0 +1,1183 @@
+//! The abstract interpreter.
+//!
+//! One [`LunState`] per wired LUN mirrors the ONFI command decoder of the
+//! flash package model (`babol_flash::Lun`), but over *abstract* values:
+//! where the simulator knows whether a LUN is busy, the verifier tracks
+//! known-idle / known-busy / maybe-busy / unknown, and resolves the
+//! uncertainty optimistically — a diagnostic fires only when every
+//! consistent concrete execution is wrong (errors) or suspicious
+//! (warnings). Transactions are first lowered to [`Seg`]ments — the same
+//! shape whether they come from μFSM instructions or raw bus phases — so
+//! the one engine lints ops *and* the hard-coded baseline FSMs.
+
+use babol_onfi::bus::{BusPhase, PhaseKind};
+use babol_onfi::opcode::{classify, mnemonic, op, OpClass};
+use babol_onfi::timing::TimingParams;
+use babol_sim::SimDuration;
+use babol_ufsm::{DmaDest, Instr, Latch, PostWait};
+
+use crate::diag::{Diagnostic, Report};
+use crate::rules::Rule;
+use crate::TargetModel;
+
+/// The ONFI parameter page is served as three identical 256-byte copies.
+const PARAM_PAGE_BYTES: usize = 3 * 256;
+
+// ---------------------------------------------------------------------------
+// Segment lowering
+// ---------------------------------------------------------------------------
+
+/// The trailing wait attached to a C/A group: a μFSM `PostWait` category
+/// (instruction mode) or an accumulated pause budget (phase mode).
+#[derive(Debug, Clone)]
+pub(crate) enum WaitSpec {
+    Post(PostWait),
+    Credit(SimDuration),
+}
+
+/// One verifier segment: a C/A latch group with its trailing wait, a data
+/// burst, or an explicit pause.
+#[derive(Debug, Clone)]
+pub(crate) enum SegKind {
+    Ca { latches: Vec<Latch>, wait: WaitSpec },
+    Din { bytes: usize },
+    Dout { bytes: usize, dest: Option<DmaDest> },
+    Timer,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Seg {
+    pub kind: SegKind,
+    /// Instruction index (instruction mode) or first phase index (phase
+    /// mode) for diagnostics.
+    pub at: usize,
+}
+
+/// Lowers μFSM instructions one-to-one into segments.
+pub(crate) fn lower_instrs(instrs: &[Instr]) -> Vec<Seg> {
+    instrs
+        .iter()
+        .enumerate()
+        .map(|(at, instr)| {
+            let kind = match instr {
+                Instr::CaWriter { latches, post } => SegKind::Ca {
+                    latches: latches.clone(),
+                    wait: WaitSpec::Post(*post),
+                },
+                Instr::DataWriter { bytes, .. } => SegKind::Din { bytes: *bytes },
+                Instr::DataReader { bytes, dest } => SegKind::Dout {
+                    bytes: *bytes,
+                    dest: Some(*dest),
+                },
+                Instr::Timer { .. } => SegKind::Timer,
+            };
+            Seg { kind, at }
+        })
+        .collect()
+}
+
+/// Lowers a raw bus-phase program into segments. Pauses directly after a
+/// C/A group accumulate into its wait credit; consecutive data bursts (the
+/// packetizer splits one logical transfer into many) merge into one
+/// segment; orphan pauses elsewhere (packet gaps) carry no protocol
+/// meaning and are dropped.
+pub(crate) fn lower_phases(phases: &[BusPhase]) -> Vec<Seg> {
+    let mut segs: Vec<Seg> = Vec::new();
+    // An open C/A group: (latches, credit, first phase index).
+    let mut open: Option<(Vec<Latch>, SimDuration, usize)> = None;
+    let close = |open: &mut Option<(Vec<Latch>, SimDuration, usize)>, segs: &mut Vec<Seg>| {
+        if let Some((latches, credit, at)) = open.take() {
+            segs.push(Seg {
+                kind: SegKind::Ca {
+                    latches,
+                    wait: WaitSpec::Credit(credit),
+                },
+                at,
+            });
+        }
+    };
+    for (i, phase) in phases.iter().enumerate() {
+        match &phase.kind {
+            PhaseKind::CmdLatch(opcode) => {
+                // A pause ends the group: a new latch after it starts the
+                // next segment.
+                if matches!(&open, Some((_, credit, _)) if !credit.is_zero()) {
+                    close(&mut open, &mut segs);
+                }
+                open.get_or_insert_with(|| (Vec::new(), SimDuration::ZERO, i))
+                    .0
+                    .push(Latch::Cmd(*opcode));
+            }
+            PhaseKind::AddrLatch(bytes) => {
+                if matches!(&open, Some((_, credit, _)) if !credit.is_zero()) {
+                    close(&mut open, &mut segs);
+                }
+                open.get_or_insert_with(|| (Vec::new(), SimDuration::ZERO, i))
+                    .0
+                    .push(Latch::Addr(bytes.clone()));
+            }
+            PhaseKind::Pause => {
+                if let Some((_, credit, _)) = &mut open {
+                    *credit += phase.duration;
+                }
+            }
+            PhaseKind::DataIn(buf) => {
+                close(&mut open, &mut segs);
+                if let Some(Seg {
+                    kind: SegKind::Din { bytes },
+                    ..
+                }) = segs.last_mut()
+                {
+                    *bytes += buf.len();
+                } else {
+                    segs.push(Seg {
+                        kind: SegKind::Din { bytes: buf.len() },
+                        at: i,
+                    });
+                }
+            }
+            PhaseKind::DataOut { bytes } => {
+                close(&mut open, &mut segs);
+                if let Some(Seg {
+                    kind: SegKind::Dout { bytes: total, .. },
+                    ..
+                }) = segs.last_mut()
+                {
+                    *total += bytes;
+                } else {
+                    segs.push(Seg {
+                        kind: SegKind::Dout {
+                            bytes: *bytes,
+                            dest: None,
+                        },
+                        at: i,
+                    });
+                }
+            }
+        }
+    }
+    close(&mut open, &mut segs);
+    segs
+}
+
+// ---------------------------------------------------------------------------
+// Abstract LUN state
+// ---------------------------------------------------------------------------
+
+/// Mirror of the package model's command-decode state, plus two abstract
+/// values: `Unknown` (single-transaction mode starts here) and
+/// `RestoredOut` (after an ONFI `00h` output-restore: the simulator parks
+/// in `ReadAddr`, but a restore is a legal place to stream data or end the
+/// transaction, so it gets its own non-warning state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Decode {
+    Unknown,
+    Idle,
+    ReadAddr,
+    ReadConfirm,
+    RestoredOut,
+    ChgRdColAddr { full: bool },
+    ChgRdColConfirm,
+    ProgAddr,
+    ProgData,
+    ChgWrColAddr,
+    EraseAddr,
+    EraseConfirm,
+    FeatAddrSet,
+    FeatData,
+    FeatAddrGet,
+    IdAddr,
+    ParamAddr,
+}
+
+impl Decode {
+    fn name(self) -> &'static str {
+        match self {
+            Decode::Unknown => "unknown",
+            Decode::Idle => "idle",
+            Decode::ReadAddr => "awaiting read address",
+            Decode::ReadConfirm => "awaiting read confirm",
+            Decode::RestoredOut => "output restored",
+            Decode::ChgRdColAddr { .. } => "awaiting column address",
+            Decode::ChgRdColConfirm => "awaiting column confirm",
+            Decode::ProgAddr => "awaiting program address",
+            Decode::ProgData => "accepting program data",
+            Decode::ChgWrColAddr => "awaiting write-column address",
+            Decode::EraseAddr => "awaiting erase address",
+            Decode::EraseConfirm => "awaiting erase confirm",
+            Decode::FeatAddrSet => "awaiting feature address (set)",
+            Decode::FeatData => "accepting feature data",
+            Decode::FeatAddrGet => "awaiting feature address (get)",
+            Decode::IdAddr => "awaiting id address",
+            Decode::ParamAddr => "awaiting parameter-page address",
+        }
+    }
+
+    /// States that are legal transaction-end points.
+    fn is_rest(self) -> bool {
+        matches!(self, Decode::Unknown | Decode::Idle | Decode::RestoredOut)
+    }
+
+    /// Mid-sequence states a fresh command silently abandons.
+    fn is_abandonable(self) -> bool {
+        !self.is_rest()
+    }
+}
+
+/// What the LUN streams on data-out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OutSrc {
+    Unknown,
+    None,
+    Status,
+    Page,
+    Cache,
+    Param,
+    Features,
+    Id,
+}
+
+/// Array-operation kinds, matching the package model's busy kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BusyKind {
+    Read,
+    PlaneQueue,
+    CacheRead,
+    Program,
+    CacheProgram,
+    Erase,
+    Reset,
+    Suspending,
+    ParamPage,
+}
+
+impl BusyKind {
+    fn name(self) -> &'static str {
+        match self {
+            BusyKind::Read => "read (tR)",
+            BusyKind::PlaneQueue => "plane queue",
+            BusyKind::CacheRead => "cache read",
+            BusyKind::Program => "program (tPROG)",
+            BusyKind::CacheProgram => "cache program",
+            BusyKind::Erase => "erase (tBERS)",
+            BusyKind::Reset => "reset (tRST)",
+            BusyKind::Suspending => "suspending",
+            BusyKind::ParamPage => "parameter-page fetch",
+        }
+    }
+
+    /// Cache operations keep the bus usable while the array works; every
+    /// command and data-out stays legal during them.
+    fn allows_data_out(self) -> bool {
+        matches!(self, BusyKind::CacheRead | BusyKind::CacheProgram)
+    }
+}
+
+/// Tri-state busy knowledge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Busy {
+    Unknown,
+    Idle,
+    /// Busy started inside the current transaction: no time has passed in
+    /// which it could have completed.
+    Certain(BusyKind),
+    /// Busy started earlier (or time passed): a ready observation is
+    /// needed before the LUN may be assumed idle.
+    Maybe(BusyKind),
+}
+
+/// Knowledge about a suspended array operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Suspended {
+    Unknown,
+    No,
+    Maybe(BusyKind),
+    Yes(BusyKind),
+}
+
+/// Tri-state flag (used for "a page has been loaded").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Tri {
+    Unknown,
+    No,
+    Yes,
+}
+
+/// Abstract state of one LUN.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LunState {
+    pub decode: Decode,
+    pub out: OutSrc,
+    /// Output source parked behind a READ STATUS (restored by `00h`).
+    pub parked: OutSrc,
+    pub busy: Busy,
+    pub suspended: Suspended,
+    pub row_loaded: Tri,
+}
+
+impl LunState {
+    /// A freshly built channel: known-idle everywhere.
+    pub fn reset() -> Self {
+        LunState {
+            decode: Decode::Idle,
+            out: OutSrc::None,
+            parked: OutSrc::None,
+            busy: Busy::Idle,
+            suspended: Suspended::No,
+            row_loaded: Tri::No,
+        }
+    }
+
+    /// Single-transaction mode: nothing is known about prior history.
+    pub fn unknown() -> Self {
+        LunState {
+            decode: Decode::Unknown,
+            out: OutSrc::Unknown,
+            parked: OutSrc::Unknown,
+            busy: Busy::Unknown,
+            suspended: Suspended::Unknown,
+            row_loaded: Tri::Unknown,
+        }
+    }
+
+    /// Deferred completion effect of a busy period: what becomes true once
+    /// the array operation finishes. Applied when busy knowledge is
+    /// demoted from `Certain` to `Maybe` (transaction boundary or explicit
+    /// pause).
+    fn apply_completion(&mut self, kind: BusyKind) {
+        match kind {
+            BusyKind::Read => {
+                // LoadPage: the page register fills and becomes the bulk
+                // output source (parked if a status poll is in front).
+                if self.out == OutSrc::Status {
+                    self.parked = OutSrc::Page;
+                } else {
+                    self.out = OutSrc::Page;
+                }
+                self.row_loaded = Tri::Yes;
+            }
+            BusyKind::CacheRead => self.row_loaded = Tri::Yes,
+            BusyKind::ParamPage => {
+                if self.out == OutSrc::Status {
+                    self.parked = OutSrc::Param;
+                } else {
+                    self.out = OutSrc::Param;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Demotes certain-busy to maybe-busy, applying the completion effect
+    /// (the operation *will* have completed by the time the LUN reports
+    /// ready, which is the only way maybe-busy is cleared).
+    pub fn demote_busy(&mut self) {
+        if let Busy::Certain(kind) = self.busy {
+            self.apply_completion(kind);
+            self.busy = Busy::Maybe(kind);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The interpreter
+// ---------------------------------------------------------------------------
+
+/// Outcome of one command latch, feeding the wait-requirement logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct CmdOutcome {
+    /// The command certainly started an array operation (tWB applies).
+    busy_started: bool,
+    /// The command *may* have started one (unknown prior state): skip wait
+    /// diagnostics rather than guess.
+    maybe_started: bool,
+}
+
+pub(crate) struct Machine<'a> {
+    model: &'a TargetModel,
+    txn: usize,
+    report: &'a mut Report,
+}
+
+impl<'a> Machine<'a> {
+    pub fn new(model: &'a TargetModel, txn: usize, report: &'a mut Report) -> Self {
+        Machine { model, txn, report }
+    }
+
+    fn diag(&mut self, rule: Rule, at: usize, lun: u32, detail: String) {
+        self.report.push(Diagnostic {
+            rule,
+            severity: rule.severity(),
+            txn: self.txn,
+            at: Some(at),
+            lun: Some(lun),
+            detail,
+        });
+    }
+
+    /// Runs one LUN's state machine over a lowered segment list.
+    /// `timing` supplies the wait budget thresholds in phase mode.
+    /// `dout_driver` is false for every selected LUN except the
+    /// lowest-numbered one: the channel drives a data-out from that LUN
+    /// alone, so the others never see the phase and their output state is
+    /// neither consulted nor advanced by it (the gang itself is already
+    /// reported as V042 at the transaction level).
+    pub fn run_lun(
+        &mut self,
+        lun_id: u32,
+        state: &mut LunState,
+        segs: &[Seg],
+        timing: Option<&TimingParams>,
+        dout_driver: bool,
+    ) {
+        for (i, seg) in segs.iter().enumerate() {
+            match &seg.kind {
+                SegKind::Ca { latches, .. } => {
+                    let mut outcome = CmdOutcome::default();
+                    let mut last_cmd = None;
+                    for latch in latches {
+                        match latch {
+                            Latch::Cmd(opcode) => {
+                                last_cmd = Some(*opcode);
+                                let o = self.on_cmd(lun_id, state, *opcode, seg.at);
+                                outcome.busy_started |= o.busy_started;
+                                outcome.maybe_started |= o.maybe_started;
+                            }
+                            Latch::Addr(bytes) => {
+                                let o = self.on_addr(lun_id, state, bytes, seg.at);
+                                outcome.busy_started |= o.busy_started;
+                                outcome.maybe_started |= o.maybe_started;
+                            }
+                        }
+                    }
+                    self.check_wait(lun_id, seg, outcome, last_cmd, segs.get(i + 1), timing);
+                }
+                SegKind::Din { bytes } => self.on_data_in(lun_id, state, *bytes, seg.at),
+                SegKind::Dout { bytes, dest } => {
+                    if dout_driver {
+                        self.on_data_out(lun_id, state, *bytes, *dest, seg.at)
+                    }
+                }
+                SegKind::Timer => {
+                    // An explicit pause gives a just-started array
+                    // operation time to complete: certainty is lost.
+                    state.demote_busy();
+                }
+            }
+        }
+    }
+
+    // -- mandatory waits ----------------------------------------------------
+
+    /// Computes the wait the segment must be followed by, and compares it
+    /// with what the program actually specifies.
+    fn check_wait(
+        &mut self,
+        lun_id: u32,
+        seg: &Seg,
+        outcome: CmdOutcome,
+        last_cmd: Option<u8>,
+        next: Option<&Seg>,
+        timing: Option<&TimingParams>,
+    ) {
+        if outcome.maybe_started {
+            // The segment may or may not have kicked off an array op; both
+            // a wait and no wait are defensible. Stay silent.
+            return;
+        }
+        let required = if outcome.busy_started {
+            Some(PostWait::Wb)
+        } else {
+            match next.map(|s| &s.kind) {
+                Some(SegKind::Dout { .. }) => Some(if last_cmd == Some(op::CHANGE_READ_COL_2) {
+                    PostWait::Ccs
+                } else {
+                    PostWait::Whr
+                }),
+                Some(SegKind::Din { .. }) => Some(if last_cmd == Some(op::CHANGE_WRITE_COL) {
+                    PostWait::Ccs
+                } else {
+                    PostWait::Adl
+                }),
+                _ => None,
+            }
+        };
+        let wait = match &seg.kind {
+            SegKind::Ca { wait, .. } => wait,
+            _ => return,
+        };
+        match wait {
+            WaitSpec::Post(post) => match (required, *post) {
+                (Some(req), found) if req == found => {}
+                (Some(_), _) if matches!(next.map(|s| &s.kind), Some(SegKind::Timer)) => {
+                    // An explicit Timer instruction after the segment is an
+                    // acceptable hand-rolled wait.
+                }
+                (Some(req), PostWait::None) => self.diag(
+                    Rule::MissingWait,
+                    seg.at,
+                    lun_id,
+                    format!("expected {}, found no trailing wait", wait_name(req)),
+                ),
+                (Some(req), found) => self.diag(
+                    Rule::WrongWait,
+                    seg.at,
+                    lun_id,
+                    format!("expected {}, found {}", wait_name(req), wait_name(found)),
+                ),
+                (None, PostWait::None) => {}
+                (None, found) => self.diag(
+                    Rule::SpuriousWait,
+                    seg.at,
+                    lun_id,
+                    format!(
+                        "{} trails a segment that requires no wait",
+                        wait_name(found)
+                    ),
+                ),
+            },
+            WaitSpec::Credit(credit) => {
+                // Phase mode: the program carries explicit pause durations;
+                // check the budget covers the requirement. (No spurious
+                // check — generous pauses are merely slow.)
+                if let (Some(req), Some(t)) = (required, timing) {
+                    let need = match req {
+                        PostWait::None => SimDuration::ZERO,
+                        PostWait::Wb => t.t_wb,
+                        PostWait::Whr => t.t_whr,
+                        PostWait::Adl => t.t_adl,
+                        PostWait::Ccs => t.t_ccs,
+                    };
+                    if *credit < need {
+                        self.diag(
+                            Rule::MissingWait,
+                            seg.at,
+                            lun_id,
+                            format!(
+                                "expected a pause of at least {need:?} ({}), found {credit:?}",
+                                wait_name(req)
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // -- command latches ----------------------------------------------------
+
+    fn on_cmd(&mut self, lun_id: u32, s: &mut LunState, opcode: u8, at: usize) -> CmdOutcome {
+        let mut out = CmdOutcome::default();
+        if classify(opcode) == OpClass::Unknown {
+            self.diag(
+                Rule::UnknownOpcode,
+                at,
+                lun_id,
+                format!("opcode {opcode:#04x} is not a recognized ONFI command"),
+            );
+            return out;
+        }
+        if opcode == op::READ_UNIQUE_ID {
+            self.diag(
+                Rule::UnsupportedOpcode,
+                at,
+                lun_id,
+                format!(
+                    "{} is not implemented by the package model",
+                    mnemonic(opcode)
+                ),
+            );
+            return out;
+        }
+
+        // Busy discipline: only status/reset/suspend commands may interrupt
+        // a known array operation (cache operations exempt everything).
+        let busy_legal = matches!(
+            opcode,
+            op::READ_STATUS
+                | op::READ_STATUS_ENHANCED
+                | op::RESET
+                | op::SYNC_RESET
+                | op::PROGRAM_SUSPEND
+                | op::ERASE_SUSPEND
+        );
+        match s.busy {
+            Busy::Certain(kind) if !busy_legal && !kind.allows_data_out() => self.diag(
+                Rule::BusyViolation,
+                at,
+                lun_id,
+                format!("{} issued during {}", mnemonic(opcode), kind.name()),
+            ),
+            Busy::Maybe(kind) if !busy_legal && !kind.allows_data_out() => self.diag(
+                Rule::MaybeBusyViolation,
+                at,
+                lun_id,
+                format!(
+                    "{} issued while {} may still be in progress (no ready observation)",
+                    mnemonic(opcode),
+                    kind.name()
+                ),
+            ),
+            _ => {}
+        }
+
+        // A fresh command while a latch sequence is half-done silently
+        // drops the pending state on real parts — almost always a bug.
+        let consumes_pending = matches!(
+            opcode,
+            op::READ_2
+                | op::MULTI_PLANE_NEXT
+                | op::CHANGE_READ_COL_2
+                | op::PROGRAM_2
+                | op::PROGRAM_CACHE
+                | op::CHANGE_WRITE_COL
+                | op::ERASE_2
+                | op::READ_STATUS
+                | op::READ_STATUS_ENHANCED
+                | op::PSLC_PREFIX
+                | op::READ_RETRY_PREFIX
+                | op::PROGRAM_SUSPEND
+                | op::ERASE_SUSPEND
+                | op::SUSPEND_RESUME
+        );
+        if s.decode.is_abandonable() && !consumes_pending {
+            // Data-accepting states are consumed by data phases, not
+            // commands; a command there is a real abandonment too.
+            self.diag(
+                Rule::AbandonedSequence,
+                at,
+                lun_id,
+                format!(
+                    "{} abandons a pending sequence ({})",
+                    mnemonic(opcode),
+                    s.decode.name()
+                ),
+            );
+        }
+
+        match opcode {
+            op::READ_STATUS | op::READ_STATUS_ENHANCED => {
+                if s.out != OutSrc::Status {
+                    s.parked = s.out;
+                }
+                s.out = OutSrc::Status;
+                s.decode = Decode::Idle;
+            }
+            op::RESET | op::SYNC_RESET => {
+                s.decode = Decode::Idle;
+                s.out = OutSrc::None;
+                s.parked = OutSrc::None;
+                s.suspended = Suspended::No;
+                s.busy = Busy::Certain(BusyKind::Reset);
+                out.busy_started = true;
+            }
+            op::PROGRAM_SUSPEND | op::ERASE_SUSPEND => match s.busy {
+                Busy::Certain(kind) => {
+                    if suspend_matches(kind, opcode) {
+                        s.suspended = Suspended::Yes(kind);
+                        s.busy = Busy::Certain(BusyKind::Suspending);
+                        out.busy_started = true;
+                    } else {
+                        self.diag(
+                            Rule::BusyViolation,
+                            at,
+                            lun_id,
+                            format!(
+                                "{} does not match the running {}",
+                                mnemonic(opcode),
+                                kind.name()
+                            ),
+                        );
+                    }
+                }
+                Busy::Maybe(kind) => {
+                    if suspend_matches(kind, opcode) {
+                        s.suspended = Suspended::Maybe(kind);
+                        s.busy = Busy::Maybe(BusyKind::Suspending);
+                        out.maybe_started = true;
+                    } else {
+                        self.diag(
+                            Rule::MaybeBusyViolation,
+                            at,
+                            lun_id,
+                            format!(
+                                "{} may not match a still-running {}",
+                                mnemonic(opcode),
+                                kind.name()
+                            ),
+                        );
+                    }
+                }
+                Busy::Idle => {} // suspending an idle LUN is a no-op
+                Busy::Unknown => out.maybe_started = true,
+            },
+            op::SUSPEND_RESUME => match s.suspended {
+                Suspended::Yes(kind) => {
+                    s.suspended = Suspended::No;
+                    s.busy = Busy::Certain(kind);
+                    out.busy_started = true;
+                }
+                Suspended::Maybe(kind) => {
+                    s.suspended = Suspended::No;
+                    s.busy = Busy::Maybe(kind);
+                    out.maybe_started = true;
+                }
+                Suspended::No => {} // resuming with nothing suspended is a no-op
+                Suspended::Unknown => out.maybe_started = true,
+            },
+            op::PSLC_PREFIX | op::READ_RETRY_PREFIX => {
+                // Arms a mode flag; decode state untouched.
+            }
+            op::READ_1 => {
+                if s.out == OutSrc::Status {
+                    // ONFI 00h output restore.
+                    s.out = match s.parked {
+                        OutSrc::None | OutSrc::Status => match s.busy {
+                            Busy::Certain(k) | Busy::Maybe(k) if k.allows_data_out() => {
+                                OutSrc::Cache
+                            }
+                            _ => OutSrc::Page,
+                        },
+                        other => other,
+                    };
+                    s.decode = Decode::RestoredOut;
+                } else {
+                    s.decode = Decode::ReadAddr;
+                }
+            }
+            op::READ_2 => match s.decode {
+                Decode::ReadConfirm => {
+                    s.decode = Decode::Idle;
+                    s.out = OutSrc::None;
+                    s.busy = Busy::Certain(BusyKind::Read);
+                    out.busy_started = true;
+                }
+                Decode::Unknown => out.maybe_started = true,
+                found => {
+                    self.confirm_diag(lun_id, at, opcode, Decode::ReadConfirm, found);
+                    s.decode = Decode::Idle;
+                }
+            },
+            op::MULTI_PLANE_NEXT => match s.decode {
+                Decode::ReadConfirm => {
+                    s.decode = Decode::Idle;
+                    s.busy = Busy::Certain(BusyKind::PlaneQueue);
+                    out.busy_started = true;
+                }
+                Decode::Unknown => out.maybe_started = true,
+                found => {
+                    self.confirm_diag(lun_id, at, opcode, Decode::ReadConfirm, found);
+                    s.decode = Decode::Idle;
+                }
+            },
+            op::READ_CACHE_SEQ => match s.decode {
+                Decode::Idle => match s.row_loaded {
+                    Tri::Yes => {
+                        s.out = OutSrc::Cache;
+                        s.busy = Busy::Certain(BusyKind::CacheRead);
+                        out.busy_started = true;
+                    }
+                    Tri::No => {
+                        self.diag(
+                            Rule::ConfirmWithoutStart,
+                            at,
+                            lun_id,
+                            format!("{} with no page loaded to continue from", mnemonic(opcode)),
+                        );
+                    }
+                    Tri::Unknown => {
+                        s.out = OutSrc::Cache;
+                        s.busy = Busy::Maybe(BusyKind::CacheRead);
+                        out.maybe_started = true;
+                    }
+                },
+                Decode::Unknown => out.maybe_started = true,
+                found => self.confirm_diag(lun_id, at, opcode, Decode::Idle, found),
+            },
+            op::READ_CACHE_END => match s.decode {
+                Decode::Idle => {
+                    s.out = OutSrc::Cache;
+                    s.busy = Busy::Certain(BusyKind::CacheRead);
+                    out.busy_started = true;
+                }
+                Decode::Unknown => out.maybe_started = true,
+                found => self.confirm_diag(lun_id, at, opcode, Decode::Idle, found),
+            },
+            op::CHANGE_READ_COL_1 => s.decode = Decode::ChgRdColAddr { full: false },
+            op::RANDOM_DATA_OUT_1 => s.decode = Decode::ChgRdColAddr { full: true },
+            op::CHANGE_READ_COL_2 => match s.decode {
+                Decode::ChgRdColConfirm => {
+                    s.decode = Decode::Idle;
+                    if !matches!(s.out, OutSrc::Cache | OutSrc::Param | OutSrc::Unknown) {
+                        s.out = OutSrc::Page;
+                    }
+                }
+                Decode::Unknown => out.maybe_started = true,
+                found => {
+                    self.confirm_diag(lun_id, at, opcode, Decode::ChgRdColConfirm, found);
+                    s.decode = Decode::Idle;
+                }
+            },
+            op::PROGRAM_1 => s.decode = Decode::ProgAddr,
+            op::CHANGE_WRITE_COL => match s.decode {
+                Decode::ProgData => s.decode = Decode::ChgWrColAddr,
+                Decode::Unknown => out.maybe_started = true,
+                found => {
+                    self.confirm_diag(lun_id, at, opcode, Decode::ProgData, found);
+                    s.decode = Decode::Idle;
+                }
+            },
+            op::PROGRAM_2 | op::PROGRAM_CACHE => match s.decode {
+                Decode::ProgData => {
+                    s.decode = Decode::Idle;
+                    s.busy = Busy::Certain(if opcode == op::PROGRAM_CACHE {
+                        BusyKind::CacheProgram
+                    } else {
+                        BusyKind::Program
+                    });
+                    out.busy_started = true;
+                }
+                Decode::Unknown => out.maybe_started = true,
+                found => {
+                    self.confirm_diag(lun_id, at, opcode, Decode::ProgData, found);
+                    s.decode = Decode::Idle;
+                }
+            },
+            op::ERASE_1 => s.decode = Decode::EraseAddr,
+            op::ERASE_2 => match s.decode {
+                Decode::EraseConfirm => {
+                    s.decode = Decode::Idle;
+                    s.busy = Busy::Certain(BusyKind::Erase);
+                    out.busy_started = true;
+                }
+                Decode::Unknown => out.maybe_started = true,
+                found => {
+                    self.confirm_diag(lun_id, at, opcode, Decode::EraseConfirm, found);
+                    s.decode = Decode::Idle;
+                }
+            },
+            op::SET_FEATURES => s.decode = Decode::FeatAddrSet,
+            op::GET_FEATURES => s.decode = Decode::FeatAddrGet,
+            op::READ_ID => s.decode = Decode::IdAddr,
+            op::READ_PARAM_PAGE => s.decode = Decode::ParamAddr,
+            other => {
+                // Defined, classified, but with no decoder arm in the
+                // package model (e.g. MULTI_PLANE_QUEUE).
+                self.diag(
+                    Rule::UnsupportedOpcode,
+                    at,
+                    lun_id,
+                    format!(
+                        "{} is not implemented by the package model",
+                        mnemonic(other)
+                    ),
+                );
+            }
+        }
+        out
+    }
+
+    fn confirm_diag(&mut self, lun_id: u32, at: usize, opcode: u8, want: Decode, found: Decode) {
+        self.diag(
+            Rule::ConfirmWithoutStart,
+            at,
+            lun_id,
+            format!(
+                "{} expects the LUN {}, found it {}",
+                mnemonic(opcode),
+                want.name(),
+                found.name()
+            ),
+        );
+    }
+
+    // -- address latches ----------------------------------------------------
+
+    fn on_addr(&mut self, lun_id: u32, s: &mut LunState, bytes: &[u8], at: usize) -> CmdOutcome {
+        let mut out = CmdOutcome::default();
+        let layout = &self.model.layout;
+        let decode = std::mem::replace(&mut s.decode, Decode::Idle);
+        // Checks the cycle count; on mismatch the decoder resets to idle
+        // (mirroring the model) and the sequence is dead.
+        let expect = |this: &mut Self, want: usize| -> bool {
+            if bytes.len() == want {
+                true
+            } else {
+                this.diag(
+                    Rule::BadAddressLength,
+                    at,
+                    lun_id,
+                    format!(
+                        "a LUN {} expects {want} address cycle(s), found {}",
+                        decode.name(),
+                        bytes.len()
+                    ),
+                );
+                false
+            }
+        };
+        match decode {
+            Decode::ReadAddr | Decode::RestoredOut => {
+                if expect(self, layout.full_cycles()) {
+                    self.check_row(lun_id, at, &bytes[layout.col_cycles..]);
+                    s.decode = Decode::ReadConfirm;
+                }
+            }
+            Decode::ChgRdColAddr { full } => {
+                let want = if full {
+                    layout.full_cycles()
+                } else {
+                    layout.col_cycles
+                };
+                if expect(self, want) {
+                    if full {
+                        self.check_row(lun_id, at, &bytes[layout.col_cycles..]);
+                    }
+                    s.decode = Decode::ChgRdColConfirm;
+                }
+            }
+            Decode::ProgAddr => {
+                if expect(self, layout.full_cycles()) {
+                    self.check_row(lun_id, at, &bytes[layout.col_cycles..]);
+                    s.decode = Decode::ProgData;
+                }
+            }
+            Decode::ChgWrColAddr => {
+                if expect(self, layout.col_cycles) {
+                    s.decode = Decode::ProgData;
+                }
+            }
+            Decode::EraseAddr => {
+                if expect(self, layout.row_cycles) {
+                    self.check_row(lun_id, at, bytes);
+                    s.decode = Decode::EraseConfirm;
+                }
+            }
+            Decode::FeatAddrSet => {
+                if expect(self, 1) {
+                    s.decode = Decode::FeatData;
+                }
+            }
+            Decode::FeatAddrGet => {
+                if expect(self, 1) {
+                    s.out = OutSrc::Features;
+                }
+            }
+            Decode::IdAddr => {
+                if expect(self, 1) {
+                    s.out = OutSrc::Id;
+                }
+            }
+            Decode::ParamAddr => {
+                if expect(self, 1) {
+                    s.busy = Busy::Certain(BusyKind::ParamPage);
+                    out.busy_started = true;
+                }
+            }
+            Decode::Unknown => {
+                s.decode = Decode::Unknown;
+                out.maybe_started = true;
+            }
+            Decode::Idle
+            | Decode::ReadConfirm
+            | Decode::ChgRdColConfirm
+            | Decode::ProgData
+            | Decode::FeatData
+            | Decode::EraseConfirm => {
+                self.diag(
+                    Rule::UnexpectedAddress,
+                    at,
+                    lun_id,
+                    format!(
+                        "address latch ({} cycles) while the LUN is {}",
+                        bytes.len(),
+                        decode.name()
+                    ),
+                );
+            }
+        }
+        out
+    }
+
+    /// Bounds-checks a packed row address against the package geometry.
+    fn check_row(&mut self, lun_id: u32, at: usize, row_bytes: &[u8]) {
+        let row = self.model.layout.unpack_row(row_bytes);
+        if row.block >= self.model.blocks_per_lun || row.page >= self.model.pages_per_block {
+            self.diag(
+                Rule::RowOutOfBounds,
+                at,
+                lun_id,
+                format!(
+                    "row {row} outside geometry ({} blocks x {} pages per LUN)",
+                    self.model.blocks_per_lun, self.model.pages_per_block
+                ),
+            );
+        }
+    }
+
+    // -- data phases ---------------------------------------------------------
+
+    fn on_data_in(&mut self, lun_id: u32, s: &mut LunState, bytes: usize, at: usize) {
+        match s.decode {
+            Decode::ProgData => {
+                if bytes > self.model.raw_page_size {
+                    self.diag(
+                        Rule::OversizeDataIn,
+                        at,
+                        lun_id,
+                        format!(
+                            "{bytes} bytes into a {}-byte page register (truncated)",
+                            self.model.raw_page_size
+                        ),
+                    );
+                }
+            }
+            Decode::FeatData => {
+                if bytes != 4 {
+                    self.diag(
+                        Rule::FeatureDataLength,
+                        at,
+                        lun_id,
+                        format!("SET FEATURES expects exactly 4 parameter bytes, found {bytes}"),
+                    );
+                }
+                s.decode = Decode::Idle;
+            }
+            Decode::Unknown => {}
+            found => {
+                self.diag(
+                    Rule::DataInIllegal,
+                    at,
+                    lun_id,
+                    format!("data-in ({bytes} bytes) while the LUN is {}", found.name()),
+                );
+                s.decode = Decode::Idle;
+            }
+        }
+    }
+
+    fn on_data_out(
+        &mut self,
+        lun_id: u32,
+        s: &mut LunState,
+        bytes: usize,
+        dest: Option<DmaDest>,
+        at: usize,
+    ) {
+        // DMA window check (model-dependent; only when a DRAM size is set).
+        if let (Some(DmaDest::Dram(base)), Some(limit)) = (dest, self.model.dram_bytes) {
+            let end = base.checked_add(bytes as u64);
+            if end.is_none() || end.unwrap() > limit {
+                self.diag(
+                    Rule::DmaOutOfBounds,
+                    at,
+                    lun_id,
+                    format!("DMA [{base:#x}, +{bytes}) exceeds the {limit}-byte DRAM window"),
+                );
+            }
+        }
+        // Busy discipline: only a status byte (or a cache register) may
+        // stream while the array works.
+        match s.busy {
+            Busy::Certain(kind) if !kind.allows_data_out() && s.out != OutSrc::Status => {
+                self.diag(
+                    Rule::BusyViolation,
+                    at,
+                    lun_id,
+                    format!("data-out ({bytes} bytes) during {}", kind.name()),
+                );
+            }
+            Busy::Maybe(kind) if !kind.allows_data_out() && s.out != OutSrc::Status => {
+                self.diag(
+                    Rule::MaybeBusyViolation,
+                    at,
+                    lun_id,
+                    format!(
+                        "data-out ({bytes} bytes) while {} may still be in progress",
+                        kind.name()
+                    ),
+                );
+            }
+            _ => {}
+        }
+        match s.out {
+            OutSrc::Unknown => {}
+            OutSrc::None => self.diag(
+                Rule::DataOutIllegal,
+                at,
+                lun_id,
+                format!("data-out ({bytes} bytes) with no output source selected"),
+            ),
+            OutSrc::Status => {
+                // Polling loops read status until ready: observing the
+                // status register is the one thing that clears maybe-busy.
+                if matches!(s.busy, Busy::Maybe(_)) {
+                    s.busy = Busy::Idle;
+                }
+            }
+            OutSrc::Page | OutSrc::Cache => {
+                if bytes > self.model.raw_page_size {
+                    self.diag(
+                        Rule::OversizeDataOut,
+                        at,
+                        lun_id,
+                        format!(
+                            "{bytes} bytes from a {}-byte page register (padded)",
+                            self.model.raw_page_size
+                        ),
+                    );
+                }
+            }
+            OutSrc::Param => {
+                if bytes > PARAM_PAGE_BYTES {
+                    self.diag(
+                        Rule::OversizeDataOut,
+                        at,
+                        lun_id,
+                        format!("{bytes} bytes from the {PARAM_PAGE_BYTES}-byte parameter page"),
+                    );
+                }
+            }
+            // Feature/ID reads repeat or pad; any length is served.
+            OutSrc::Features | OutSrc::Id => {}
+        }
+    }
+
+    /// Transaction-boundary hygiene for one LUN.
+    pub fn end_of_transaction(&mut self, lun_id: u32, state: &mut LunState, last_at: usize) {
+        if !state.decode.is_rest() {
+            self.diag(
+                Rule::DanglingSequence,
+                last_at,
+                lun_id,
+                format!(
+                    "transaction ends with the LUN {} — not a legal deschedule point",
+                    state.decode.name()
+                ),
+            );
+        }
+        // Between transactions the channel is released and time passes:
+        // certain-busy decays to maybe-busy (with its completion effect).
+        state.demote_busy();
+    }
+}
+
+fn suspend_matches(kind: BusyKind, opcode: u8) -> bool {
+    matches!(
+        (kind, opcode),
+        (
+            BusyKind::Program | BusyKind::CacheProgram,
+            op::PROGRAM_SUSPEND
+        ) | (BusyKind::Erase, op::ERASE_SUSPEND)
+    )
+}
+
+fn wait_name(post: PostWait) -> &'static str {
+    match post {
+        PostWait::None => "no wait",
+        PostWait::Wb => "tWB",
+        PostWait::Whr => "tWHR",
+        PostWait::Adl => "tADL",
+        PostWait::Ccs => "tCCS",
+    }
+}

@@ -1,0 +1,245 @@
+//! The rule catalogue.
+//!
+//! Every diagnostic the verifier can emit carries one of these rules. Rule
+//! codes are stable identifiers (`V0xx`) so CI logs, the mutation harness,
+//! and DESIGN.md can refer to them; the numeric grouping mirrors the check
+//! families: `V00x` command sequencing, `V01x` mandatory waits, `V02x` data
+//! phases, `V03x` busy discipline, `V04x` chip selection, `V05x` DMA, `V06x`
+//! transaction hygiene.
+
+use std::fmt;
+
+/// How severe a diagnostic is.
+///
+/// An [`Error`](Severity::Error) marks a transaction the target would
+/// misexecute (or the flash model rejects outright); a
+/// [`Warning`](Severity::Warning) marks something a real part tolerates but
+/// that is almost certainly not what the operation author meant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but tolerated by the package model.
+    Warning,
+    /// Protocol violation.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Everything the verifier checks, one variant per rule id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// V001: command latch carries a byte `classify` calls `Unknown`.
+    UnknownOpcode,
+    /// V002: a defined opcode the package model does not implement
+    /// (currently READ UNIQUE ID).
+    UnsupportedOpcode,
+    /// V003: confirmation/continuation opcode without its start state
+    /// (e.g. `READ(2)` with no pending read address).
+    ConfirmWithoutStart,
+    /// V004: address latch with the wrong number of cycles for the decode
+    /// state and package geometry.
+    BadAddressLength,
+    /// V005: address latch when no command expects one.
+    UnexpectedAddress,
+    /// V006: a new command abandons a half-finished sequence (the part
+    /// silently forgets the pending address/confirm).
+    AbandonedSequence,
+    /// V007: row address outside the package geometry.
+    RowOutOfBounds,
+    /// V010: a mandatory post-segment wait is missing (tWB after a confirm,
+    /// tWHR before status out, tADL/tCCS before data).
+    MissingWait,
+    /// V011: the wrong wait category trails the segment.
+    WrongWait,
+    /// V012: a trailing wait where the protocol requires none.
+    SpuriousWait,
+    /// V020: data-in while the selected LUN is not in a data-in state.
+    DataInIllegal,
+    /// V021: SET FEATURES data must be exactly four parameter bytes.
+    FeatureDataLength,
+    /// V022: data-out with no output source selected on the LUN.
+    DataOutIllegal,
+    /// V023: data-out longer than the selected register.
+    OversizeDataOut,
+    /// V024: data-in longer than the page register (the part truncates).
+    OversizeDataIn,
+    /// V030: command or data phase while the LUN is known busy.
+    BusyViolation,
+    /// V031: command or data phase while the LUN may still be busy (no
+    /// intervening ready observation).
+    MaybeBusyViolation,
+    /// V040: transaction selects no chips.
+    EmptyChipMask,
+    /// V041: chip-enable bit beyond the channel's wired LUNs.
+    ChipOutOfRange,
+    /// V042: `DataReader` with more than one chip selected (the channel
+    /// returns only the lowest-numbered LUN's bytes).
+    MultiChipDataOut,
+    /// V050: packetizer DMA range falls outside the modelled DRAM.
+    DmaOutOfBounds,
+    /// V060: transaction with no instructions.
+    EmptyTransaction,
+    /// V061: transaction ends mid-sequence (pending address or confirm) —
+    /// not a legal deschedule point.
+    DanglingSequence,
+}
+
+impl Rule {
+    /// All rules, in code order (for docs and the rule-table test).
+    pub const ALL: &'static [Rule] = &[
+        Rule::UnknownOpcode,
+        Rule::UnsupportedOpcode,
+        Rule::ConfirmWithoutStart,
+        Rule::BadAddressLength,
+        Rule::UnexpectedAddress,
+        Rule::AbandonedSequence,
+        Rule::RowOutOfBounds,
+        Rule::MissingWait,
+        Rule::WrongWait,
+        Rule::SpuriousWait,
+        Rule::DataInIllegal,
+        Rule::FeatureDataLength,
+        Rule::DataOutIllegal,
+        Rule::OversizeDataOut,
+        Rule::OversizeDataIn,
+        Rule::BusyViolation,
+        Rule::MaybeBusyViolation,
+        Rule::EmptyChipMask,
+        Rule::ChipOutOfRange,
+        Rule::MultiChipDataOut,
+        Rule::DmaOutOfBounds,
+        Rule::EmptyTransaction,
+        Rule::DanglingSequence,
+    ];
+
+    /// The stable rule id.
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::UnknownOpcode => "V001",
+            Rule::UnsupportedOpcode => "V002",
+            Rule::ConfirmWithoutStart => "V003",
+            Rule::BadAddressLength => "V004",
+            Rule::UnexpectedAddress => "V005",
+            Rule::AbandonedSequence => "V006",
+            Rule::RowOutOfBounds => "V007",
+            Rule::MissingWait => "V010",
+            Rule::WrongWait => "V011",
+            Rule::SpuriousWait => "V012",
+            Rule::DataInIllegal => "V020",
+            Rule::FeatureDataLength => "V021",
+            Rule::DataOutIllegal => "V022",
+            Rule::OversizeDataOut => "V023",
+            Rule::OversizeDataIn => "V024",
+            Rule::BusyViolation => "V030",
+            Rule::MaybeBusyViolation => "V031",
+            Rule::EmptyChipMask => "V040",
+            Rule::ChipOutOfRange => "V041",
+            Rule::MultiChipDataOut => "V042",
+            Rule::DmaOutOfBounds => "V050",
+            Rule::EmptyTransaction => "V060",
+            Rule::DanglingSequence => "V061",
+        }
+    }
+
+    /// One-line description for the rule table.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::UnknownOpcode => "command latch carries an unrecognized opcode",
+            Rule::UnsupportedOpcode => "opcode is defined but unimplemented by the target",
+            Rule::ConfirmWithoutStart => "confirm/continuation opcode without its start state",
+            Rule::BadAddressLength => "address latch has the wrong cycle count",
+            Rule::UnexpectedAddress => "address latch when no command expects one",
+            Rule::AbandonedSequence => "new command abandons a half-finished sequence",
+            Rule::RowOutOfBounds => "row address outside the package geometry",
+            Rule::MissingWait => "mandatory post-segment wait is missing",
+            Rule::WrongWait => "wrong wait category after the segment",
+            Rule::SpuriousWait => "trailing wait where none is required",
+            Rule::DataInIllegal => "data-in while the LUN is not accepting data",
+            Rule::FeatureDataLength => "SET FEATURES data is not four bytes",
+            Rule::DataOutIllegal => "data-out with no output source selected",
+            Rule::OversizeDataOut => "data-out longer than the selected register",
+            Rule::OversizeDataIn => "data-in longer than the page register",
+            Rule::BusyViolation => "phase issued while the LUN is known busy",
+            Rule::MaybeBusyViolation => "phase issued while the LUN may still be busy",
+            Rule::EmptyChipMask => "transaction selects no chips",
+            Rule::ChipOutOfRange => "chip-enable bit beyond the wired LUNs",
+            Rule::MultiChipDataOut => "data-out with more than one chip selected",
+            Rule::DmaOutOfBounds => "DMA range outside the modelled DRAM",
+            Rule::EmptyTransaction => "transaction has no instructions",
+            Rule::DanglingSequence => "transaction ends mid-sequence",
+        }
+    }
+
+    /// Default severity.
+    pub fn severity(self) -> Severity {
+        match self {
+            Rule::AbandonedSequence
+            | Rule::RowOutOfBounds
+            | Rule::SpuriousWait
+            | Rule::OversizeDataOut
+            | Rule::OversizeDataIn
+            | Rule::MaybeBusyViolation
+            | Rule::EmptyTransaction
+            | Rule::DanglingSequence => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+
+    /// Whether the flash package model rejects a transaction violating this
+    /// rule at execute time. Rules with `false` are exactly the ones *only*
+    /// the static verifier can catch (timing categories, DMA bounds,
+    /// multi-chip data-out); the differential test keys off this flag.
+    pub fn sim_enforced(self) -> bool {
+        matches!(
+            self,
+            Rule::UnknownOpcode
+                | Rule::UnsupportedOpcode
+                | Rule::ConfirmWithoutStart
+                | Rule::BadAddressLength
+                | Rule::UnexpectedAddress
+                | Rule::DataInIllegal
+                | Rule::FeatureDataLength
+                | Rule::DataOutIllegal
+                | Rule::BusyViolation
+                | Rule::EmptyChipMask
+                | Rule::ChipOutOfRange
+        )
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_ordered() {
+        let codes: Vec<_> = Rule::ALL.iter().map(|r| r.code()).collect();
+        let mut sorted = codes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), codes.len(), "duplicate rule code");
+        assert_eq!(sorted, codes, "Rule::ALL not in code order");
+    }
+
+    #[test]
+    fn sim_enforced_rules_are_errors() {
+        for &r in Rule::ALL {
+            if r.sim_enforced() {
+                assert_eq!(r.severity(), Severity::Error, "{r}");
+            }
+        }
+    }
+}

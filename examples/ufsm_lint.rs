@@ -1,0 +1,145 @@
+//! `ufsm_lint`: the ONFI-protocol linter for BABOL's μFSM programs.
+//!
+//! Statically verifies every shipped operation and every hard-coded
+//! baseline waveform against the ONFI command grammar and the target
+//! package geometry, for every factory package configuration:
+//!
+//! * **Operations** (`crates/core/src/ops.rs`): each coroutine op is run
+//!   once by the lint-capture harness and its transaction stream is fed to
+//!   the verifier in sequence mode.
+//! * **Baselines** (`crates/core/src/hw/`): the Cosmos+-style and Qiu
+//!   et al.-style controllers expose their frozen phase programs via
+//!   `lint_phase_program`; those are checked as raw bus-phase tenures.
+//!
+//! ```sh
+//! cargo run --release --example ufsm_lint -- --deny-warnings
+//! ```
+//!
+//! Flags: `--deny-warnings` makes warning-severity findings fail the run
+//! (CI uses this); `--verbose` prints every linted program, not just the
+//! dirty ones. Exit code 0 = clean, 1 = findings, 2 = bad usage.
+
+use std::process::ExitCode;
+
+use babol::hw;
+use babol::lintcap::{self, OpKind};
+use babol::system::{IoKind, IoRequest};
+use babol_flash::PackageProfile;
+use babol_onfi::bus::ChipMask;
+use babol_ufsm::EmitConfig;
+use babol_verify::{verify_stream, Report, TargetModel, Verifier};
+
+/// DRAM window the lint harness assumes (bounds-checks `DmaDest::Dram`).
+const DRAM_BYTES: u64 = 1 << 32;
+
+fn main() -> ExitCode {
+    let mut deny_warnings = false;
+    let mut verbose = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny-warnings" => deny_warnings = true,
+            "--verbose" | "-v" => verbose = true,
+            "--help" | "-h" => {
+                println!("usage: ufsm_lint [--deny-warnings] [--verbose]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("ufsm_lint: unknown flag {other:?} (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut profiles = PackageProfile::paper_set();
+    profiles.push(PackageProfile::test_tiny());
+
+    let mut programs = 0usize;
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut report_one = |label: &str, report: &Report| {
+        programs += 1;
+        errors += report.errors().count();
+        warnings += report.warnings().count();
+        if !report.is_clean() {
+            println!("{label}:\n{report}\n");
+        } else if verbose {
+            println!("{label}: clean");
+        }
+    };
+
+    for profile in &profiles {
+        let model = TargetModel::from_profile(profile).with_dram_bytes(DRAM_BYTES);
+
+        // 1. The coroutine operation library, op by op.
+        for &kind in OpKind::ALL {
+            let txns = lintcap::capture(profile, kind);
+            let report = verify_stream(&model, &txns);
+            report_one(
+                &format!(
+                    "{} / ops::{} ({} txns)",
+                    profile.name,
+                    kind.name(),
+                    txns.len()
+                ),
+                &report,
+            );
+        }
+
+        // 2. The hard-coded baseline controllers, waveform by waveform.
+        let layout = profile.layout();
+        let emit = EmitConfig::nv_ddr2(profile.max_mts.min(200));
+        let len = profile.geometry.page_size.min(2048);
+        let prog_data = vec![0xA5u8; len];
+        let requests = [
+            (IoKind::Read, "read"),
+            (IoKind::Program, "program"),
+            (IoKind::Erase, "erase"),
+        ];
+        for (kind, kind_name) in requests {
+            let req = IoRequest {
+                id: 0,
+                kind,
+                lun: 0,
+                block: 1,
+                page: 0,
+                col: 0,
+                len,
+                dram_addr: 0x2_0000,
+            };
+            for (ctrl, tenures) in [
+                (
+                    "cosmos",
+                    hw::cosmos::lint_phase_program(&layout, &emit, &req, &prog_data),
+                ),
+                (
+                    "sync_ctrl",
+                    hw::sync_ctrl::lint_phase_program(&layout, &emit, &req, &prog_data),
+                ),
+            ] {
+                let mut v = Verifier::sequence(model.clone());
+                for tenure in &tenures {
+                    v.check_phases(ChipMask::single(0), tenure, &emit.timing);
+                }
+                let report = v.finish();
+                report_one(
+                    &format!(
+                        "{} / hw::{ctrl} {kind_name} ({} tenures)",
+                        profile.name,
+                        tenures.len()
+                    ),
+                    &report,
+                );
+            }
+        }
+    }
+
+    println!(
+        "ufsm_lint: {programs} programs across {} package configs: {errors} error(s), {warnings} warning(s)",
+        profiles.len()
+    );
+    if errors > 0 || (deny_warnings && warnings > 0) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,15 +1,31 @@
 #!/usr/bin/env python3
 """Compare a fresh babol-bench-v1 JSON against the committed baseline.
 
-    scripts/bench_check.py <baseline.json> <fresh.json>
+    scripts/bench_check.py <baseline.json> <fresh.json> [--rebaseline]
 
 Fails (exit 1) when any *gated* benchmark's median regresses by more than
-BABOL_BENCH_REGRESSION_PCT percent (default 25). Gated benchmarks are the
-simulator-throughput paths — names starting with one of GATED_PREFIXES —
-because those are the ones the zero-copy data path and the calendar event
-queue are accountable for. Latency microbenches (table1/fig10/table3) and
-the loc counter are reported but not gated: their medians swing with host
-load far more than 25%.
+BABOL_BENCH_REGRESSION_PCT percent (default 25) AFTER normalizing out the
+host-speed difference between the machine that recorded the baseline and
+the machine running now. Gated benchmarks are the simulator-throughput
+paths — names starting with one of GATED_PREFIXES — because those are the
+ones the zero-copy data path and the calendar event queue are accountable
+for. Latency microbenches (table1/fig10/table3) and the loc counter are
+reported but not gated: their medians swing with host load far more than
+25%.
+
+Host normalization: raw medians are machine-sensitive (a committed
+baseline from a fast workstation would fail every gated bench on a slower
+CI runner even with identical code). Instead of comparing absolute
+nanoseconds, the gate estimates a host factor — the median of the
+fresh/baseline ratios across ALL benchmarks common to both runs — and
+flags a benchmark only when it regressed relative to that factor, i.e.
+when it got slower *compared to how much slower this machine is overall*.
+A uniform slowdown passes; one benchmark degrading while its peers hold
+steady fails.
+
+--rebaseline rewrites the baseline file with the fresh run's contents
+(exit 0, no gating): the supported way to refresh results/BENCH_paper.json
+after an intentional performance change.
 
 New benchmarks missing from the baseline pass with a note (the baseline
 just predates them); a gated benchmark missing from the FRESH run fails,
@@ -20,9 +36,15 @@ Stdlib only — the workspace is hermetic and CI must not pip install.
 
 import json
 import os
+import shutil
+import statistics
 import sys
 
 GATED_PREFIXES = ("sim/", "fio/")
+
+# Below this many common benchmarks the host-factor estimate is noise;
+# fall back to raw comparison (factor 1.0).
+MIN_COMMON_FOR_FACTOR = 3
 
 
 def medians(path):
@@ -34,12 +56,31 @@ def medians(path):
 
 
 def main():
-    if len(sys.argv) != 3:
+    args = [a for a in sys.argv[1:] if a != "--rebaseline"]
+    rebaseline = "--rebaseline" in sys.argv[1:]
+    if len(args) != 2:
         sys.exit(__doc__)
-    baseline_path, fresh_path = sys.argv[1], sys.argv[2]
+    baseline_path, fresh_path = args
+
+    if rebaseline:
+        medians(fresh_path)  # validate schema before clobbering anything
+        shutil.copyfile(fresh_path, baseline_path)
+        print(f"baseline {baseline_path} rewritten from {fresh_path}")
+        return
+
     threshold = float(os.environ.get("BABOL_BENCH_REGRESSION_PCT", "25"))
     base = medians(baseline_path)
     fresh = medians(fresh_path)
+
+    common = [n for n in base if n in fresh and base[n] > 0]
+    if len(common) >= MIN_COMMON_FOR_FACTOR:
+        host_factor = statistics.median(fresh[n] / base[n] for n in common)
+    else:
+        host_factor = 1.0
+    print(
+        f"host factor {host_factor:.3f} "
+        f"(median fresh/baseline ratio over {len(common)} common benchmarks)"
+    )
 
     failures = []
     print(f"{'benchmark':40} {'baseline':>12} {'fresh':>12} {'delta':>8}  gate")
@@ -54,12 +95,14 @@ def main():
         if name not in base:
             print(f"{name:40} {'new':>12} {fresh[name]:12.1f} {'':>8}  {tag}")
             continue
-        delta = (fresh[name] - base[name]) / base[name] * 100.0
+        expected = base[name] * host_factor
+        delta = (fresh[name] - expected) / expected * 100.0
         print(f"{name:40} {base[name]:12.1f} {fresh[name]:12.1f} {delta:+7.1f}%  {tag}")
         if gated and delta > threshold:
             failures.append(
                 f"{name}: median {base[name]:.0f} ns -> {fresh[name]:.0f} ns "
-                f"({delta:+.1f}% > +{threshold:.0f}% allowed)"
+                f"({delta:+.1f}% vs host-normalized expectation "
+                f"{expected:.0f} ns, > +{threshold:.0f}% allowed)"
             )
 
     if failures:
@@ -67,7 +110,7 @@ def main():
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         sys.exit(1)
-    print(f"\nbench regression gate OK (threshold +{threshold:.0f}%)")
+    print(f"\nbench regression gate OK (threshold +{threshold:.0f}%, host-normalized)")
 
 
 if __name__ == "__main__":

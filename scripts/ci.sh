@@ -15,14 +15,23 @@ step() { printf '\n==> %s\n' "$*"; }
 step "cargo fmt --all --check"
 cargo fmt --all --check
 
+step "determinism lint (scripts/lint.sh)"
+./scripts/lint.sh
+
 step "cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
+
+step "protocol lint (ufsm_lint --deny-warnings)"
+cargo run --release --offline --example ufsm_lint -- --deny-warnings
 
 step "cargo build --release --offline"
 cargo build --release --offline
 
 step "cargo test --workspace -q --offline"
 cargo test --workspace -q --offline
+
+step "verifier mutation gate"
+cargo test --offline -q --test verify_mutations --test verify_differential
 
 # The smoke run writes to a scratch path: the committed
 # results/BENCH_paper.json is the full-iteration baseline and a 2-iter

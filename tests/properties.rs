@@ -56,7 +56,7 @@ fn bch_corrects_up_to_t() {
             let data: Vec<u8> = (0..128).map(|_| rng.next_u64() as u8).collect();
             let parity = bch.encode(&data);
             let mut corrupted = data.clone();
-            let mut bits = std::collections::HashSet::new();
+            let mut bits = std::collections::BTreeSet::new();
             while bits.len() < nerr {
                 bits.insert(rng.next_below(1024) as usize);
             }
@@ -83,7 +83,7 @@ fn page_codec_never_claims_clean_on_damage() {
             let page: Vec<u8> = (0..512).map(|_| rng.next_u64() as u8).collect();
             let parity = codec.encode(&page).unwrap();
             let mut corrupted = page.clone();
-            let mut bits = std::collections::HashSet::new();
+            let mut bits = std::collections::BTreeSet::new();
             while bits.len() < nerr {
                 bits.insert(rng.next_below(4096) as usize);
             }
@@ -413,7 +413,7 @@ fn ftl_map_consistency() {
                 "written LPN {lpn} must resolve"
             );
         }
-        let mut ppns = std::collections::HashSet::new();
+        let mut ppns = std::collections::BTreeSet::new();
         for lpn in 0..96 {
             if let Some(ppn) = map.translate(lpn) {
                 prop_assert!(ppns.insert(ppn), "PPN {ppn:?} double-mapped");

@@ -4,7 +4,7 @@
 //! sum reconciles with the measured end-to-end latency to the picosecond,
 //! not within a tolerance.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use babol_bench::{build_controller, build_system, read_microbench_traced, ControllerKind};
 use babol_flash::PackageProfile;
@@ -53,13 +53,15 @@ fn json_lines_round_trip_is_lossless() {
 }
 
 /// The Chrome export is structurally sound without a JSON parser: the
-/// metadata advertises the event count, and every span kind contributes
-/// one complete (`"ph":"X"`) entry per begin/end pair.
+/// metadata advertises the entry and recorded-event counts (each paired
+/// begin/end folds into one entry), and every span kind contributes one
+/// complete (`"ph":"X"`) entry per begin/end pair.
 #[test]
 fn chrome_trace_export_is_structurally_consistent() {
     let tracer = traced_microbench();
     let chrome = tracer.to_chrome_trace();
-    assert!(chrome.contains(&format!("\"events\":{}", tracer.events().count())));
+    let recorded = tracer.events().count();
+    assert!(chrome.contains(&format!("\"recorded\":{recorded}")));
     assert!(chrome.contains("\"dropped\":0"));
     let begins = tracer
         .events()
@@ -67,6 +69,9 @@ fn chrome_trace_export_is_structurally_consistent() {
         .count();
     let completes = chrome.matches("\"ph\":\"X\"").count();
     assert_eq!(completes, begins, "one complete span per begin event");
+    // Folding removes one entry per paired span, so the entry count the
+    // metadata advertises is exactly recorded minus the completes.
+    assert!(chrome.contains(&format!("\"events\":{}", recorded - completes)));
 }
 
 /// Span pairing in the recorded stream: per (kind, op_id), begins and ends
@@ -76,7 +81,7 @@ fn chrome_trace_export_is_structurally_consistent() {
 #[test]
 fn span_begins_and_ends_pair_up() {
     let tracer = traced_fio();
-    let mut begin_at: HashMap<(u32, u64), u64> = HashMap::new();
+    let mut begin_at: BTreeMap<(u32, u64), u64> = BTreeMap::new();
     let closes_a_span = |k: TraceKind| TraceKind::ALL.iter().any(|b| b.span_end() == Some(k));
     for e in tracer.events() {
         if let Some(end_kind) = e.kind.span_end() {

@@ -1,0 +1,113 @@
+//! Differential property test: the static verifier against the flash model.
+//!
+//! Random transaction streams — clean operation captures interleaved with
+//! randomly-sited protocol faults from the mutation catalogue — are judged
+//! twice: once statically by `babol-verify`, once dynamically by replaying
+//! through the simulated channel. The two judges must agree in both
+//! directions:
+//!
+//! * **No false positives.** If the simulator executes the whole stream
+//!   cleanly, the verifier must not report any *sim-enforced* rule (those
+//!   are precisely its claims about what the model rejects). Static-only
+//!   findings — timing waits, DMA bounds, gang data-out — are allowed:
+//!   catching what the model cannot is the verifier's purpose.
+//! * **No false negatives.** If the verifier reports no errors at all, the
+//!   simulator must accept the stream.
+//!
+//! Counterexamples shrink (fewer ops, fewer faults, smaller indices) and
+//! replay from the printed seed via `BABOL_PT_SEED`.
+//!
+//! Like the mutation suite, this file must never construct a
+//! `babol::system::System`: that installs the process-wide debug hook,
+//! which would panic inside `execute` on the faulty streams this test is
+//! deliberately feeding the simulator.
+
+mod common;
+
+use babol::lintcap::{self, OpKind};
+use babol_flash::PackageProfile;
+use babol_testkit::mutate::{MutOp, MutateCtx};
+use babol_testkit::prop::{any, range, vec_of, Property};
+use babol_testkit::rng::Xoshiro256pp;
+use babol_ufsm::Transaction;
+use babol_verify::{verify_stream, TargetModel};
+
+use common::sim_replay;
+
+/// DRAM window the model assumes (so V050 has a bound to check).
+const DRAM_BYTES: u64 = 1 << 32;
+
+#[test]
+fn verifier_and_flash_model_agree() {
+    let profile = PackageProfile::test_tiny();
+    let model = TargetModel::from_profile(&profile).with_dram_bytes(DRAM_BYTES);
+    let ctx = MutateCtx {
+        layout: model.layout,
+        raw_page_size: model.raw_page_size,
+        luns: model.luns,
+        dram_bytes: DRAM_BYTES,
+    };
+
+    // Capture the whole operation vocabulary once; each case concatenates a
+    // random selection, so captures must not depend on channel history
+    // (capture() builds a fresh channel per call).
+    let vocab: Vec<Vec<Transaction>> = OpKind::ALL
+        .iter()
+        .map(|&kind| lintcap::capture(&profile, kind))
+        .collect();
+
+    // A case is (which ops to concatenate, which faults to inject where).
+    // Both lists shrink, so counterexamples reduce toward a single op with
+    // a single fault.
+    let cases = (
+        vec_of(range(0usize..vocab.len()), 1..4),
+        vec_of((range(0usize..MutOp::ALL.len()), any::<u64>()), 0..3),
+    );
+
+    Property::new("verifier_and_flash_model_agree")
+        .cases(512)
+        .run(cases, |(ops, faults)| {
+            let mut stream: Vec<Transaction> =
+                ops.iter().flat_map(|&i| vocab[i].iter().cloned()).collect();
+            for &(fi, seed) in faults {
+                let op = MutOp::ALL[fi];
+                let mut rng = Xoshiro256pp::new(seed);
+                if let Some(mutated) = op.apply(&stream, &ctx, &mut rng) {
+                    stream = mutated;
+                }
+            }
+
+            let report = verify_stream(&model, &stream);
+            let sim = sim_replay(&profile, &stream);
+
+            match &sim {
+                Ok(()) => {
+                    // Direction 1: the model accepted it, so every
+                    // sim-enforced claim in the report is a false positive.
+                    let false_pos: Vec<_> = report
+                        .diags()
+                        .iter()
+                        .filter(|d| d.rule.sim_enforced())
+                        .map(|d| d.rule.code())
+                        .collect();
+                    if !false_pos.is_empty() {
+                        return Err(format!(
+                            "sim accepted the stream but the verifier reported \
+                             sim-enforced rules {false_pos:?}:\n{report}"
+                        ));
+                    }
+                }
+                Err(sim_err) => {
+                    // Direction 2: the model rejected it, so an error-free
+                    // report would be a false negative.
+                    if !report.has_errors() {
+                        return Err(format!(
+                            "sim rejected the stream ({sim_err}) but the \
+                             verifier reported no errors:\n{report}"
+                        ));
+                    }
+                }
+            }
+            Ok(())
+        });
+}
