@@ -162,6 +162,13 @@ impl System {
         self.events.len()
     }
 
+    /// Time of the earliest pending event without removing it. Drivers that
+    /// advance a shard only up to a barrier horizon (the parallel DES
+    /// coordinator) peek before popping.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.events.peek_time()
+    }
+
     /// Removes the earliest pending event. Intended for drivers that own
     /// the event loop (the engine, the SSD host driver).
     pub fn pop_event(&mut self) -> Option<(SimTime, Event)> {

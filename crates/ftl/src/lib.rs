@@ -11,11 +11,20 @@
 //!   requests, charges FTL CPU cycles on the shared processor, runs GC.
 //! * [`fio`] — fio-like workload definitions (sequential/random read/write)
 //!   and the host driver that keeps a queue depth outstanding.
+//! * [`multi`] — the whole-device assembly: the logical space striped over
+//!   N channels, each channel a self-contained shard (system + controller +
+//!   FTL slice) advanced in parallel by the conservative-barrier kernel in
+//!   `babol_sim::par` with bit-identical results at any thread count.
 
 pub mod fio;
 pub mod map;
+pub mod multi;
 pub mod ssd;
 
 pub use fio::{FioReport, FioWorkload, IoPattern};
 pub use map::{GcPlan, PageMap, Ppn};
+pub use multi::{
+    ChannelShard, HostCmd, MultiControllerKind, MultiFioReport, MultiSsd, MultiSsdConfig,
+    ShardDigest, ShardEvent,
+};
 pub use ssd::{Ssd, SsdConfig};

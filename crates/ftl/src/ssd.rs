@@ -61,7 +61,7 @@ impl SsdConfig {
 
 /// Host-buffer base address; requests stage data here, one page per queue
 /// slot, recycled.
-const HOST_BUF: u64 = 0x1000_0000;
+pub(crate) const HOST_BUF: u64 = 0x1000_0000;
 /// Scratch area used by GC relocations.
 const GC_BUF: u64 = 0x7000_0000;
 /// Id space for internal (GC) requests.
@@ -70,7 +70,7 @@ const INTERNAL_ID: u64 = 1 << 62;
 /// An SSD: page map plus workload driver.
 #[derive(Debug)]
 pub struct Ssd {
-    cfg: SsdConfig,
+    pub(crate) cfg: SsdConfig,
     map: PageMap,
     next_internal: u64,
     /// Host completions observed while an internal (GC) request was being
@@ -246,9 +246,25 @@ impl Ssd {
         controller.on_event(sys, ev);
     }
 
+    /// Drains host completions stashed while internal (GC) requests were
+    /// being waited on, noting watchdog progress for each. The single- and
+    /// multi-channel drivers both harvest through this.
+    pub(crate) fn drain_stashed(&mut self, out: &mut Vec<(IoRequest, SimTime)>) {
+        for (req, at) in self.stashed.drain(..) {
+            self.watchdog.note_progress(at);
+            out.push((req, at));
+        }
+    }
+
+    /// Notes forward progress on the stall watchdog (a completion observed
+    /// by an external driver).
+    pub(crate) fn note_progress(&mut self, at: SimTime) {
+        self.watchdog.note_progress(at);
+    }
+
     /// Stages data and allocates the target for a host write, running GC
     /// first if the next LUN is out of space.
-    fn prepare_write(
+    pub(crate) fn prepare_write(
         &mut self,
         sys: &mut System,
         controller: &mut dyn Controller,

@@ -24,6 +24,10 @@
 //! * [`pool::BufPool`] — the slab buffer pool behind the zero-copy data
 //!   path: page payloads are written once into a [`pool::PageBufMut`] and
 //!   shared read-only as [`pool::PageBuf`] handles across every layer.
+//! * [`par::ShardPool`] — conservative parallel DES: per-channel [`Shard`]s
+//!   with private event queues advance concurrently up to a shared time
+//!   barrier, with a deterministic shard-id merge so any thread count
+//!   reproduces the single-threaded event order bit for bit.
 //! * [`rng::SplitMix64`] — a tiny deterministic RNG used where the kernel
 //!   itself needs randomness without pulling in external crates.
 //! * [`watchdog::Watchdog`] — a sim-time progress monitor that turns a
@@ -32,6 +36,7 @@
 
 pub mod cpu;
 pub mod dram;
+pub mod par;
 pub mod pool;
 pub mod queue;
 pub mod rng;
@@ -40,6 +45,7 @@ pub mod watchdog;
 
 pub use cpu::{CostModel, Cpu};
 pub use dram::Dram;
+pub use par::{Shard, ShardCtor, ShardPool, StepOutcome};
 pub use pool::{BufPool, PageBuf, PageBufMut, PoolStats};
 pub use queue::EventQueue;
 pub use time::{Freq, SimDuration, SimTime};

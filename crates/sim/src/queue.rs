@@ -12,7 +12,7 @@
 //! can pick whichever structure is cheapest for the current population
 //! without changing observable behaviour:
 //!
-//! * **Heap mode** (≤ [`WHEEL_THRESHOLD`] pending events): a plain binary
+//! * **Heap mode** (≤ `WHEEL_THRESHOLD` = 64 pending events): a plain binary
 //!   min-heap. Construction is free and tiny queues — a few in-flight bus
 //!   phases per microbenchmark — stay on the old O(log n) fast path, which
 //!   beats any wheel bookkeeping at that size.

@@ -195,6 +195,7 @@ impl Bench {
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\n");
         s.push_str("  \"schema\": \"babol-bench-v1\",\n");
+        s.push_str(&format!("  \"host_cpus\": {},\n", host_cpus()));
         s.push_str(&format!("  \"warmup_iters\": {},\n", self.cfg.warmup_iters));
         s.push_str(&format!("  \"timed_iters\": {},\n", self.cfg.timed_iters));
         s.push_str("  \"results\": [\n");
@@ -217,6 +218,14 @@ impl Bench {
         let mut file = std::fs::File::create(path)?;
         file.write_all(self.to_json().as_bytes())
     }
+}
+
+/// Logical CPUs available to this process (1 if the platform cannot say).
+/// Recorded in the bench JSON so gates that compare parallel against
+/// single-thread throughput (`scripts/bench_check.py`) can tell a genuine
+/// regression from a run on a host too small to exhibit the speedup.
+pub fn host_cpus() -> u32 {
+    std::thread::available_parallelism().map_or(1, |n| n.get() as u32)
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -292,6 +301,8 @@ mod tests {
         assert_eq!(b.results().len(), 2);
         let json = b.to_json();
         assert!(json.contains("\"schema\": \"babol-bench-v1\""));
+        assert!(json.contains(&format!("\"host_cpus\": {}", host_cpus())));
+        assert!(host_cpus() >= 1);
         assert!(json.contains("\"name\": \"group/alpha\""));
         assert!(json.contains("\"median_ns\""));
         // Identical results serialize identically: the JSON layer itself

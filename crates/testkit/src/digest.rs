@@ -1,0 +1,129 @@
+//! Order-sensitive content digests for determinism suites.
+//!
+//! The determinism tests compare whole run reports — completion logs,
+//! rendered traces, per-shard timelines — across thread counts and
+//! repeated runs. Comparing multi-megabyte strings directly works but
+//! produces unreadable failures and can't be matched across CI jobs; a
+//! short hex digest can be printed, diffed, and asserted byte-identical
+//! between matrix legs.
+//!
+//! FNV-1a is used because the digest only has to *witness* equality of
+//! deterministic output, not resist an adversary: it is tiny, has no
+//! dependencies, and is itself trivially deterministic. The 64-bit variant
+//! keeps accidental collisions irrelevant at the scale of a test suite.
+//!
+//! ```
+//! use babol_testkit::digest::{fnv1a, Digest};
+//!
+//! assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+//! let mut d = Digest::new();
+//! d.update("hello ");
+//! d.update("world");
+//! assert_eq!(d.finish(), fnv1a(b"hello world"));
+//! assert_eq!(d.hex(), format!("{:016x}", d.finish()));
+//! ```
+
+/// FNV-1a offset basis (64-bit).
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// One-shot FNV-1a over a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut d = Digest::new();
+    d.update(bytes);
+    d.finish()
+}
+
+/// An incremental FNV-1a hasher for streaming many fragments into one
+/// digest. Fragment boundaries do not affect the result: hashing `"ab"`
+/// equals hashing `"a"` then `"b"`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Digest {
+    state: u64,
+}
+
+impl Default for Digest {
+    fn default() -> Self {
+        Digest::new()
+    }
+}
+
+impl Digest {
+    /// A fresh digest at the FNV offset basis.
+    pub fn new() -> Digest {
+        Digest { state: FNV_OFFSET }
+    }
+
+    /// Folds more bytes into the digest.
+    pub fn update(&mut self, bytes: impl AsRef<[u8]>) {
+        for &b in bytes.as_ref() {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds a labeled section in: the label and a separator are hashed
+    /// before the body, so reordered or renamed sections change the digest
+    /// even when their concatenated bytes would not.
+    pub fn section(&mut self, label: &str, body: impl AsRef<[u8]>) {
+        self.update(label);
+        self.update([0x1f]); // unit separator: cannot appear in text output
+        self.update(body);
+        self.update([0x1e]); // record separator
+    }
+
+    /// The current digest value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+
+    /// The current digest as 16 lowercase hex digits — the form the CI
+    /// determinism matrix prints and compares across jobs.
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Published FNV-1a/64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn streaming_is_boundary_insensitive() {
+        let mut d = Digest::new();
+        d.update("foo");
+        d.update("bar");
+        assert_eq!(d.finish(), fnv1a(b"foobar"));
+    }
+
+    #[test]
+    fn sections_are_order_sensitive() {
+        let mut ab = Digest::new();
+        ab.section("a", "1");
+        ab.section("b", "2");
+        let mut ba = Digest::new();
+        ba.section("b", "2");
+        ba.section("a", "1");
+        assert_ne!(ab.finish(), ba.finish());
+        // And the label participates: same bytes, different section name.
+        let mut renamed = Digest::new();
+        renamed.section("c", "1");
+        renamed.section("b", "2");
+        assert_ne!(ab.finish(), renamed.finish());
+    }
+
+    #[test]
+    fn hex_is_zero_padded() {
+        let d = Digest { state: 0x1a };
+        assert_eq!(d.hex(), "000000000000001a");
+    }
+}

@@ -12,12 +12,15 @@
 //! * [`prop`] — a property-testing harness with composable generators,
 //!   deterministic seeding from `BABOL_PT_SEED`, and integer/vector
 //!   shrinking. Replaces `proptest`.
-//! * [`bench`] — a benchmark runner (warmup + timed iterations,
+//! * [`mod@bench`] — a benchmark runner (warmup + timed iterations,
 //!   median/p95/stddev, JSON output for the `results/BENCH_*.json`
 //!   trajectory convention). Replaces `criterion`.
 //! * [`mutate`] — targeted mutation operators over μFSM transaction
 //!   streams, used to prove the static verifier (`babol-verify`) catches
 //!   every fault class it claims to, with the right rule id.
+//! * [`digest`] — streaming FNV-1a digests so the determinism suites (and
+//!   the CI determinism matrix) can compare whole run reports across
+//!   thread counts as short printable hashes.
 //!
 //! # Replaying a property failure
 //!
@@ -30,6 +33,7 @@
 //! ```
 
 pub mod bench;
+pub mod digest;
 pub mod mutate;
 pub mod prop;
 pub mod rng;

@@ -6,8 +6,9 @@
 //! shrinking of failing counterexamples.
 //!
 //! Properties take the generated value by reference and return
-//! `Result<(), String>`; the [`prop_assert!`], [`prop_assert_eq!`] and
-//! [`prop_assert_ne!`] macros produce the `Err` arm. The [`forall!`] macro
+//! `Result<(), String>`; the [`prop_assert!`](crate::prop_assert), [`prop_assert_eq!`](crate::prop_assert_eq)
+//! and [`prop_assert_ne!`](crate::prop_assert_ne) macros produce the `Err`
+//! arm. The [`forall!`](crate::forall) macro
 //! wraps the common case:
 //!
 //! ```

@@ -42,26 +42,28 @@ fn micros(ps: u64) -> f64 {
     ps as f64 / 1e6
 }
 
-fn push_chrome_span(out: &mut String, begin: &TraceEvent, end: &TraceEvent) {
+fn push_chrome_span(out: &mut String, shard: u32, begin: &TraceEvent, end: &TraceEvent) {
     let _ = write!(
         out,
-        r#"{{"name":"{}","cat":"{}","ph":"X","ts":{:.6},"dur":{:.6},"pid":0,"tid":{},"args":{{"op_id":{}}}}}"#,
+        r#"{{"name":"{}","cat":"{}","ph":"X","ts":{:.6},"dur":{:.6},"pid":{},"tid":{},"args":{{"op_id":{}}}}}"#,
         begin.kind.span_name(),
         begin.component.name(),
         micros(begin.t.as_picos()),
         micros(end.t.as_picos() - begin.t.as_picos()),
+        shard,
         begin.lun,
         begin.op_id
     );
 }
 
-fn push_chrome_instant(out: &mut String, e: &TraceEvent) {
+fn push_chrome_instant(out: &mut String, shard: u32, e: &TraceEvent) {
     let _ = write!(
         out,
-        r#"{{"name":"{}","cat":"{}","ph":"i","ts":{:.6},"s":"t","pid":0,"tid":{},"args":{{"op_id":{}}}}}"#,
+        r#"{{"name":"{}","cat":"{}","ph":"i","ts":{:.6},"s":"t","pid":{},"tid":{},"args":{{"op_id":{}}}}}"#,
         e.kind.name(),
         e.component.name(),
         micros(e.t.as_picos()),
+        shard,
         e.lun,
         e.op_id
     );
@@ -70,10 +72,11 @@ fn push_chrome_instant(out: &mut String, e: &TraceEvent) {
 impl Tracer {
     /// Renders the event ring as line-delimited JSON, one event per line,
     /// oldest first, terminated by a footer record
-    /// `{"footer":true,"events":N,"dropped":M}`. A non-zero `dropped` means
-    /// the ring overflowed and the timeline's oldest edge is truncated —
-    /// consumers (`trace_report`, `parse_json_lines`) surface it so a
-    /// partial trace is never read as complete.
+    /// `{"footer":true,"events":N,"dropped":M,"shard":S}`. A non-zero
+    /// `dropped` means the ring overflowed and the timeline's oldest edge
+    /// is truncated — consumers (`trace_report`, `parse_json_lines`)
+    /// surface it so a partial trace is never read as complete. `shard` is
+    /// the channel this tracer observed (0 for single-system runs).
     pub fn to_json_lines(&self) -> String {
         let mut out = String::new();
         for e in self.events() {
@@ -81,9 +84,10 @@ impl Tracer {
         }
         let _ = writeln!(
             out,
-            r#"{{"footer":true,"events":{},"dropped":{}}}"#,
+            r#"{{"footer":true,"events":{},"dropped":{},"shard":{}}}"#,
             self.events().count(),
-            self.dropped()
+            self.dropped(),
+            self.shard()
         );
         out
     }
@@ -92,15 +96,17 @@ impl Tracer {
     /// object flavor), suitable for `chrome://tracing` or Perfetto.
     ///
     /// Begin/end kind pairs sharing `(op_id, lun)` fold into `ph:"X"`
-    /// complete spans on track `tid = lun`; unpaired events (and kinds with
-    /// no pair) export as instants. Timestamps are microseconds with
-    /// picosecond precision.
+    /// complete spans on track `tid = lun` under process `pid = shard`, so
+    /// a multi-channel device renders as one process lane per channel;
+    /// unpaired events (and kinds with no pair) export as instants.
+    /// Timestamps are microseconds with picosecond precision.
     pub fn to_chrome_trace(&self) -> String {
         let mut items: Vec<String> = Vec::new();
         // Open span starts, keyed by (begin-kind name, op_id, lun). A Vec
         // per key handles nesting (e.g. retried ops); BTreeMap keeps the
         // leftover sweep deterministic.
         let mut open: BTreeMap<(&'static str, u64, u32), Vec<&TraceEvent>> = BTreeMap::new();
+        let shard = self.shard();
         for e in self.events() {
             if e.kind.span_end().is_some() {
                 open.entry((e.kind.name(), e.op_id, e.lun))
@@ -111,18 +117,18 @@ impl Tracer {
                 match open.get_mut(&key).and_then(Vec::pop) {
                     Some(begin) => {
                         let mut s = String::new();
-                        push_chrome_span(&mut s, begin, e);
+                        push_chrome_span(&mut s, shard, begin, e);
                         items.push(s);
                     }
                     None => {
                         let mut s = String::new();
-                        push_chrome_instant(&mut s, e);
+                        push_chrome_instant(&mut s, shard, e);
                         items.push(s);
                     }
                 }
             } else {
                 let mut s = String::new();
-                push_chrome_instant(&mut s, e);
+                push_chrome_instant(&mut s, shard, e);
                 items.push(s);
             }
         }
@@ -131,7 +137,7 @@ impl Tracer {
         for (_, starts) in open {
             for e in starts {
                 let mut s = String::new();
-                push_chrome_instant(&mut s, e);
+                push_chrome_instant(&mut s, shard, e);
                 items.push(s);
             }
         }
@@ -142,10 +148,11 @@ impl Tracer {
         // pair); `recorded` is the ring count and `dropped` the ring-drop
         // count, so a truncated timeline is detectable from the file alone.
         let mut out = format!(
-            "{{\"displayTimeUnit\":\"ns\",\"metadata\":{{\"events\":{},\"recorded\":{},\"dropped\":{}}},\"traceEvents\":[",
+            "{{\"displayTimeUnit\":\"ns\",\"metadata\":{{\"events\":{},\"recorded\":{},\"dropped\":{},\"shard\":{}}},\"traceEvents\":[",
             items.len(),
             self.events().count(),
-            self.dropped()
+            self.dropped(),
+            shard
         );
         for (i, item) in items.iter().enumerate() {
             if i > 0 {
@@ -197,7 +204,7 @@ mod tests {
         ));
         assert_eq!(
             s.lines().last().unwrap(),
-            r#"{"footer":true,"events":2,"dropped":0}"#
+            r#"{"footer":true,"events":2,"dropped":0,"shard":0}"#
         );
     }
 
@@ -210,10 +217,10 @@ mod tests {
         let s = t.to_json_lines();
         assert_eq!(
             s.lines().last().unwrap(),
-            r#"{"footer":true,"events":2,"dropped":3}"#
+            r#"{"footer":true,"events":2,"dropped":3,"shard":0}"#
         );
         let chrome = t.to_chrome_trace();
-        assert!(chrome.contains(r#""metadata":{"events":2,"recorded":2,"dropped":3}"#));
+        assert!(chrome.contains(r#""metadata":{"events":2,"recorded":2,"dropped":3,"shard":0}"#));
     }
 
     #[test]
@@ -270,11 +277,30 @@ mod tests {
         let t = Tracer::enabled();
         assert_eq!(
             t.to_json_lines(),
-            "{\"footer\":true,\"events\":0,\"dropped\":0}\n"
+            "{\"footer\":true,\"events\":0,\"dropped\":0,\"shard\":0}\n"
         );
         assert_eq!(
             t.to_chrome_trace(),
-            "{\"displayTimeUnit\":\"ns\",\"metadata\":{\"events\":0,\"recorded\":0,\"dropped\":0},\"traceEvents\":[\n]}\n"
+            "{\"displayTimeUnit\":\"ns\",\"metadata\":{\"events\":0,\"recorded\":0,\"dropped\":0,\"shard\":0},\"traceEvents\":[\n]}\n"
         );
+    }
+
+    #[test]
+    fn shard_tag_reaches_both_exports() {
+        let mut t = Tracer::enabled();
+        t.set_shard(5);
+        t.record(ev(1_000, TraceKind::BusAcquire, 2, 7));
+        t.record(ev(5_000, TraceKind::BusRelease, 2, 7));
+        let jsonl = t.to_json_lines();
+        assert_eq!(
+            jsonl.lines().last().unwrap(),
+            r#"{"footer":true,"events":2,"dropped":0,"shard":5}"#
+        );
+        let chrome = t.to_chrome_trace();
+        assert!(
+            chrome.contains(r#""pid":5"#),
+            "span lost the shard: {chrome}"
+        );
+        assert!(chrome.contains(r#""shard":5"#));
     }
 }

@@ -36,7 +36,7 @@ pub use hist::Histogram;
 pub use interval::IntervalSet;
 pub use parse::{parse_json_lines, ParseError, ParsedTrace};
 pub use phase::{OpPhase, PhaseBreakdown, PhaseLedger};
-pub use report::TraceReport;
+pub use report::{render_shard_utilization, TraceReport};
 pub use tracer::Tracer;
 
 use babol_sim::{SimDuration, SimTime};

@@ -21,6 +21,9 @@ pub struct ParsedTrace {
     /// Ring-drop count from the footer record (0 if the file had no
     /// footer — traces from older exporters).
     pub dropped: u64,
+    /// Shard (channel) id from the footer record (0 if absent — traces
+    /// from single-system runs or older exporters).
+    pub shard: u32,
     /// Whether a footer record was present.
     pub has_footer: bool,
 }
@@ -86,8 +89,14 @@ pub fn parse_json_lines(text: &str) -> Result<ParsedTrace, ParseError> {
         let fields = fields(line).ok_or_else(|| err("not a flat JSON object"))?;
         if fields.iter().any(|&(k, _)| k == "footer") {
             for (k, v) in fields {
-                if k == "dropped" {
-                    trace.dropped = v.parse().map_err(|_| err("bad dropped count"))?;
+                match k {
+                    "dropped" => {
+                        trace.dropped = v.parse().map_err(|_| err("bad dropped count"))?;
+                    }
+                    "shard" => {
+                        trace.shard = v.parse().map_err(|_| err("bad shard id"))?;
+                    }
+                    _ => {}
                 }
             }
             trace.has_footer = true;
@@ -144,6 +153,25 @@ mod tests {
         assert_eq!(parsed.events, original);
         assert!(parsed.has_footer);
         assert_eq!(parsed.dropped, 0);
+        assert_eq!(parsed.shard, 0);
+    }
+
+    #[test]
+    fn footer_roundtrips_the_shard_tag() {
+        let mut t = Tracer::enabled();
+        t.set_shard(11);
+        t.record(TraceEvent {
+            t: SimTime::from_picos(1),
+            component: Component::Sim,
+            kind: TraceKind::SchedPick,
+            lun: 0,
+            op_id: 0,
+        });
+        let parsed = parse_json_lines(&t.to_json_lines()).unwrap();
+        assert_eq!(parsed.shard, 11);
+        // Traces without the tag (older exporters) default to shard 0.
+        let legacy = "{\"footer\":true,\"events\":0,\"dropped\":0}\n";
+        assert_eq!(parse_json_lines(legacy).unwrap().shard, 0);
     }
 
     #[test]

@@ -64,6 +64,7 @@ pub struct TraceReport {
     window: (SimTime, SimTime),
     event_count: usize,
     dropped: u64,
+    shard: u32,
     bus: IntervalSet,
     lun_busy: BTreeMap<u32, IntervalSet>,
     gaps: Histogram,
@@ -72,10 +73,21 @@ pub struct TraceReport {
 }
 
 impl TraceReport {
-    /// Analyzes a live tracer's event ring.
+    /// Analyzes a live tracer's event ring, inheriting its shard tag.
     pub fn from_tracer(tracer: &Tracer) -> Self {
         let events: Vec<TraceEvent> = tracer.events().copied().collect();
-        TraceReport::from_events(&events, tracer.dropped())
+        TraceReport::from_events(&events, tracer.dropped()).with_shard(tracer.shard())
+    }
+
+    /// Tags the report with the shard (channel) it covers.
+    pub fn with_shard(mut self, shard: u32) -> Self {
+        self.shard = shard;
+        self
+    }
+
+    /// The shard (channel) this report covers; 0 for single-system runs.
+    pub fn shard(&self) -> u32 {
+        self.shard
     }
 
     /// Analyzes an event stream (e.g. parsed back from a line-JSON
@@ -148,6 +160,7 @@ impl TraceReport {
             window,
             event_count: events.len(),
             dropped,
+            shard: 0,
             bus,
             lun_busy,
             gaps,
@@ -322,6 +335,7 @@ impl TraceReport {
         };
         row("meta", "events", self.event_count.to_string());
         row("meta", "dropped", self.dropped.to_string());
+        row("meta", "shard", self.shard.to_string());
         row(
             "meta",
             "window_ps",
@@ -385,6 +399,52 @@ impl TraceReport {
         }
         out
     }
+}
+
+/// Renders a side-by-side bus-utilization table for several shards — the
+/// multi-channel proof that the channels genuinely overlap in time: every
+/// shard's 10-slice timeline covers the same global window, so concurrent
+/// activity shows up as simultaneously-hot slices across rows.
+pub fn render_shard_utilization(reports: &[TraceReport]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== per-shard channel utilization ==");
+    if reports.is_empty() {
+        let _ = writeln!(out, "no shards");
+        return out;
+    }
+    // One shared window so rows are comparable.
+    let w0 = reports.iter().map(|r| r.window.0).min().unwrap();
+    let w1 = reports.iter().map(|r| r.window.1).max().unwrap();
+    let _ = writeln!(
+        out,
+        "window: {} .. {} us ({} us)",
+        us(w0.as_picos()),
+        us(w1.as_picos()),
+        us(w1.saturating_since(w0).as_picos())
+    );
+    let _ = writeln!(
+        out,
+        "{:<6} {:>8} {:>12} {:>7}  timeline % (10 slices)",
+        "shard", "events", "busy(us)", "util%"
+    );
+    for r in reports {
+        let busy = r.bus.busy_between(w0, w1);
+        let slices = r.bus.timeline(w0, w1, 10);
+        let cells: Vec<String> = slices
+            .iter()
+            .map(|u| format!("{:>5.1}", u * 100.0))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{:<6} {:>8} {:>12} {:>7.1}  [{}]",
+            r.shard,
+            r.event_count,
+            us(busy.as_picos()),
+            r.bus.utilization(w0, w1) * 100.0,
+            cells.join(" ")
+        );
+    }
+    out
 }
 
 /// Picoseconds → microseconds with 1 decimal (window-scale numbers).
@@ -529,5 +589,39 @@ mod tests {
         assert_eq!(r.ops(), 0);
         assert!(r.render_table().contains("7 dropped"));
         assert!(r.render_csv().contains("meta,dropped,7"));
+        assert!(render_shard_utilization(&[]).contains("no shards"));
+    }
+
+    #[test]
+    fn shard_tag_flows_tracer_to_report_to_csv() {
+        let mut t = Tracer::enabled();
+        t.set_shard(3);
+        for e in sample_events() {
+            t.record(e);
+        }
+        let r = TraceReport::from_tracer(&t);
+        assert_eq!(r.shard(), 3);
+        assert!(r.render_csv().contains("meta,shard,3"));
+    }
+
+    #[test]
+    fn shard_utilization_table_covers_the_union_window() {
+        let a = TraceReport::from_events(&sample_events(), 0).with_shard(0);
+        // Shard 1's activity sits later in time; the shared window must
+        // span both so the rows are comparable.
+        let shifted: Vec<TraceEvent> = sample_events()
+            .into_iter()
+            .map(|mut e| {
+                e.t = SimTime::from_picos(e.t.as_picos() + 2_000);
+                e
+            })
+            .collect();
+        let b = TraceReport::from_events(&shifted, 0).with_shard(1);
+        let s = render_shard_utilization(&[a, b]);
+        assert!(
+            s.contains("0.000 .. 0.003 us") || s.contains("0.0 .. 0.0 us"),
+            "{s}"
+        );
+        assert_eq!(s.matches('[').count(), 2, "one timeline per shard: {s}");
     }
 }

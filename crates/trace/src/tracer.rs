@@ -28,6 +28,10 @@ pub struct Tracer {
     counters: [[u64; Counter::COUNT]; Component::COUNT],
     metrics: [Histogram; Metric::COUNT],
     last_activity: [Option<SimTime>; Component::COUNT],
+    /// Which simulation shard (channel) this tracer observes. Single-system
+    /// runs stay at 0; the multi-channel device tags each shard's tracer so
+    /// exported timelines can be laid side by side.
+    shard: u32,
 }
 
 impl Default for Tracer {
@@ -47,6 +51,7 @@ impl Tracer {
             counters: [[0; Counter::COUNT]; Component::COUNT],
             metrics: std::array::from_fn(|_| Histogram::new()),
             last_activity: [None; Component::COUNT],
+            shard: 0,
         }
     }
 
@@ -66,6 +71,19 @@ impl Tracer {
     /// Turns recording on or off. Already-collected data is kept.
     pub fn set_enabled(&mut self, enabled: bool) {
         self.enabled = enabled;
+    }
+
+    /// Tags this tracer with the shard (channel) id it observes. Exports
+    /// carry the tag (`pid` in the chrome trace, `shard` in the jsonl
+    /// footer) so multi-channel timelines stay distinguishable.
+    pub fn set_shard(&mut self, shard: u32) {
+        self.shard = shard;
+    }
+
+    /// The shard (channel) id this tracer observes; 0 for single-system
+    /// runs.
+    pub fn shard(&self) -> u32 {
+        self.shard
     }
 
     /// Events dropped because the ring was full.

@@ -5,6 +5,7 @@
 //! cargo run --release --example ssd_fio
 //! cargo run --release --example ssd_fio -- --trace /tmp/ssd.json
 //! cargo run --release --example ssd_fio -- --report
+//! cargo run --release --example ssd_fio -- --channels 8 --threads 4
 //! ```
 //!
 //! With `--trace`, the GC-heavy random-write job runs with the tracing
@@ -13,6 +14,13 @@
 //! line-JSON sidecar (`<path>.jsonl`) that `--example trace_report` and
 //! other tools can parse back. With `--report`, the same traced run is
 //! analyzed in-process and a utilization/phase/gap report is printed.
+//!
+//! With `--channels N` (N > 1) the whole device is simulated instead of a
+//! single channel: N per-channel shards driven by the conservative-barrier
+//! parallel kernel on `--threads M` workers. Results are bit-identical at
+//! every thread count; `--report` then prints a per-shard utilization
+//! table and `--trace` writes one timeline pair per channel
+//! (`<path>.shardK` / `<path>.shardK.jsonl`).
 
 use babol::factory::rtos_controller;
 use babol::runtime::RuntimeConfig;
@@ -55,9 +63,108 @@ fn stack(preloaded: bool) -> (System, babol::runtime::SoftController, Ssd) {
     (sys, ctrl, ssd)
 }
 
+fn parse_num(args: &mut impl Iterator<Item = String>, flag: &str) -> u64 {
+    args.next()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            eprintln!("{flag} requires a positive integer");
+            std::process::exit(2);
+        })
+}
+
+/// The whole-device path: `channels` shards on `threads` workers.
+fn run_multi(channels: u32, threads: usize, trace_path: Option<String>, report: bool) {
+    use babol_ftl::{MultiSsd, MultiSsdConfig};
+
+    let traced = trace_path.is_some() || report;
+    let configure = |preload: bool| {
+        let mut cfg = MultiSsdConfig::tiny(channels, threads);
+        cfg.preload = preload;
+        if traced {
+            cfg.trace_capacity = Some(1 << 18);
+        }
+        cfg
+    };
+
+    // Read jobs over a preloaded device, scaled to keep every channel busy.
+    for (name, pattern) in [
+        ("sequential read", IoPattern::SequentialRead),
+        ("random read", IoPattern::RandomRead),
+    ] {
+        let mut ssd = MultiSsd::new(configure(true));
+        let r = ssd.run(&FioWorkload {
+            pattern,
+            total_ios: 64 * channels as u64,
+            queue_depth: 8 * channels as usize,
+            seed: 42,
+        });
+        println!(
+            "{name:17}  {:7.1} MB/s  {:8.0} IOPS  mean {}  p50 {}  p95 {}  p99 {}  ({} rounds, {:?} ios/ch)",
+            r.fio.bandwidth_mbps(),
+            r.fio.iops(),
+            r.fio.mean_latency,
+            r.fio.p50_latency,
+            r.fio.p95_latency,
+            r.fio.p99_latency,
+            r.rounds,
+            r.per_shard_ios
+        );
+    }
+
+    // The GC-forcing overwrite job on a pristine device.
+    let mut ssd = MultiSsd::new(configure(false));
+    let r = ssd.run(&FioWorkload {
+        pattern: IoPattern::RandomWrite,
+        total_ios: 3 * ssd.logical_pages(),
+        queue_depth: 4 * channels as usize,
+        seed: 7,
+    });
+    println!(
+        "random write x3    {:7.1} MB/s  {:8.0} IOPS  mean {}  p50 {}  p95 {}  p99 {}  ({} GC cycles ran)",
+        r.fio.bandwidth_mbps(),
+        r.fio.iops(),
+        r.fio.mean_latency,
+        r.fio.p50_latency,
+        r.fio.p95_latency,
+        r.fio.p99_latency,
+        r.fio.gc_cycles
+    );
+    assert!(r.fio.gc_cycles > 0);
+
+    let digests = ssd.finish();
+    if let Some(path) = &trace_path {
+        for d in &digests {
+            let chrome = format!("{path}.shard{}", d.shard);
+            let sidecar = format!("{chrome}.jsonl");
+            if let Err(e) = d
+                .tracer
+                .write_chrome_trace(&chrome)
+                .and_then(|()| d.tracer.write_json_lines(&sidecar))
+            {
+                eprintln!("failed to write {chrome}: {e}");
+                std::process::exit(1);
+            }
+        }
+        println!(
+            "trace: wrote {} per-channel timeline pairs under {path}.shard*",
+            digests.len()
+        );
+    }
+    if report {
+        let reports: Vec<babol_trace::TraceReport> = digests
+            .iter()
+            .map(|d| babol_trace::TraceReport::from_tracer(&d.tracer))
+            .collect();
+        print!("\n{}", babol_trace::render_shard_utilization(&reports));
+    }
+}
+
 fn main() {
     let mut trace_path: Option<String> = None;
     let mut report = false;
+    let mut channels = 1u32;
+    let mut threads = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--trace" {
@@ -67,10 +174,19 @@ fn main() {
             }));
         } else if arg == "--report" {
             report = true;
+        } else if arg == "--channels" {
+            channels = parse_num(&mut args, "--channels") as u32;
+        } else if arg == "--threads" {
+            threads = parse_num(&mut args, "--threads") as usize;
         } else {
             eprintln!("unrecognized argument: {arg}");
             std::process::exit(2);
         }
+    }
+
+    if channels > 1 {
+        run_multi(channels, threads, trace_path, report);
+        return;
     }
 
     // Read jobs over a preloaded device.

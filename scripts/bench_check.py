@@ -31,6 +31,15 @@ New benchmarks missing from the baseline pass with a note (the baseline
 just predates them); a gated benchmark missing from the FRESH run fails,
 since silently dropping a bench is how regressions hide.
 
+Parallel speedup gate: when the fresh run contains the 16-channel fio
+pair (sim/16ch_fio on 8 workers, sim/16ch_fio_1t single-threaded), their
+median ratio must be at least BABOL_BENCH_SPEEDUP_MIN (default 4.0).
+Both benches simulate identical work, so the ratio is a pure parallel-DES
+speedup and needs no host normalization — but it does need cores: on a
+host reporting fewer than 8 CPUs (the fresh JSON's host_cpus field) the
+gate prints the measured ratio and SKIPs, because an undersubscribed
+worker pool cannot exhibit the speedup no matter how correct the kernel.
+
 Stdlib only — the workspace is hermetic and CI must not pip install.
 """
 
@@ -46,13 +55,54 @@ GATED_PREFIXES = ("sim/", "fio/")
 # fall back to raw comparison (factor 1.0).
 MIN_COMMON_FOR_FACTOR = 3
 
+# (single-thread bench, parallel bench, worker count the parallel bench
+# uses). The speedup gate only arms when the host has at least that many
+# CPUs to schedule the workers on.
+SPEEDUP_SINGLE = "sim/16ch_fio_1t"
+SPEEDUP_PARALLEL = "sim/16ch_fio"
+SPEEDUP_MIN_CPUS = 8
 
-def medians(path):
+
+def load(path):
     with open(path) as f:
         doc = json.load(f)
     if doc.get("schema") != "babol-bench-v1":
         sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
-    return {r["name"]: float(r["median_ns"]) for r in doc["results"]}
+    return doc
+
+
+def medians(path):
+    return {r["name"]: float(r["median_ns"]) for r in load(path)["results"]}
+
+
+def check_speedup(fresh_doc, fresh, failures):
+    """Applies the parallel speedup gate; appends to failures on breach."""
+    if SPEEDUP_SINGLE not in fresh or SPEEDUP_PARALLEL not in fresh:
+        return
+    minimum = float(os.environ.get("BABOL_BENCH_SPEEDUP_MIN", "4.0"))
+    cpus = int(fresh_doc.get("host_cpus", 1))
+    if fresh[SPEEDUP_PARALLEL] <= 0:
+        failures.append(f"{SPEEDUP_PARALLEL}: zero median, cannot compute speedup")
+        return
+    ratio = fresh[SPEEDUP_SINGLE] / fresh[SPEEDUP_PARALLEL]
+    if cpus < SPEEDUP_MIN_CPUS:
+        print(
+            f"parallel speedup gate SKIPPED: host_cpus={cpus} < "
+            f"{SPEEDUP_MIN_CPUS} (measured {ratio:.2f}x, need {minimum:.1f}x)"
+        )
+        return
+    verdict = "OK" if ratio >= minimum else "FAILED"
+    print(
+        f"parallel speedup gate {verdict}: {SPEEDUP_SINGLE} / "
+        f"{SPEEDUP_PARALLEL} = {ratio:.2f}x (need {minimum:.1f}x, "
+        f"host_cpus={cpus})"
+    )
+    if ratio < minimum:
+        failures.append(
+            f"parallel speedup {ratio:.2f}x below the {minimum:.1f}x floor "
+            f"({SPEEDUP_SINGLE} median {fresh[SPEEDUP_SINGLE]:.0f} ns, "
+            f"{SPEEDUP_PARALLEL} median {fresh[SPEEDUP_PARALLEL]:.0f} ns)"
+        )
 
 
 def main():
@@ -70,7 +120,8 @@ def main():
 
     threshold = float(os.environ.get("BABOL_BENCH_REGRESSION_PCT", "25"))
     base = medians(baseline_path)
-    fresh = medians(fresh_path)
+    fresh_doc = load(fresh_path)
+    fresh = {r["name"]: float(r["median_ns"]) for r in fresh_doc["results"]}
 
     common = [n for n in base if n in fresh and base[n] > 0]
     if len(common) >= MIN_COMMON_FOR_FACTOR:
@@ -104,6 +155,8 @@ def main():
                 f"({delta:+.1f}% vs host-normalized expectation "
                 f"{expected:.0f} ns, > +{threshold:.0f}% allowed)"
             )
+
+    check_speedup(fresh_doc, fresh, failures)
 
     if failures:
         print(f"\nbench regression gate FAILED ({len(failures)}):", file=sys.stderr)

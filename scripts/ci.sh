@@ -33,6 +33,21 @@ cargo test --workspace -q --offline
 step "verifier mutation gate"
 cargo test --offline -q --test verify_mutations --test verify_differential
 
+# Mirror of the hosted determinism matrix: the parallel-DES digest test
+# runs once per thread count, and the printed `determinism-digest` lines
+# (3 seeds x 3 legs = 9 digests) must be byte-identical across legs.
+step "determinism matrix (BABOL_THREADS 1/2/8 x 3 seeds)"
+for t in 1 2 8; do
+  BABOL_THREADS=$t cargo test --offline -q --test determinism \
+    parallel_fio_is_thread_count_invariant -- --nocapture \
+    | grep '^determinism-digest' > "/tmp/babol_digests_$t.txt"
+  echo "threads=$t:"
+  cat "/tmp/babol_digests_$t.txt"
+done
+cmp /tmp/babol_digests_1.txt /tmp/babol_digests_2.txt
+cmp /tmp/babol_digests_1.txt /tmp/babol_digests_8.txt
+echo "determinism matrix: all legs byte-identical"
+
 # The smoke run writes to a scratch path: the committed
 # results/BENCH_paper.json is the full-iteration baseline and a 2-iter
 # smoke run must never clobber it.
@@ -49,10 +64,15 @@ else
   echo "python3 not found; skipped bench regression gate"
 fi
 
-for ex in quickstart boot_and_calibrate advanced_ops read_retry_ecc ssd_fio; do
+# The example smoke list lives in scripts/examples.txt (shared with the
+# hosted workflow) so the two can never drift.
+grep -v '^\s*#' scripts/examples.txt | grep -v '^\s*$' | while read -r ex; do
   step "cargo run --release --example $ex"
   cargo run --release --offline --example "$ex"
 done
+
+step "multi-channel smoke (ssd_fio --channels 8 --threads 2)"
+cargo run --release --offline --example ssd_fio -- --channels 8 --threads 2
 
 step "trace export smoke (ssd_fio --trace)"
 cargo run --release --offline --example ssd_fio -- --trace /tmp/babol_trace.json

@@ -12,7 +12,8 @@ use babol_bench::{
     build_controller, build_system, read_microbench, read_microbench_traced, ControllerKind,
 };
 use babol_flash::PackageProfile;
-use babol_ftl::{FioWorkload, IoPattern, Ssd, SsdConfig};
+use babol_ftl::{FioWorkload, IoPattern, MultiSsd, MultiSsdConfig, Ssd, SsdConfig};
+use babol_testkit::digest::Digest;
 
 /// The Fig. 10 microbenchmark replays identically: every completion
 /// timestamp, CPU cycle count, and bus-busy interval matches across runs.
@@ -131,5 +132,71 @@ fn ssd_fio_run_is_reproducible() {
     assert_ne!(
         a, c,
         "different seeds produced identical random-read traces"
+    );
+}
+
+/// Digest of one multi-channel fio job: the full run report plus every
+/// shard's exported timeline, folded into one printable hash.
+fn parallel_fio_digest(threads: usize, seed: u64) -> String {
+    let mut cfg = MultiSsdConfig::tiny(8, threads);
+    cfg.trace_capacity = Some(4096);
+    let mut ssd = MultiSsd::new(cfg);
+    let report = ssd.run(&FioWorkload {
+        pattern: IoPattern::RandomRead,
+        total_ios: 256,
+        queue_depth: 16,
+        seed,
+    });
+    let mut d = Digest::new();
+    d.section("report", format!("{report:?}"));
+    for sd in ssd.finish() {
+        d.section(&format!("shard{}", sd.shard), sd.tracer.to_json_lines());
+    }
+    d.hex()
+}
+
+/// The sharded parallel simulation is thread-count-invariant: the merged
+/// completion stream, derived statistics, and every per-shard timeline are
+/// bit-identical whether the shards run inline or on 2 or 8 workers.
+///
+/// This test is also the CI determinism matrix probe: each matrix leg runs
+/// it with `BABOL_THREADS` set to its thread count and `--nocapture`, and
+/// the driver compares the printed `determinism-digest` lines byte for byte
+/// across all legs. The lines deliberately omit the leg's thread count so
+/// identical output across jobs witnesses cross-process, cross-thread-count
+/// determinism.
+#[test]
+fn parallel_fio_is_thread_count_invariant() {
+    let leg: usize = std::env::var("BABOL_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(1);
+    let mut digests = Vec::new();
+    for seed in [0xBAB01_u64, 0xD15C, 0x5EED] {
+        let reference = parallel_fio_digest(1, seed);
+        for threads in [2usize, 8] {
+            assert_eq!(
+                parallel_fio_digest(threads, seed),
+                reference,
+                "threads={threads} seed={seed:#x} diverged from the single-thread order"
+            );
+        }
+        // Recompute with this matrix leg's thread count so each CI job
+        // genuinely exercises its own configuration before printing.
+        let printed = if leg == 1 {
+            reference.clone()
+        } else {
+            parallel_fio_digest(leg, seed)
+        };
+        assert_eq!(printed, reference, "matrix leg threads={leg} diverged");
+        println!("determinism-digest seed={seed:#018x} digest={printed}");
+        digests.push(reference);
+    }
+    digests.sort();
+    digests.dedup();
+    assert_eq!(
+        digests.len(),
+        3,
+        "different seeds must produce different runs"
     );
 }
