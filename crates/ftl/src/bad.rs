@@ -1,0 +1,192 @@
+//! Deterministic bad-block model: factory-marked bad blocks plus grown
+//! failures (erase wear-out, program failures).
+//!
+//! Real NAND ships with factory-bad blocks (marked in the spare area) and
+//! grows more as erases exhaust each block's endurance; a controller must
+//! retire them and remap in-flight data. The simulation needs those events
+//! to be **deterministic**: every decision here is a pure hash of the
+//! model seed and the physical address (plus the erase ordinal for
+//! wear-out), so the same seed produces the same bad-block history at any
+//! thread count — no RNG stream is consumed, which keeps the host
+//! workload's RNG untouched.
+
+use babol_sim::rng::SplitMix64;
+
+use crate::map::Ppn;
+
+/// Static configuration of the bad-block model. The all-zero default
+/// disables every failure mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BadBlockConfig {
+    /// Seed for all failure decisions.
+    pub seed: u64,
+    /// Factory-bad blocks, per mille of all blocks (0 = none).
+    pub factory_bad_per_mille: u32,
+    /// Base erase endurance per block; a block's n-th erase fails once n
+    /// reaches its endurance (0 = unlimited).
+    pub endurance_base: u32,
+    /// Per-block endurance jitter added on top of the base (hash-picked
+    /// in `0..spread`; 0 = uniform endurance).
+    pub endurance_spread: u32,
+    /// Program failures, per million program operations (0 = none).
+    pub program_fail_per_million: u32,
+}
+
+/// The model: pure functions over ([`BadBlockConfig::seed`], address).
+#[derive(Debug, Clone, Copy)]
+pub struct BadBlockModel {
+    cfg: BadBlockConfig,
+}
+
+impl BadBlockModel {
+    /// Builds the model.
+    pub fn new(cfg: BadBlockConfig) -> Self {
+        BadBlockModel { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BadBlockConfig {
+        &self.cfg
+    }
+
+    /// Hash of (seed, a, b, c) via two SplitMix64 steps — enough mixing
+    /// for per-address failure draws.
+    fn hash(&self, a: u64, b: u64, c: u64) -> u64 {
+        let mut rng = SplitMix64::new(
+            self.cfg
+                .seed
+                .wrapping_add(a.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+                .wrapping_add(c.wrapping_mul(0x94D0_49BB_1331_11EB)),
+        );
+        rng.next_u64();
+        rng.next_u64()
+    }
+
+    /// Whether (lun, block) is factory-marked bad.
+    pub fn factory_bad(&self, lun: u32, block: u32) -> bool {
+        self.cfg.factory_bad_per_mille > 0
+            && self.hash(1, lun as u64, block as u64) % 1000 < self.cfg.factory_bad_per_mille as u64
+    }
+
+    /// (lun, block)'s erase endurance, or `None` for unlimited.
+    pub fn endurance(&self, lun: u32, block: u32) -> Option<u32> {
+        if self.cfg.endurance_base == 0 {
+            return None;
+        }
+        let jitter = if self.cfg.endurance_spread == 0 {
+            0
+        } else {
+            (self.hash(2, lun as u64, block as u64) % self.cfg.endurance_spread as u64) as u32
+        };
+        Some(self.cfg.endurance_base + jitter)
+    }
+
+    /// Whether the erase that would bring (lun, block) to `erases_done`
+    /// completed erases fails — i.e. the block's endurance is exhausted.
+    pub fn erase_fails(&self, lun: u32, block: u32, erases_done: u32) -> bool {
+        self.endurance(lun, block)
+            .is_some_and(|limit| erases_done >= limit)
+    }
+
+    /// Whether programming this physical page fails. Pure per-page: the
+    /// first failure retires the whole block, so the page is never
+    /// programmed again and the per-address draw stays one-shot.
+    pub fn program_fails(&self, ppn: Ppn) -> bool {
+        self.cfg.program_fail_per_million > 0
+            && self.hash(
+                3,
+                ppn.lun as u64,
+                (ppn.block as u64) << 32 | ppn.page as u64,
+            ) % 1_000_000
+                < self.cfg.program_fail_per_million as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_model_never_fails() {
+        let m = BadBlockModel::new(BadBlockConfig::default());
+        for lun in 0..4 {
+            for block in 0..64 {
+                assert!(!m.factory_bad(lun, block));
+                assert!(!m.erase_fails(lun, block, u32::MAX));
+                assert!(!m.program_fails(Ppn {
+                    lun,
+                    block,
+                    page: 0
+                }));
+            }
+        }
+    }
+
+    #[test]
+    fn factory_map_is_deterministic_and_sparse() {
+        let cfg = BadBlockConfig {
+            seed: 0xBAD,
+            factory_bad_per_mille: 20,
+            ..Default::default()
+        };
+        let m = BadBlockModel::new(cfg);
+        let count = |m: &BadBlockModel| {
+            (0..8u32)
+                .flat_map(|lun| (0..512u32).map(move |b| (lun, b)))
+                .filter(|&(lun, b)| m.factory_bad(lun, b))
+                .count()
+        };
+        let n = count(&m);
+        assert_eq!(n, count(&BadBlockModel::new(cfg)), "not deterministic");
+        // 2% of 4096 blocks: expect roughly 82, allow a wide band.
+        assert!((20..200).contains(&n), "factory-bad count {n} implausible");
+        // A different seed marks a different set.
+        let other = BadBlockModel::new(BadBlockConfig {
+            seed: 0xBAD + 1,
+            ..cfg
+        });
+        assert!(
+            (0..512u32).any(|b| m.factory_bad(0, b) != other.factory_bad(0, b)),
+            "seeds should differ"
+        );
+    }
+
+    #[test]
+    fn endurance_is_bounded_and_jittered() {
+        let m = BadBlockModel::new(BadBlockConfig {
+            seed: 7,
+            endurance_base: 10,
+            endurance_spread: 5,
+            ..Default::default()
+        });
+        let mut seen = std::collections::BTreeSet::new();
+        for block in 0..64 {
+            let e = m.endurance(0, block).unwrap();
+            assert!((10..15).contains(&e));
+            seen.insert(e);
+            assert!(!m.erase_fails(0, block, e - 1));
+            assert!(m.erase_fails(0, block, e));
+        }
+        assert!(seen.len() > 1, "jitter produced uniform endurance");
+    }
+
+    #[test]
+    fn program_failures_hit_the_configured_rate() {
+        let m = BadBlockModel::new(BadBlockConfig {
+            seed: 9,
+            program_fail_per_million: 50_000, // 5%
+            ..Default::default()
+        });
+        let n = (0..10_000u32)
+            .filter(|&i| {
+                m.program_fails(Ppn {
+                    lun: i % 4,
+                    block: i / 64,
+                    page: i % 64,
+                })
+            })
+            .count();
+        assert!((200..1200).contains(&n), "5% of 10k draws gave {n}");
+    }
+}

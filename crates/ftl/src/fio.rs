@@ -68,8 +68,22 @@ pub struct FioReport {
     pub p95_latency: SimDuration,
     /// 99th-percentile latency.
     pub p99_latency: SimDuration,
-    /// Garbage-collection cycles the job triggered.
+    /// Garbage-collection cycles the device has run (total since the SSD
+    /// was built, like the counters below).
     pub gc_cycles: u64,
+    /// Flash energy spent, picojoules (reads + programs + erases + bus
+    /// transfers).
+    pub energy_pj: u64,
+    /// Write-back cache: writes absorbed while the page was resident.
+    pub cache_hits: u64,
+    /// Write-back cache: writes that claimed a fresh slot.
+    pub cache_misses: u64,
+    /// Write-back cache: evictions that had to program flash first.
+    pub cache_dirty_evicts: u64,
+    /// Wear-leveling migrations of cold blocks.
+    pub wear_migrations: u64,
+    /// Blocks retired (factory map plus grown failures).
+    pub blocks_retired: u64,
 }
 
 impl FioReport {
@@ -87,6 +101,11 @@ impl FioReport {
             return 0.0;
         }
         self.ios as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Flash energy spent, joules (1 pJ = 1e-12 J).
+    pub fn joules(&self) -> f64 {
+        self.energy_pj as f64 * 1e-12
     }
 }
 
@@ -135,9 +154,16 @@ mod tests {
             p95_latency: SimDuration::from_micros(350),
             p99_latency: SimDuration::from_micros(400),
             gc_cycles: 0,
+            energy_pj: 2_500_000_000,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_dirty_evicts: 0,
+            wear_migrations: 0,
+            blocks_retired: 0,
         };
         assert!((r.bandwidth_mbps() - 163.84).abs() < 0.01);
         assert!((r.iops() - 10_000.0).abs() < 1e-6);
+        assert!((r.joules() - 2.5e-3).abs() < 1e-12);
     }
 
     #[test]

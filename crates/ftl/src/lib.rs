@@ -15,14 +15,25 @@
 //!   N channels, each channel a self-contained shard (system + controller +
 //!   FTL slice) advanced in parallel by the conservative-barrier kernel in
 //!   `babol_sim::par` with bit-identical results at any thread count.
+//! * [`cache`] — write-back DRAM cache bookkeeping in front of the write
+//!   path (LRU / clean-first eviction, read-coherence flushes).
+//! * [`bad`] — deterministic bad-block model: factory map plus grown
+//!   program/erase failures, all pure hashes of a seed.
+//! * [`energy`] — per-operation energy accounting (integer picojoules).
 
+pub mod bad;
+pub mod cache;
+pub mod energy;
 pub mod fio;
 pub mod map;
 pub mod multi;
 pub mod ssd;
 
+pub use bad::{BadBlockConfig, BadBlockModel};
+pub use cache::{CachePolicy, Eviction, WriteCache};
+pub use energy::{EnergyModel, EnergyTally};
 pub use fio::{FioReport, FioWorkload, IoPattern};
-pub use map::{GcPlan, PageMap, Ppn};
+pub use map::{BlockState, GcPlan, PageMap, Ppn};
 pub use multi::{
     ChannelShard, HostCmd, MultiControllerKind, MultiFioReport, MultiSsd, MultiSsdConfig,
     ShardDigest, ShardEvent,

@@ -133,13 +133,54 @@ pub enum ShardEvent {
         /// When the cycle completed.
         at: SimTime,
     },
+    /// Production-FTL counter deltas since the shard's previous report,
+    /// emitted at most once per barrier window (only when something
+    /// changed). The coordinator folds these into the aggregate
+    /// [`FioReport`].
+    Meter {
+        /// The shard clock when the sample was taken.
+        at: SimTime,
+        /// Flash energy spent, picojoules.
+        energy_pj: u64,
+        /// Cache hits, misses, dirty evictions.
+        cache: [u64; 3],
+        /// Wear migrations, blocks retired.
+        wear: [u64; 2],
+    },
 }
 
 impl ShardEvent {
     /// The record's simulated timestamp (the merge key).
     pub fn at(&self) -> SimTime {
         match *self {
-            ShardEvent::Done { at, .. } | ShardEvent::Gc { at } => at,
+            ShardEvent::Done { at, .. } | ShardEvent::Gc { at } | ShardEvent::Meter { at, .. } => {
+                at
+            }
+        }
+    }
+}
+
+/// Running production-FTL totals a shard has already reported via
+/// [`ShardEvent::Meter`] (the delta baseline).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct MeterTotals {
+    energy_pj: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_dirty_evicts: u64,
+    wear_migrations: u64,
+    blocks_retired: u64,
+}
+
+impl MeterTotals {
+    fn of(ssd: &Ssd) -> Self {
+        MeterTotals {
+            energy_pj: ssd.energy().total_pj(),
+            cache_hits: ssd.cache().hits(),
+            cache_misses: ssd.cache().misses(),
+            cache_dirty_evicts: ssd.cache().dirty_evicts(),
+            wear_migrations: ssd.wear_migrations(),
+            blocks_retired: ssd.blocks_retired(),
         }
     }
 }
@@ -155,6 +196,10 @@ pub struct ShardDigest {
     pub events: u64,
     /// GC cycles the shard ran.
     pub gc_cycles: u64,
+    /// Flash energy the shard spent, picojoules.
+    pub energy_pj: u64,
+    /// Blocks the shard retired (factory map plus grown failures).
+    pub blocks_retired: u64,
     /// Page-buffer pool counters (zero-copy accounting).
     pub pool: PoolStats,
     /// The shard's tracer (empty when tracing was off), with pool counters
@@ -176,6 +221,8 @@ pub struct ChannelShard {
     scratch: Vec<(IoRequest, SimTime)>,
     events: u64,
     seen_gc: u64,
+    /// Totals already reported through [`ShardEvent::Meter`].
+    metered: MeterTotals,
 }
 
 impl ChannelShard {
@@ -234,6 +281,7 @@ impl ChannelShard {
             scratch: Vec::new(),
             events: 0,
             seen_gc: 0,
+            metered: MeterTotals::default(),
         }
     }
 
@@ -249,12 +297,27 @@ impl ChannelShard {
             let page = self.ssd.cfg.geometry.page_size;
             let buf = HOST_BUF + cmd.slot * page as u64;
             let req = if cmd.write {
+                if self.ssd.cache().is_enabled() {
+                    // Write-back: absorbed in shard DRAM and completed
+                    // immediately — the inline dirty-eviction flush (if
+                    // any) has already advanced the shard clock.
+                    self.ssd
+                        .cache_write(&mut self.sys, self.ctrl.as_mut(), cmd.lpn);
+                    self.emit_gc(out);
+                    let at = self.sys.now;
+                    self.ssd.note_progress(at);
+                    out.push(ShardEvent::Done { id: cmd.id, at });
+                    continue;
+                }
                 let req =
                     self.ssd
                         .prepare_write(&mut self.sys, self.ctrl.as_mut(), cmd.lpn, buf, cmd.id);
                 self.emit_gc(out);
                 req
             } else {
+                self.ssd
+                    .flush_for_read(&mut self.sys, self.ctrl.as_mut(), cmd.lpn);
+                self.emit_gc(out);
                 let ppn = self
                     .ssd
                     .map()
@@ -302,8 +365,33 @@ impl ChannelShard {
             if !self.ctrl.submit(&mut self.sys, req) {
                 break;
             }
+            self.ssd.account_io(&mut self.sys, &req);
             self.pending.pop_front();
         }
+    }
+
+    /// Emits one [`ShardEvent::Meter`] carrying the production-FTL counter
+    /// deltas since the last report, if anything changed this window.
+    fn emit_meter(&mut self, out: &mut Vec<ShardEvent>) {
+        let now = MeterTotals::of(&self.ssd);
+        if now == self.metered {
+            return;
+        }
+        let then = self.metered;
+        out.push(ShardEvent::Meter {
+            at: self.sys.now,
+            energy_pj: now.energy_pj - then.energy_pj,
+            cache: [
+                now.cache_hits - then.cache_hits,
+                now.cache_misses - then.cache_misses,
+                now.cache_dirty_evicts - then.cache_dirty_evicts,
+            ],
+            wear: [
+                now.wear_migrations - then.wear_migrations,
+                now.blocks_retired - then.blocks_retired,
+            ],
+        });
+        self.metered = now;
     }
 }
 
@@ -338,6 +426,7 @@ impl Shard for ChannelShard {
             self.ctrl.on_event(&mut self.sys, ev);
         }
         self.harvest(out);
+        self.emit_meter(out);
     }
 
     fn next_event_time(&self) -> Option<SimTime> {
@@ -359,6 +448,8 @@ impl Shard for ChannelShard {
             now: self.sys.now,
             events: self.events,
             gc_cycles: self.ssd.gc_cycles,
+            energy_pj: self.ssd.energy().total_pj(),
+            blocks_retired: self.ssd.blocks_retired(),
             pool: self.sys.pool().stats(),
             tracer: std::mem::take(&mut self.sys.trace),
             pending: self.pending.len(),
@@ -453,6 +544,7 @@ impl MultiSsd {
         let mut next_events: Vec<Option<SimTime>> = vec![None; self.channels as usize];
         let mut inboxes: Vec<Vec<HostCmd>> = vec![Vec::new(); self.channels as usize];
         let mut gc_cycles = 0u64;
+        let mut meter = MeterTotals::default();
         let mut rounds = 0u64;
         let mut end = start;
 
@@ -518,6 +610,19 @@ impl MultiSsd {
                         end = end.max(at);
                     }
                     ShardEvent::Gc { .. } => gc_cycles += 1,
+                    ShardEvent::Meter {
+                        energy_pj,
+                        cache,
+                        wear,
+                        ..
+                    } => {
+                        meter.energy_pj += energy_pj;
+                        meter.cache_hits += cache[0];
+                        meter.cache_misses += cache[1];
+                        meter.cache_dirty_evicts += cache[2];
+                        meter.wear_migrations += wear[0];
+                        meter.blocks_retired += wear[1];
+                    }
                 }
             }
             self.barrier = horizon;
@@ -555,6 +660,12 @@ impl MultiSsd {
                 p95_latency: pct(0.95),
                 p99_latency: pct(0.99),
                 gc_cycles,
+                energy_pj: meter.energy_pj,
+                cache_hits: meter.cache_hits,
+                cache_misses: meter.cache_misses,
+                cache_dirty_evicts: meter.cache_dirty_evicts,
+                wear_migrations: meter.wear_migrations,
+                blocks_retired: meter.blocks_retired,
             },
             completion_log,
             per_shard_ios,

@@ -76,6 +76,11 @@ pub struct BenchResult {
     pub mean_ns: f64,
     /// Sample standard deviation (0 for a single iteration).
     pub stddev_ns: f64,
+    /// Simulated flash energy per iteration in joules (0 when the
+    /// benchmark does not model energy). Set via [`Bench::annotate_joules`]
+    /// after the timed run — energy is a deterministic property of the
+    /// simulated work, not a wall-clock measurement.
+    pub joules: f64,
 }
 
 impl BenchResult {
@@ -109,13 +114,15 @@ impl BenchResult {
             max_ns: samples[n - 1],
             mean_ns: mean,
             stddev_ns: stddev,
+            joules: 0.0,
         }
     }
 
     fn to_json(&self) -> String {
         format!(
             "{{\"name\": {}, \"iters\": {}, \"min_ns\": {:.1}, \"median_ns\": {:.1}, \
-             \"p95_ns\": {:.1}, \"max_ns\": {:.1}, \"mean_ns\": {:.1}, \"stddev_ns\": {:.1}}}",
+             \"p95_ns\": {:.1}, \"max_ns\": {:.1}, \"mean_ns\": {:.1}, \"stddev_ns\": {:.1}, \
+             \"joules\": {:.9}}}",
             json_string(&self.name),
             self.iters,
             self.min_ns,
@@ -124,6 +131,7 @@ impl BenchResult {
             self.max_ns,
             self.mean_ns,
             self.stddev_ns,
+            self.joules,
         )
     }
 }
@@ -184,6 +192,21 @@ impl Bench {
         }
         self.results.push(result);
         self.results.last().expect("just pushed")
+    }
+
+    /// Attaches the simulated flash energy (joules per iteration) to the
+    /// most recently run benchmark. Energy is deterministic across
+    /// iterations of the same simulated workload, so the caller computes
+    /// it once from any iteration's report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no benchmark has run yet.
+    pub fn annotate_joules(&mut self, joules: f64) {
+        self.results
+            .last_mut()
+            .expect("annotate_joules before any benchmark ran")
+            .joules = joules;
     }
 
     /// All results collected so far, in run order.
@@ -297,14 +320,18 @@ mod tests {
         })
         .quiet();
         b.bench("group/alpha", || black_box(2u64 + 2));
+        b.annotate_joules(2.5e-3);
         b.bench("beta", || black_box(vec![0u8; 64]));
         assert_eq!(b.results().len(), 2);
+        assert_eq!(b.results()[0].joules, 2.5e-3);
+        assert_eq!(b.results()[1].joules, 0.0);
         let json = b.to_json();
         assert!(json.contains("\"schema\": \"babol-bench-v1\""));
         assert!(json.contains(&format!("\"host_cpus\": {}", host_cpus())));
         assert!(host_cpus() >= 1);
         assert!(json.contains("\"name\": \"group/alpha\""));
         assert!(json.contains("\"median_ns\""));
+        assert!(json.contains("\"joules\": 0.002500000"));
         // Identical results serialize identically: the JSON layer itself
         // introduces no nondeterminism.
         assert_eq!(json, b.to_json());

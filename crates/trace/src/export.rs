@@ -9,7 +9,7 @@ use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
 
-use crate::{TraceEvent, TraceKind, Tracer};
+use crate::{Component, Counter, TraceEvent, TraceKind, Tracer};
 
 impl TraceKind {
     /// The kind that opens the span this one closes, if any.
@@ -77,18 +77,32 @@ impl Tracer {
     /// is truncated — consumers (`trace_report`, `parse_json_lines`)
     /// surface it so a partial trace is never read as complete. `shard` is
     /// the channel this tracer observed (0 for single-system runs).
+    ///
+    /// The FTL production counters ([`Counter::FTL_FOOTER`]: cache
+    /// hit/miss/evict, wear migrations, retired blocks, per-op energy)
+    /// travel in the footer too, each emitted only when non-zero, so
+    /// traces from runs without the production FTL features keep the
+    /// exact legacy footer.
     pub fn to_json_lines(&self) -> String {
         let mut out = String::new();
         for e in self.events() {
             push_jsonl(&mut out, e);
         }
-        let _ = writeln!(
+        let _ = write!(
             out,
             r#"{{"footer":true,"events":{},"dropped":{},"shard":{}}}"#,
             self.events().count(),
             self.dropped(),
             self.shard()
         );
+        for c in Counter::FTL_FOOTER {
+            let n = self.counter(Component::Ftl, c);
+            if n != 0 {
+                out.truncate(out.len() - 1);
+                let _ = write!(out, r#","{}":{}}}"#, c.name(), n);
+            }
+        }
+        out.push('\n');
         out
     }
 
@@ -221,6 +235,26 @@ mod tests {
         );
         let chrome = t.to_chrome_trace();
         assert!(chrome.contains(r#""metadata":{"events":2,"recorded":2,"dropped":3,"shard":0}"#));
+    }
+
+    #[test]
+    fn jsonl_footer_carries_nonzero_ftl_counters() {
+        use crate::Counter;
+        let mut t = Tracer::enabled();
+        t.count(Component::Ftl, Counter::CacheHits, 12);
+        t.count(Component::Ftl, Counter::EnergyProgramPj, 33_000_000);
+        let s = t.to_json_lines();
+        assert_eq!(
+            s.lines().last().unwrap(),
+            r#"{"footer":true,"events":0,"dropped":0,"shard":0,"cache_hits":12,"energy_program_pj":33000000}"#
+        );
+        // Counters on other components never leak into the footer.
+        let mut plain = Tracer::enabled();
+        plain.count(Component::Sim, Counter::CacheHits, 5);
+        assert_eq!(
+            plain.to_json_lines(),
+            "{\"footer\":true,\"events\":0,\"dropped\":0,\"shard\":0}\n"
+        );
     }
 
     #[test]

@@ -332,11 +332,30 @@ pub enum Counter {
     PoolHeapAllocs,
     /// Maximum simultaneously checked-out page buffers.
     PoolHighWater,
+    /// Host writes absorbed by the write-back cache (and reads whose dirty
+    /// copy was flushed from it).
+    CacheHits,
+    /// Host writes that had to claim a fresh cache slot.
+    CacheMisses,
+    /// Dirty cache entries flushed to flash on eviction.
+    CacheDirtyEvicts,
+    /// Cold blocks migrated by the wear leveler.
+    WearMigrations,
+    /// Blocks retired to the bad-block map (factory + grown).
+    BlocksRetired,
+    /// Energy spent in array read (tR) operations, picojoules.
+    EnergyReadPj,
+    /// Energy spent in array program (tPROG) operations, picojoules.
+    EnergyProgramPj,
+    /// Energy spent in block erase (tBERS) operations, picojoules.
+    EnergyErasePj,
+    /// Energy spent moving data over the channel bus, picojoules.
+    EnergyTransferPj,
 }
 
 impl Counter {
     /// Number of counters (array dimension for storage).
-    pub const COUNT: usize = 19;
+    pub const COUNT: usize = 28;
 
     /// All counters, in display order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -359,6 +378,15 @@ impl Counter {
         Counter::PoolAcquires,
         Counter::PoolHeapAllocs,
         Counter::PoolHighWater,
+        Counter::CacheHits,
+        Counter::CacheMisses,
+        Counter::CacheDirtyEvicts,
+        Counter::WearMigrations,
+        Counter::BlocksRetired,
+        Counter::EnergyReadPj,
+        Counter::EnergyProgramPj,
+        Counter::EnergyErasePj,
+        Counter::EnergyTransferPj,
     ];
 
     /// Dense index for array storage.
@@ -389,8 +417,31 @@ impl Counter {
             Counter::PoolAcquires => "pool_acquires",
             Counter::PoolHeapAllocs => "pool_heap_allocs",
             Counter::PoolHighWater => "pool_high_water",
+            Counter::CacheHits => "cache_hits",
+            Counter::CacheMisses => "cache_misses",
+            Counter::CacheDirtyEvicts => "cache_dirty_evicts",
+            Counter::WearMigrations => "wear_migrations",
+            Counter::BlocksRetired => "blocks_retired",
+            Counter::EnergyReadPj => "energy_read_pj",
+            Counter::EnergyProgramPj => "energy_program_pj",
+            Counter::EnergyErasePj => "energy_erase_pj",
+            Counter::EnergyTransferPj => "energy_transfer_pj",
         }
     }
+
+    /// The FTL production counters carried in the jsonl footer (cache,
+    /// wear, bad-block, and energy accounting), in footer key order.
+    pub const FTL_FOOTER: [Counter; 9] = [
+        Counter::CacheHits,
+        Counter::CacheMisses,
+        Counter::CacheDirtyEvicts,
+        Counter::WearMigrations,
+        Counter::BlocksRetired,
+        Counter::EnergyReadPj,
+        Counter::EnergyProgramPj,
+        Counter::EnergyErasePj,
+        Counter::EnergyTransferPj,
+    ];
 }
 
 /// Latency distributions tracked as log2 histograms.

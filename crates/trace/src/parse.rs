@@ -11,7 +11,7 @@ use std::fmt;
 
 use babol_sim::SimTime;
 
-use crate::{Component, TraceEvent, TraceKind};
+use crate::{Component, Counter, TraceEvent, TraceKind};
 
 /// A trace read back from line-JSON.
 #[derive(Debug, Clone, Default)]
@@ -26,6 +26,24 @@ pub struct ParsedTrace {
     pub shard: u32,
     /// Whether a footer record was present.
     pub has_footer: bool,
+    /// FTL production counters carried in the footer
+    /// ([`Counter::FTL_FOOTER`]), in footer key order; absent keys are 0.
+    pub ftl_counters: Vec<(Counter, u64)>,
+}
+
+impl ParsedTrace {
+    /// Value of an FTL footer counter (0 when the footer omitted it).
+    pub fn ftl_counter(&self, c: Counter) -> u64 {
+        self.ftl_counters
+            .iter()
+            .find(|&&(k, _)| k == c)
+            .map_or(0, |&(_, n)| n)
+    }
+
+    /// True when the footer carried any FTL production counter.
+    pub fn has_ftl_counters(&self) -> bool {
+        self.ftl_counters.iter().any(|&(_, n)| n != 0)
+    }
 }
 
 /// Why a trace file failed to parse.
@@ -96,7 +114,12 @@ pub fn parse_json_lines(text: &str) -> Result<ParsedTrace, ParseError> {
                     "shard" => {
                         trace.shard = v.parse().map_err(|_| err("bad shard id"))?;
                     }
-                    _ => {}
+                    _ => {
+                        if let Some(c) = Counter::FTL_FOOTER.into_iter().find(|c| c.name() == k) {
+                            let n = v.parse().map_err(|_| err("bad ftl counter"))?;
+                            trace.ftl_counters.push((c, n));
+                        }
+                    }
                 }
             }
             trace.has_footer = true;
@@ -203,6 +226,24 @@ mod tests {
             .unwrap_err()
             .reason
             .contains("missing t_ps"));
+    }
+
+    #[test]
+    fn footer_roundtrips_ftl_counters() {
+        use crate::Component;
+        let mut t = Tracer::enabled();
+        t.count(Component::Ftl, Counter::CacheDirtyEvicts, 4);
+        t.count(Component::Ftl, Counter::EnergyErasePj, 248_000_000);
+        let parsed = parse_json_lines(&t.to_json_lines()).unwrap();
+        assert!(parsed.has_ftl_counters());
+        assert_eq!(parsed.ftl_counter(Counter::CacheDirtyEvicts), 4);
+        assert_eq!(parsed.ftl_counter(Counter::EnergyErasePj), 248_000_000);
+        assert_eq!(parsed.ftl_counter(Counter::CacheHits), 0);
+        // Legacy footers parse with every FTL counter at 0.
+        let legacy = "{\"footer\":true,\"events\":0,\"dropped\":0,\"shard\":0}\n";
+        let parsed = parse_json_lines(legacy).unwrap();
+        assert!(!parsed.has_ftl_counters());
+        assert_eq!(parsed.ftl_counter(Counter::WearMigrations), 0);
     }
 
     #[test]

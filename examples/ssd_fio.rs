@@ -6,6 +6,8 @@
 //! cargo run --release --example ssd_fio -- --trace /tmp/ssd.json
 //! cargo run --release --example ssd_fio -- --report
 //! cargo run --release --example ssd_fio -- --channels 8 --threads 4
+//! cargo run --release --example ssd_fio -- --cache-mb 1
+//! cargo run --release --example ssd_fio -- --wear-report
 //! ```
 //!
 //! With `--trace`, the GC-heavy random-write job runs with the tracing
@@ -21,6 +23,14 @@
 //! every thread count; `--report` then prints a per-shard utilization
 //! table and `--trace` writes one timeline pair per channel
 //! (`<path>.shardK` / `<path>.shardK.jsonl`).
+//!
+//! With `--cache-mb N` a write-back DRAM cache of N MiB fronts the FTL for
+//! the write job (tiny pages are 512 B, so 1 MiB already covers the whole
+//! demo device and absorbs every rewrite); hit/miss/eviction counters are
+//! printed after the run. With `--wear-report` wear leveling is armed
+//! (spread limit 4) and a per-LUN erase-count table plus migration and
+//! bad-block totals are printed. Every write job also reports its
+//! simulated flash energy in joules.
 
 use babol::factory::rtos_controller;
 use babol::runtime::RuntimeConfig;
@@ -33,7 +43,11 @@ use babol_ftl::{FioWorkload, IoPattern, Ssd, SsdConfig};
 use babol_sim::{CostModel, Cpu, Freq};
 use babol_ufsm::EmitConfig;
 
-fn stack(preloaded: bool) -> (System, babol::runtime::SoftController, Ssd) {
+fn stack(
+    preloaded: bool,
+    cache_pages: usize,
+    wear_leveling: bool,
+) -> (System, babol::runtime::SoftController, Ssd) {
     let profile = PackageProfile::test_tiny();
     let luns: Vec<Lun> = (0..4)
         .map(|i| {
@@ -56,7 +70,12 @@ fn stack(preloaded: bool) -> (System, babol::runtime::SoftController, Ssd) {
         Cpu::new(Freq::from_ghz(1), CostModel::rtos()),
     );
     let ctrl = rtos_controller(profile.layout(), RuntimeConfig::rtos());
-    let mut ssd = Ssd::new(SsdConfig::tiny(4));
+    let mut cfg = SsdConfig::tiny(4);
+    cfg.cache_pages = cache_pages;
+    if wear_leveling {
+        cfg.wear_spread_limit = 4;
+    }
+    let mut ssd = Ssd::new(cfg);
     if preloaded {
         ssd.preload();
     }
@@ -74,13 +93,26 @@ fn parse_num(args: &mut impl Iterator<Item = String>, flag: &str) -> u64 {
 }
 
 /// The whole-device path: `channels` shards on `threads` workers.
-fn run_multi(channels: u32, threads: usize, trace_path: Option<String>, report: bool) {
+fn run_multi(
+    channels: u32,
+    threads: usize,
+    trace_path: Option<String>,
+    report: bool,
+    cache_pages: usize,
+    wear_report: bool,
+) {
     use babol_ftl::{MultiSsd, MultiSsdConfig};
 
-    let traced = trace_path.is_some() || report;
+    // Cache/wear totals come off the per-shard tracers, so those flags
+    // also switch tracing on (a pure observer — results are unchanged).
+    let traced = trace_path.is_some() || report || cache_pages > 0 || wear_report;
     let configure = |preload: bool| {
         let mut cfg = MultiSsdConfig::tiny(channels, threads);
         cfg.preload = preload;
+        cfg.shard.cache_pages = cache_pages;
+        if wear_report {
+            cfg.shard.wear_spread_limit = 4;
+        }
         if traced {
             cfg.trace_capacity = Some(1 << 18);
         }
@@ -130,9 +162,41 @@ fn run_multi(channels: u32, threads: usize, trace_path: Option<String>, report: 
         r.fio.p99_latency,
         r.fio.gc_cycles
     );
-    assert!(r.fio.gc_cycles > 0);
+    // A device-covering cache can absorb the whole overwrite pass, so GC
+    // is only guaranteed on the uncached run.
+    if cache_pages == 0 {
+        assert!(r.fio.gc_cycles > 0);
+    }
+    println!(
+        "energy             {:9.6} J simulated flash energy",
+        r.fio.joules()
+    );
 
     let digests = ssd.finish();
+    if cache_pages > 0 || wear_report {
+        use babol_trace::Counter;
+        let total = |c: Counter| {
+            digests
+                .iter()
+                .map(|d| d.tracer.counter_total(c))
+                .sum::<u64>()
+        };
+        if cache_pages > 0 {
+            println!(
+                "cache              {cache_pages} pages/shard  hits {}  misses {}  dirty evicts {}",
+                total(Counter::CacheHits),
+                total(Counter::CacheMisses),
+                total(Counter::CacheDirtyEvicts)
+            );
+        }
+        if wear_report {
+            println!(
+                "wear               {} migrations  {} blocks retired (all shards)",
+                total(Counter::WearMigrations),
+                total(Counter::BlocksRetired)
+            );
+        }
+    }
     if let Some(path) = &trace_path {
         for d in &digests {
             let chrome = format!("{path}.shard{}", d.shard);
@@ -165,6 +229,8 @@ fn main() {
     let mut report = false;
     let mut channels = 1u32;
     let mut threads = 1usize;
+    let mut cache_mb = 0u64;
+    let mut wear_report = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--trace" {
@@ -178,14 +244,26 @@ fn main() {
             channels = parse_num(&mut args, "--channels") as u32;
         } else if arg == "--threads" {
             threads = parse_num(&mut args, "--threads") as usize;
+        } else if arg == "--cache-mb" {
+            cache_mb = parse_num(&mut args, "--cache-mb");
+        } else if arg == "--wear-report" {
+            wear_report = true;
         } else {
             eprintln!("unrecognized argument: {arg}");
             std::process::exit(2);
         }
     }
+    let cache_pages = cache_mb as usize * (1 << 20) / babol_flash::Geometry::tiny().page_size;
 
     if channels > 1 {
-        run_multi(channels, threads, trace_path, report);
+        run_multi(
+            channels,
+            threads,
+            trace_path,
+            report,
+            cache_pages,
+            wear_report,
+        );
         return;
     }
 
@@ -194,7 +272,7 @@ fn main() {
         ("sequential read", IoPattern::SequentialRead),
         ("random read", IoPattern::RandomRead),
     ] {
-        let (mut sys, mut ctrl, mut ssd) = stack(true);
+        let (mut sys, mut ctrl, mut ssd) = stack(true, 0, false);
         let r = ssd.run(
             &mut sys,
             &mut ctrl,
@@ -217,7 +295,7 @@ fn main() {
     }
 
     // A sustained random-write job: 3x the logical space, forcing GC.
-    let (mut sys, mut ctrl, mut ssd) = stack(false);
+    let (mut sys, mut ctrl, mut ssd) = stack(false, cache_pages, wear_report);
     if trace_path.is_some() || report {
         // The GC-heavy job emits far more events than the default ring
         // holds; a larger ring keeps the report loss-free.
@@ -243,7 +321,54 @@ fn main() {
         r.p99_latency,
         r.gc_cycles
     );
-    assert!(r.gc_cycles > 0);
+    // A device-covering cache can absorb the whole overwrite pass, so GC
+    // is only guaranteed on the uncached run.
+    if cache_pages == 0 {
+        assert!(r.gc_cycles > 0);
+    }
+
+    // Settle the cache's debt to flash before reading the energy meter, so
+    // the cached and uncached runs are comparable (write-amplification
+    // saved, not writes deferred).
+    ssd.flush_cache(&mut sys, &mut ctrl);
+    let e = *ssd.energy();
+    println!(
+        "energy             {:9.6} J  (read {} pJ, program {} pJ, erase {} pJ, transfer {} pJ)",
+        e.joules(),
+        e.read_pj,
+        e.program_pj,
+        e.erase_pj,
+        e.transfer_pj
+    );
+    if cache_pages > 0 {
+        let c = ssd.cache();
+        println!(
+            "cache              {cache_pages} pages  hits {}  misses {}  dirty evicts {}",
+            c.hits(),
+            c.misses(),
+            c.dirty_evicts()
+        );
+    }
+    if wear_report {
+        let g = babol_flash::Geometry::tiny();
+        println!(
+            "wear               {} migrations  {} blocks retired  {} usable pages",
+            ssd.wear_migrations(),
+            ssd.blocks_retired(),
+            ssd.map().usable_pages()
+        );
+        for lun in 0..4u32 {
+            let counts: Vec<u32> = (0..g.blocks_per_lun())
+                .map(|b| ssd.map().erase_count(lun, b))
+                .collect();
+            println!(
+                "  lun {lun}: erase counts min {} max {} (live spread {})",
+                counts.iter().min().unwrap(),
+                counts.iter().max().unwrap(),
+                ssd.map().wear_spread(lun)
+            );
+        }
+    }
 
     if let Some(path) = trace_path {
         let sidecar = format!("{path}.jsonl");

@@ -12,7 +12,45 @@
 //! exists so traces can be captured once and interrogated later (or on a
 //! different machine) without re-running the simulation.
 
-use babol_trace::{parse_json_lines, TraceReport};
+use babol_trace::{parse_json_lines, Counter, ParsedTrace, TraceReport};
+
+/// Render the FTL production counters carried in the trace footer — cache
+/// hit/miss/eviction totals, wear migrations, retired blocks, and the
+/// per-class energy meter — as a section matching the main report's style.
+fn render_ftl_section(parsed: &ParsedTrace, csv: bool) -> String {
+    let mut out = String::new();
+    if !csv {
+        out.push_str("\nftl production counters (trace footer)\n");
+    }
+    let mut energy_pj = 0u64;
+    for &(c, n) in &parsed.ftl_counters {
+        if matches!(
+            c,
+            Counter::EnergyReadPj
+                | Counter::EnergyProgramPj
+                | Counter::EnergyErasePj
+                | Counter::EnergyTransferPj
+        ) {
+            energy_pj += n;
+        }
+        if csv {
+            out.push_str(&format!("ftl,{},{n}\n", c.name()));
+        } else {
+            out.push_str(&format!("  {:22} {n:>14}\n", c.name()));
+        }
+    }
+    let joules = energy_pj as f64 * 1e-12;
+    if csv {
+        out.push_str(&format!("ftl,total_energy_pj,{energy_pj}\n"));
+        out.push_str(&format!("ftl,total_joules,{joules:.9}\n"));
+    } else {
+        out.push_str(&format!(
+            "  {:22} {energy_pj:>14}  ({joules:.9} J)\n",
+            "total_energy_pj"
+        ));
+    }
+    out
+}
 
 fn main() {
     let mut path: Option<String> = None;
@@ -65,5 +103,10 @@ fn main() {
         print!("{}", report.render_csv());
     } else {
         print!("{}", report.render_table());
+    }
+    // Traces from production-FTL runs carry cache/wear/energy totals in
+    // the footer; older or plain-read traces simply omit the section.
+    if parsed.has_ftl_counters() {
+        print!("{}", render_ftl_section(&parsed, csv));
     }
 }

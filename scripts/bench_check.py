@@ -40,6 +40,19 @@ host reporting fewer than 8 CPUs (the fresh JSON's host_cpus field) the
 gate prints the measured ratio and SKIPs, because an undersubscribed
 worker pool cannot exhibit the speedup no matter how correct the kernel.
 
+Write-back cache gate: when the fresh run contains the write pair
+(fio/cached_write_throughput, fio/uncached_write_throughput — the same
+sequential rewrite job with and without a device-covering cache), the
+cached run must be at least BABOL_BENCH_CACHE_SPEEDUP_MIN (default 1.1)
+times faster. Same-host, same-work comparison, so no normalization.
+
+Energy gate: every fresh result row must carry a "joules" field
+(babol-bench-v1 rows report simulated flash energy; 0.0 means the bench
+does not model it). The fio/ rows must report nonzero energy, and the
+cached write job must burn strictly fewer joules than the uncached one —
+energy is deterministic in the simulator, so this is an exact comparison,
+not a noisy measurement.
+
 Stdlib only — the workspace is hermetic and CI must not pip install.
 """
 
@@ -61,6 +74,13 @@ MIN_COMMON_FOR_FACTOR = 3
 SPEEDUP_SINGLE = "sim/16ch_fio_1t"
 SPEEDUP_PARALLEL = "sim/16ch_fio"
 SPEEDUP_MIN_CPUS = 8
+
+# The write-back cache pair: identical simulated write job, cache on/off.
+CACHE_ON = "fio/cached_write_throughput"
+CACHE_OFF = "fio/uncached_write_throughput"
+
+# Benchmarks that simulate flash work must report nonzero joules.
+ENERGY_REQUIRED_PREFIX = "fio/"
 
 
 def load(path):
@@ -103,6 +123,52 @@ def check_speedup(fresh_doc, fresh, failures):
             f"({SPEEDUP_SINGLE} median {fresh[SPEEDUP_SINGLE]:.0f} ns, "
             f"{SPEEDUP_PARALLEL} median {fresh[SPEEDUP_PARALLEL]:.0f} ns)"
         )
+
+
+def check_cache_pair(fresh, failures):
+    """Gates the cached/uncached write pair; appends on breach."""
+    if CACHE_ON not in fresh or CACHE_OFF not in fresh:
+        return
+    minimum = float(os.environ.get("BABOL_BENCH_CACHE_SPEEDUP_MIN", "1.1"))
+    if fresh[CACHE_ON] <= 0:
+        failures.append(f"{CACHE_ON}: zero median, cannot compute cache speedup")
+        return
+    ratio = fresh[CACHE_OFF] / fresh[CACHE_ON]
+    verdict = "OK" if ratio >= minimum else "FAILED"
+    print(
+        f"write cache gate {verdict}: {CACHE_OFF} / {CACHE_ON} = "
+        f"{ratio:.2f}x (need {minimum:.1f}x)"
+    )
+    if ratio < minimum:
+        failures.append(
+            f"cache speedup {ratio:.2f}x below the {minimum:.1f}x floor "
+            f"({CACHE_OFF} median {fresh[CACHE_OFF]:.0f} ns, "
+            f"{CACHE_ON} median {fresh[CACHE_ON]:.0f} ns)"
+        )
+
+
+def check_energy(fresh_doc, failures):
+    """Gates the simulated-energy reporting; appends on breach."""
+    joules = {}
+    for r in fresh_doc["results"]:
+        name = r["name"]
+        if "joules" not in r:
+            failures.append(f"{name}: missing the joules field")
+            continue
+        joules[name] = float(r["joules"])
+        if name.startswith(ENERGY_REQUIRED_PREFIX) and joules[name] <= 0:
+            failures.append(f"{name}: simulated flash job reports no energy")
+    if CACHE_ON in joules and CACHE_OFF in joules and joules[CACHE_ON] > 0:
+        ok = joules[CACHE_ON] < joules[CACHE_OFF]
+        print(
+            f"energy gate {'OK' if ok else 'FAILED'}: {CACHE_ON} "
+            f"{joules[CACHE_ON]:.6f} J vs {CACHE_OFF} {joules[CACHE_OFF]:.6f} J"
+        )
+        if not ok:
+            failures.append(
+                f"cached write job burned {joules[CACHE_ON]:.6f} J, not less "
+                f"than uncached {joules[CACHE_OFF]:.6f} J"
+            )
 
 
 def main():
@@ -157,6 +223,8 @@ def main():
             )
 
     check_speedup(fresh_doc, fresh, failures)
+    check_cache_pair(fresh, failures)
+    check_energy(fresh_doc, failures)
 
     if failures:
         print(f"\nbench regression gate FAILED ({len(failures)}):", file=sys.stderr)

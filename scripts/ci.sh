@@ -33,14 +33,24 @@ cargo test --workspace -q --offline
 step "verifier mutation gate"
 cargo test --offline -q --test verify_mutations --test verify_differential
 
-# Mirror of the hosted determinism matrix: the parallel-DES digest test
-# runs once per thread count, and the printed `determinism-digest` lines
-# (3 seeds x 3 legs = 9 digests) must be byte-identical across legs.
-step "determinism matrix (BABOL_THREADS 1/2/8 x 3 seeds)"
+# The FTL property suite: differential models for wear leveling, bad-block
+# retirement, and the write-back cache. Already part of the workspace test
+# run above, but named here (like the mutation gate) so a property failure
+# is attributed to the FTL instead of buried in the workspace log.
+step "FTL property suite (wear/bad-block/cache differential models)"
+cargo test --offline -q --test properties -- ftl_ cache
+
+# Mirror of the hosted determinism matrix: both digest tests (plain
+# read path + production FTL with cache, wear leveling, and GC) run once
+# per thread count, and the printed `determinism-digest` lines
+# (3 read seeds + 2 production seeds, x 3 legs = 15 digests) must be
+# byte-identical across legs. `--test-threads=1` keeps the two tests'
+# printed lines from interleaving mid-line.
+step "determinism matrix (BABOL_THREADS 1/2/8 x 5 seeds)"
 for t in 1 2 8; do
   BABOL_THREADS=$t cargo test --offline -q --test determinism \
-    parallel_fio_is_thread_count_invariant -- --nocapture \
-    | grep '^determinism-digest' > "/tmp/babol_digests_$t.txt"
+    thread_count_invariant -- --nocapture --test-threads=1 \
+    | grep -o 'determinism-digest.*' | sort > "/tmp/babol_digests_$t.txt"
   echo "threads=$t:"
   cat "/tmp/babol_digests_$t.txt"
 done

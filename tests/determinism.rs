@@ -165,6 +165,60 @@ fn parallel_fio_digest(threads: usize, seed: u64) -> String {
 /// across all legs. The lines deliberately omit the leg's thread count so
 /// identical output across jobs witnesses cross-process, cross-thread-count
 /// determinism.
+/// Same digest, but with the production FTL subsystems switched on: a
+/// write-back cache absorbing host writes on every shard, wear-leveling
+/// migration armed, and a random-write pattern that drives GC — the
+/// configurations most likely to smuggle nondeterminism in through
+/// eviction order or migration timing.
+fn production_fio_digest(threads: usize, seed: u64) -> String {
+    let mut cfg = MultiSsdConfig::tiny(8, threads);
+    cfg.trace_capacity = Some(4096);
+    cfg.preload = false;
+    cfg.shard.cache_pages = 8;
+    cfg.shard.wear_spread_limit = 4;
+    let mut ssd = MultiSsd::new(cfg);
+    let report = ssd.run(&FioWorkload {
+        pattern: IoPattern::RandomWrite,
+        total_ios: 256,
+        queue_depth: 16,
+        seed,
+    });
+    let mut d = Digest::new();
+    d.section("report", format!("{report:?}"));
+    for sd in ssd.finish() {
+        d.section(&format!("shard{}", sd.shard), sd.tracer.to_json_lines());
+    }
+    d.hex()
+}
+
+/// The production-FTL configuration (write-back cache, wear leveling,
+/// GC-heavy writes) is as thread-count-invariant as the plain read path,
+/// and its digests feed the same CI matrix comparison.
+#[test]
+fn parallel_production_ftl_is_thread_count_invariant() {
+    let leg: usize = std::env::var("BABOL_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(1);
+    for seed in [0xCAC4E_u64, 0x3EA5] {
+        let reference = production_fio_digest(1, seed);
+        for threads in [2usize, 8] {
+            assert_eq!(
+                production_fio_digest(threads, seed),
+                reference,
+                "threads={threads} seed={seed:#x} diverged from the single-thread order"
+            );
+        }
+        let printed = if leg == 1 {
+            reference.clone()
+        } else {
+            production_fio_digest(leg, seed)
+        };
+        assert_eq!(printed, reference, "matrix leg threads={leg} diverged");
+        println!("determinism-digest mode=production seed={seed:#018x} digest={printed}");
+    }
+}
+
 #[test]
 fn parallel_fio_is_thread_count_invariant() {
     let leg: usize = std::env::var("BABOL_THREADS")

@@ -397,8 +397,8 @@ fn ftl_map_consistency() {
             for lun in 0..2 {
                 while map.needs_gc(lun) {
                     let Some(plan) = map.plan_gc(lun) else { break };
-                    for (mlpn, _) in &plan.moves {
-                        let target = map.best_relocation_lun();
+                    for (mlpn, old) in &plan.moves {
+                        let target = map.best_relocation_lun(old.lun);
                         map.allocate_on_lun(*mlpn, target);
                     }
                     map.finish_gc(plan.victim);
@@ -421,6 +421,234 @@ fn ftl_map_consistency() {
         }
         Ok(())
     });
+}
+
+/// Differential test of the wear-leveling and bad-block half of the map
+/// against a trivial model: a `BTreeMap` of per-block erase counts and a
+/// `BTreeSet` of retired blocks, maintained by the test alongside every
+/// GC decision. The map must agree on block states, erase counts, and
+/// usable capacity, and must never leave a logical page mapped onto a
+/// retired block.
+#[test]
+fn ftl_wear_and_retirement_matches_model() {
+    use babol_ftl::BlockState;
+    use std::collections::{BTreeMap, BTreeSet};
+    Property::new("ftl_wear_and_retirement_matches_model").run(
+        (any::<u64>(), vec_of(range(0u64..48), 1..150)),
+        |(seed, writes)| {
+            let mut map = PageMap::new(Geometry::tiny(), 2, 96);
+            let mut rng = babol_sim::rng::SplitMix64::new(*seed);
+            let mut erases: BTreeMap<(u32, u32), u32> = BTreeMap::new();
+            let mut retired: BTreeSet<(u32, u32)> = BTreeSet::new();
+            for &lpn in writes {
+                for lun in 0..2u32 {
+                    let mut guard = 0;
+                    while map.needs_gc(lun) {
+                        let Some(plan) = map.plan_gc(lun) else { break };
+                        for (mlpn, old) in &plan.moves {
+                            let target = map.best_relocation_lun(old.lun);
+                            map.allocate_on_lun(*mlpn, target);
+                        }
+                        let b = (plan.victim.lun, plan.victim.block);
+                        // Occasionally the erase "fails" and the block is
+                        // retired — capped at two device-wide so the stream
+                        // never runs the 48 logical pages out of room.
+                        if rng.next_below(8) == 0 && retired.len() < 2 {
+                            map.retire_block(b.0, b.1);
+                            retired.insert(b);
+                        } else {
+                            map.finish_gc(plan.victim);
+                            *erases.entry(b).or_insert(0) += 1;
+                        }
+                        guard += 1;
+                        prop_assert!(guard < 64, "GC failed to converge");
+                    }
+                }
+                map.allocate_for_write(lpn);
+            }
+            for lun in 0..2u32 {
+                for block in 0..8u32 {
+                    let b = (lun, block);
+                    prop_assert_eq!(
+                        map.block_state(lun, block) == BlockState::Retired,
+                        retired.contains(&b),
+                        "retirement state of {:?} diverged",
+                        b
+                    );
+                    prop_assert_eq!(
+                        map.erase_count(lun, block),
+                        erases.get(&b).copied().unwrap_or(0),
+                        "erase count of {:?} diverged",
+                        b
+                    );
+                }
+            }
+            prop_assert_eq!(map.usable_pages(), 128 - 8 * retired.len() as u64);
+            let mut ppns = BTreeSet::new();
+            for lpn in 0..96 {
+                if let Some(ppn) = map.translate(lpn) {
+                    prop_assert!(
+                        !retired.contains(&(ppn.lun, ppn.block)),
+                        "lpn {} mapped onto retired block {:?}",
+                        lpn,
+                        ppn
+                    );
+                    prop_assert!(ppns.insert(ppn), "PPN {:?} double-mapped", ppn);
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Differential test of the write-back cache against a trivial model: a
+/// `BTreeMap<lpn, dirty>` plus the slot each resident page occupies. The
+/// cache must agree on residency, dirtiness, slot stability, slot
+/// uniqueness, eviction reports, and the final drain — under both
+/// eviction policies.
+#[test]
+fn write_cache_matches_model() {
+    use babol_ftl::{CachePolicy, WriteCache};
+    use std::collections::{BTreeMap, BTreeSet};
+    Property::new("write_cache_matches_model").run(
+        (
+            any::<u64>(),
+            range(1usize..9),
+            select(&[CachePolicy::Lru, CachePolicy::CleanFirstLru]),
+            vec_of(range(0u64..24), 4..120),
+        ),
+        |(seed, cap, policy, lpns)| {
+            let mut c = WriteCache::new(*cap, *policy);
+            let mut rng = babol_sim::rng::SplitMix64::new(*seed);
+            let mut model: BTreeMap<u64, bool> = BTreeMap::new();
+            let mut slots: BTreeMap<u64, u32> = BTreeMap::new();
+            for &lpn in lpns {
+                if rng.next_below(3) < 2 {
+                    // Host write.
+                    let resident = model.contains_key(&lpn);
+                    let full = model.len() == *cap;
+                    let (slot, ev) = c.touch_write(lpn);
+                    prop_assert!((slot as usize) < *cap, "slot out of range");
+                    if resident {
+                        prop_assert_eq!(ev, None, "hit must not evict");
+                        prop_assert_eq!(slots[&lpn], slot, "hit must keep its slot");
+                    } else if full {
+                        let ev = ev.expect("miss on a full cache must evict");
+                        prop_assert!(model.contains_key(&ev.lpn), "evicted a non-resident");
+                        prop_assert_eq!(model[&ev.lpn], ev.dirty, "eviction dirtiness wrong");
+                        prop_assert_eq!(slots[&ev.lpn], ev.slot, "eviction slot wrong");
+                        prop_assert_eq!(ev.slot, slot, "incoming page must reuse the slot");
+                        model.remove(&ev.lpn);
+                        slots.remove(&ev.lpn);
+                    } else {
+                        prop_assert_eq!(ev, None, "eviction while slots were free");
+                    }
+                    model.insert(lpn, true);
+                    slots.insert(lpn, slot);
+                } else {
+                    // Host read: flush needed iff a dirty copy is resident.
+                    let want = model.get(&lpn) == Some(&true);
+                    let got = c.flush_for_read(lpn);
+                    prop_assert_eq!(got.is_some(), want, "coherence flush diverged");
+                    if let Some(s) = got {
+                        prop_assert_eq!(s, slots[&lpn]);
+                    }
+                    if let Some(d) = model.get_mut(&lpn) {
+                        *d = false;
+                    }
+                }
+                let unique: BTreeSet<u32> = slots.values().copied().collect();
+                prop_assert_eq!(unique.len(), slots.len(), "slot handed out twice");
+                prop_assert_eq!(c.len(), model.len());
+                prop_assert_eq!(c.dirty_len(), model.values().filter(|d| **d).count());
+            }
+            let drained = c.drain_dirty();
+            let want: Vec<(u64, u32)> = model
+                .iter()
+                .filter(|(_, d)| **d)
+                .map(|(l, _)| (*l, slots[l]))
+                .collect();
+            prop_assert_eq!(drained, want, "drain must list the dirty set ascending");
+            prop_assert_eq!(c.dirty_len(), 0);
+            Ok(())
+        },
+    );
+}
+
+/// End-to-end cache coherence: with a write-back cache of arbitrary
+/// capacity in front of the same GC-heavy random-write job, a final flush
+/// leaves flash byte-identical to the reference pattern for every mapped
+/// page — dirty evictions, coherence flushes, and the end-of-job drain
+/// lose nothing.
+#[test]
+fn cached_ssd_write_path_matches_pattern_model() {
+    use babol::factory::coro_controller;
+    use babol::runtime::RuntimeConfig;
+    use babol_channel::Channel;
+    use babol_flash::array::ContentMode;
+    use babol_flash::lun::LunConfig;
+    use babol_flash::{Lun, PackageProfile};
+    use babol_ftl::{FioWorkload, IoPattern, Ssd, SsdConfig};
+    use babol_sim::{CostModel, Cpu};
+    use babol_ufsm::EmitConfig;
+
+    Property::new("cached_ssd_write_path_matches_pattern_model")
+        .cases(8)
+        .run((any::<u64>(), range(1usize..32)), |&(seed, cache_pages)| {
+            let luns = 2u32;
+            let l = (0..luns)
+                .map(|i| {
+                    Lun::new(LunConfig {
+                        profile: PackageProfile::test_tiny(),
+                        content: ContentMode::Pristine,
+                        seed: i as u64 + 1,
+                        inject_errors: false,
+                        require_init: false,
+                    })
+                })
+                .collect();
+            let mut sys = babol::system::System::new(
+                Channel::new(l),
+                EmitConfig::nv_ddr2(200),
+                Cpu::new(Freq::from_ghz(1), CostModel::coroutine()),
+            );
+            let layout = PackageProfile::test_tiny().layout();
+            let mut ctrl = coro_controller(layout, RuntimeConfig::coroutine());
+            let mut cfg = SsdConfig::tiny(luns);
+            cfg.cache_pages = cache_pages;
+            let mut ssd = Ssd::new(cfg);
+            let wl = FioWorkload {
+                pattern: IoPattern::RandomWrite,
+                total_ios: 200,
+                queue_depth: 2,
+                seed,
+            };
+            let r = ssd.run(&mut sys, &mut ctrl, wl);
+            prop_assert_eq!(r.ios, 200);
+            ssd.flush_cache(&mut sys, &mut ctrl);
+            prop_assert_eq!(ssd.cache().dirty_len(), 0, "flush left dirt behind");
+            let page_size = 512usize;
+            for lpn in 0..96u64 {
+                let Some(ppn) = ssd.map().translate(lpn) else {
+                    continue;
+                };
+                let page = sys
+                    .channel
+                    .lun(ppn.lun)
+                    .array()
+                    .read_page(RowAddr {
+                        lun: ppn.lun,
+                        block: ppn.block,
+                        page: ppn.page,
+                    })
+                    .expect("mapped page readable");
+                let expect: Vec<u8> = (0..page_size)
+                    .map(|i| (lpn as u8).wrapping_add(i as u8))
+                    .collect();
+                prop_assert_eq!(&page[..page_size], &expect[..], "lpn {} diverged", lpn);
+            }
+            Ok(())
+        });
 }
 
 /// Parameter pages survive serialization for arbitrary field values.
