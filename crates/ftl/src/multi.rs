@@ -37,7 +37,7 @@ use babol_sim::rng::SplitMix64;
 use babol_sim::{
     CostModel, Cpu, Freq, PoolStats, Shard, ShardCtor, ShardPool, SimDuration, SimTime, Watchdog,
 };
-use babol_trace::Tracer;
+use babol_trace::{MetricsHub, Tracer};
 use babol_ufsm::EmitConfig;
 
 use crate::fio::{FioReport, FioWorkload};
@@ -82,6 +82,10 @@ pub struct MultiSsdConfig {
     pub trace_capacity: Option<usize>,
     /// Coordinator stall budget in simulated time; `None` disarms it.
     pub watchdog: Option<SimDuration>,
+    /// Streaming-telemetry window; `None` runs without metrics. Window
+    /// boundaries are sim-time multiples shared by every shard and the
+    /// coordinator, so frames line up across the whole device.
+    pub metrics_window: Option<SimDuration>,
 }
 
 impl MultiSsdConfig {
@@ -100,6 +104,7 @@ impl MultiSsdConfig {
             preload: true,
             trace_capacity: None,
             watchdog: Some(Ssd::DEFAULT_WATCHDOG_BUDGET),
+            metrics_window: None,
         }
     }
 }
@@ -205,6 +210,9 @@ pub struct ShardDigest {
     /// The shard's tracer (empty when tracing was off), with pool counters
     /// exported. Tagged with the shard id for per-channel timelines.
     pub tracer: Tracer,
+    /// The shard's telemetry hub (disabled when the device ran without
+    /// metrics): per-window counter deltas and op counts for this channel.
+    pub metrics: MetricsHub,
     /// Prepared host requests never admitted (0 after a completed run).
     pub pending: usize,
 }
@@ -271,6 +279,12 @@ impl ChannelShard {
         if cfg.preload {
             ssd.preload();
         }
+        if let Some(window) = cfg.metrics_window {
+            ssd.enable_metrics(window);
+            ssd.metrics_mut().set_shard(id);
+            // Baseline after preload, so factory state stays out of window 0.
+            ssd.metrics_prime();
+        }
         ChannelShard {
             id,
             sys,
@@ -306,6 +320,7 @@ impl ChannelShard {
                     self.emit_gc(out);
                     let at = self.sys.now;
                     self.ssd.note_progress(at);
+                    self.ssd.metrics_note_op(at);
                     out.push(ShardEvent::Done { id: cmd.id, at });
                     continue;
                 }
@@ -354,6 +369,7 @@ impl ChannelShard {
         self.ssd.drain_stashed(&mut self.scratch);
         for (req, at) in self.scratch.drain(..) {
             self.ssd.note_progress(at);
+            self.ssd.metrics_note_op(at);
             out.push(ShardEvent::Done { id: req.id, at });
         }
     }
@@ -427,6 +443,14 @@ impl Shard for ChannelShard {
         }
         self.harvest(out);
         self.emit_meter(out);
+        // One telemetry sample per barrier round. The round schedule is a
+        // model parameter (thread-count-invariant), so the sampled frames
+        // are bit-identical at every thread count. Sampling at the hub's
+        // latest-seen time (completions can run ahead of the shard clock)
+        // keeps the tail frame's gauges stamped after the final round.
+        let depth = self.ctrl.in_flight() + self.pending.len();
+        let at = SimTime::from_picos(self.ssd.metrics().end_ps()).max(self.sys.now);
+        self.ssd.metrics_flush(at, depth);
     }
 
     fn next_event_time(&self) -> Option<SimTime> {
@@ -452,6 +476,7 @@ impl Shard for ChannelShard {
             blocks_retired: self.ssd.blocks_retired(),
             pool: self.sys.pool().stats(),
             tracer: std::mem::take(&mut self.sys.trace),
+            metrics: self.ssd.take_metrics(),
             pending: self.pending.len(),
         }
     }
@@ -484,6 +509,9 @@ pub struct MultiSsd {
     barrier: SimTime,
     watchdog: Watchdog,
     events_seen: Vec<u64>,
+    /// Device-level telemetry: host latencies observed at the coordinator
+    /// (a shard only knows completion times, not issue→complete latency).
+    metrics: MetricsHub,
 }
 
 impl MultiSsd {
@@ -501,6 +529,9 @@ impl MultiSsd {
         let channels = cfg.channels;
         let window = cfg.window;
         let threads = cfg.threads;
+        let metrics = cfg
+            .metrics_window
+            .map_or_else(MetricsHub::disabled, MetricsHub::new);
         let ctors: Vec<ShardCtor<ChannelShard>> = (0..channels)
             .map(|id| {
                 let cfg = cfg.clone();
@@ -516,7 +547,19 @@ impl MultiSsd {
             barrier: SimTime::ZERO,
             watchdog,
             events_seen: vec![0; channels as usize],
+            metrics,
         }
+    }
+
+    /// The device-level telemetry hub (latency frames; disabled when the
+    /// device was built without `metrics_window`).
+    pub fn metrics(&self) -> &MetricsHub {
+        &self.metrics
+    }
+
+    /// Takes the device-level telemetry hub, leaving metrics disabled.
+    pub fn take_metrics(&mut self) -> MetricsHub {
+        std::mem::take(&mut self.metrics)
     }
 
     /// Exported logical pages across the whole device.
@@ -604,6 +647,7 @@ impl MultiSsd {
                             .remove(&id)
                             .expect("completion for an unknown host id");
                         latencies.push(at - t0);
+                        self.metrics.observe_latency(at, at - t0);
                         completion_log.push((at, sid, id));
                         per_shard_ios[sid as usize] += 1;
                         completed += 1;
@@ -637,6 +681,11 @@ impl MultiSsd {
                 );
             }
         }
+
+        // Close the device lane at the last completion; shard lanes may run
+        // slightly longer (GC overshoot past the final barrier) and the
+        // series combiner pads every lane to the common length.
+        self.metrics.touch(end);
 
         latencies.sort();
         let mean = if latencies.is_empty() {
@@ -756,6 +805,30 @@ mod tests {
             format!("{r:?}")
         };
         assert_eq!(run(1), run(2));
+    }
+
+    #[test]
+    fn metrics_series_is_thread_count_invariant_and_conserves_ops() {
+        let run = |threads: usize| {
+            let mut cfg = MultiSsdConfig::tiny(4, threads);
+            cfg.metrics_window = Some(SimDuration::from_micros(50));
+            let mut ssd = MultiSsd::new(cfg);
+            let r = ssd.run(&job(IoPattern::RandomRead, 150, 12, 0xAB));
+            let device = ssd.take_metrics();
+            let digests = ssd.finish();
+            let shards: Vec<&babol_trace::MetricsHub> =
+                digests.iter().map(|d| &d.metrics).collect();
+            let series = babol_trace::MetricsSeries::from_shards(&device, &shards);
+            (r.fio.ios, series.to_json_lines(&[]))
+        };
+        let (ios, one) = run(1);
+        assert_eq!(ios, 150);
+        // Device frames carry every completion exactly once.
+        let parsed = babol_trace::parse_metrics_lines(&one).unwrap();
+        assert_eq!(parsed.series.merged_latency().count(), 150);
+        for threads in [2, 4] {
+            assert_eq!(run(threads).1, one, "{threads} threads diverged");
+        }
     }
 
     #[test]

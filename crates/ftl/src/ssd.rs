@@ -20,7 +20,7 @@ use babol::system::{Controller, Event, IoKind, IoRequest, System};
 use babol_flash::Geometry;
 use babol_sim::rng::SplitMix64;
 use babol_sim::{PageBufMut, SimDuration, SimTime, Watchdog};
-use babol_trace::{Component, Counter, Metric, TraceKind, TraceSink};
+use babol_trace::{Component, Counter, Metric, MetricsHub, MetricsSnapshot, TraceKind, TraceSink};
 
 use crate::bad::{BadBlockConfig, BadBlockModel};
 use crate::cache::{CachePolicy, WriteCache};
@@ -136,6 +136,21 @@ pub struct Ssd {
     next_wear_check: u64,
     /// Blocks retired since construction (factory map included).
     blocks_retired: u64,
+    /// Streaming telemetry: windowed metrics frames (disabled by default;
+    /// [`Ssd::enable_metrics`] turns it on).
+    metrics: MetricsHub,
+    /// Window index the expensive gauges were last refreshed in
+    /// (`u64::MAX` = never); wear spread walks every block, so it is
+    /// recomputed once per window, not once per driver-loop iteration.
+    metrics_gauge_window: u64,
+    /// Cached worst per-LUN wear spread for the current window.
+    metrics_wear_spread: u32,
+    /// Latest in-window `(now, queue_depth)` the driver loop reported but
+    /// has not snapshotted yet. Per-step sampling only records this pair;
+    /// the full counter snapshot is deferred to the step that crosses a
+    /// window boundary (and to the end-of-run flush), which keeps the
+    /// metrics-on hot path to an integer divide and two stores.
+    metrics_pending: (SimTime, u32),
     /// Stall watchdog. Progress is *any* completion, host or internal:
     /// a foreground GC storm on the paper geometry can legitimately hold
     /// off host completions for a long stretch while relocations complete
@@ -185,6 +200,10 @@ impl Ssd {
             wear_migrations: 0,
             next_wear_check: 0,
             blocks_retired,
+            metrics: MetricsHub::disabled(),
+            metrics_gauge_window: u64::MAX,
+            metrics_wear_spread: 0,
+            metrics_pending: (SimTime::ZERO, 0),
             watchdog: Watchdog::new(Self::DEFAULT_WATCHDOG_BUDGET),
             cfg,
         }
@@ -223,6 +242,111 @@ impl Ssd {
         self.blocks_retired
     }
 
+    /// Enables streaming telemetry with the given sim-time window. The
+    /// driver loop then samples counter deltas into one
+    /// [`babol_trace::MetricsFrame`] per window; see
+    /// [`babol_trace::MetricsHub`].
+    pub fn enable_metrics(&mut self, window: SimDuration) {
+        self.metrics = MetricsHub::new(window);
+        self.metrics_gauge_window = u64::MAX;
+        self.metrics_pending = (SimTime::ZERO, 0);
+    }
+
+    /// The telemetry hub (frames collected so far).
+    pub fn metrics(&self) -> &MetricsHub {
+        &self.metrics
+    }
+
+    /// Mutable hub access (shard tagging in multi-channel devices).
+    pub fn metrics_mut(&mut self) -> &mut MetricsHub {
+        &mut self.metrics
+    }
+
+    /// Takes the telemetry hub, leaving metrics disabled.
+    pub fn take_metrics(&mut self) -> MetricsHub {
+        std::mem::take(&mut self.metrics)
+    }
+
+    /// Counts one completed host op in the telemetry (multi-channel
+    /// driver path, where latency is only known at the coordinator).
+    pub(crate) fn metrics_note_op(&mut self, at: SimTime) {
+        self.metrics.note_op(at);
+    }
+
+    /// Per-step telemetry sampling point. Steps inside the current window
+    /// only record the pending `(now, queue_depth)` pair; the step that
+    /// crosses a window boundary first snapshots at the pending point —
+    /// flushing every delta accrued in the old window into the old
+    /// window's frame, exactly as if each step had sampled — and then
+    /// snapshots at `now`. Deltas land in the same frames eager per-step
+    /// sampling would put them in, at a fraction of the cost.
+    pub(crate) fn metrics_sample(&mut self, now: SimTime, queue_depth: usize) {
+        if !self.metrics.is_enabled() {
+            return;
+        }
+        if now.window_index(self.metrics.window()) == self.metrics_gauge_window {
+            self.metrics_pending = (now, queue_depth as u32);
+            return;
+        }
+        self.metrics_flush(now, queue_depth);
+    }
+
+    /// Takes a telemetry snapshot at `now`. If `now` falls in a later
+    /// window than the pending per-step pair, the pending point is
+    /// snapshotted first so the old window keeps the deltas accrued in
+    /// it. The driver loop calls this once at end of run (and the sharded
+    /// kernel once per round) so no deltas are left unflushed when the
+    /// hub is read or taken.
+    pub(crate) fn metrics_flush(&mut self, now: SimTime, queue_depth: usize) {
+        if !self.metrics.is_enabled() {
+            return;
+        }
+        let window = now.window_index(self.metrics.window());
+        if window != self.metrics_gauge_window {
+            if self.metrics_gauge_window != u64::MAX {
+                let (at, qd) = self.metrics_pending;
+                let snap = self.metrics_snapshot(qd);
+                self.metrics.sample(at, &snap);
+            }
+            self.metrics_gauge_window = window;
+            self.metrics_wear_spread = (0..self.cfg.luns)
+                .map(|l| self.map.wear_spread(l))
+                .max()
+                .unwrap_or(0);
+        }
+        let snap = self.metrics_snapshot(queue_depth as u32);
+        self.metrics.sample(now, &snap);
+        self.metrics_pending = (now, queue_depth as u32);
+    }
+
+    /// Establishes the telemetry delta baseline at run start, so totals
+    /// accumulated before the run (preload, an earlier job) stay out of
+    /// window 0.
+    pub(crate) fn metrics_prime(&mut self) {
+        if !self.metrics.is_enabled() {
+            return;
+        }
+        let snap = self.metrics_snapshot(0);
+        self.metrics.prime(&snap);
+    }
+
+    fn metrics_snapshot(&self, queue_depth: u32) -> MetricsSnapshot {
+        MetricsSnapshot {
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            cache_dirty_evicts: self.cache.dirty_evicts(),
+            gc_cycles: self.gc_cycles,
+            energy_pj: self.energy.total_pj(),
+            wear_migrations: self.wear_migrations,
+            blocks_retired: self.blocks_retired,
+            queue_depth,
+            cache_dirty: self.cache.dirty_len() as u32,
+            cache_len: self.cache.len() as u32,
+            free_blocks: (0..self.cfg.luns).map(|l| self.map.free_blocks(l)).sum(),
+            wear_spread: self.metrics_wear_spread,
+        }
+    }
+
     /// Pre-maps the logical space with data (the paper's initialization
     /// step). Pair with flash arrays in `Preloaded` content mode.
     pub fn preload(&mut self) {
@@ -238,6 +362,7 @@ impl Ssd {
     ) -> FioReport {
         let start = sys.now;
         self.watchdog.arm_at(start);
+        self.metrics_prime();
         let mut rng = SplitMix64::new(wl.seed);
         let mut issued = 0u64;
         let mut completed = 0u64;
@@ -264,6 +389,7 @@ impl Ssd {
                     completed += 1;
                     sys.trace.count(Component::Ftl, Counter::OpsCompleted, 1);
                     sys.trace.observe(Metric::HostLatency, at - t0);
+                    self.metrics.observe_latency(at, at - t0);
                 }
             }
             while inflight.len() < wl.queue_depth && (staged.is_some() || issued < wl.total_ios) {
@@ -289,6 +415,7 @@ impl Ssd {
                             issued += 1;
                             sys.trace.count(Component::Ftl, Counter::OpsCompleted, 1);
                             sys.trace.observe(Metric::HostLatency, at - t0);
+                            self.metrics.observe_latency(at, at - t0);
                             continue;
                         }
                         if wl.pattern.is_write() {
@@ -324,7 +451,13 @@ impl Ssd {
                 break;
             }
             self.step(sys, controller);
+            self.metrics_sample(sys.now, inflight.len());
         }
+        // Closing flush: completions can carry timestamps past the driver
+        // clock (their frame already exists), so close at whichever is
+        // later — otherwise the tail frame's gauges would stay unstamped.
+        let close = SimTime::from_picos(self.metrics.end_ps().max(sys.now.as_picos()));
+        self.metrics_flush(close, 0);
 
         latencies.sort();
         let mean = if latencies.is_empty() {
@@ -1063,6 +1196,72 @@ mod tests {
         for lun in 0..2 {
             assert!(ssd.map().free_blocks(lun) >= 1, "lun {lun}");
         }
+    }
+
+    /// With metrics enabled, the driver loop produces a gapless frame
+    /// series whose per-window sums conserve every run total.
+    #[test]
+    fn metrics_frames_conserve_run_totals() {
+        let (mut sys, mut ctrl, mut ssd) = tiny_stack(2, false);
+        let window = SimDuration::from_micros(50);
+        ssd.enable_metrics(window);
+        let wl = FioWorkload {
+            pattern: IoPattern::RandomWrite,
+            total_ios: 280,
+            queue_depth: 4,
+            seed: 3,
+        };
+        let r = ssd.run(&mut sys, &mut ctrl, wl);
+        assert!(r.gc_cycles > 0, "workload must reach GC");
+        let hub = ssd.metrics();
+        let frames = hub.frames();
+        assert_eq!(
+            frames.len() as u64,
+            hub.end_ps() / window.as_picos() + 1,
+            "frame series must tile [0, end] exactly"
+        );
+        for (i, f) in frames.iter().enumerate() {
+            assert_eq!(f.index, i as u64, "frames must be index-contiguous");
+        }
+        assert_eq!(frames.iter().map(|f| f.ops).sum::<u64>(), r.ios);
+        assert_eq!(hub.merged_latency().count(), r.ios);
+        assert_eq!(frames.iter().map(|f| f.gc_cycles).sum::<u64>(), r.gc_cycles);
+        assert_eq!(
+            frames.iter().map(|f| f.energy_pj).sum::<u64>(),
+            r.energy_pj,
+            "per-window energy deltas must sum to the run total"
+        );
+        assert_eq!(
+            frames.iter().map(|f| f.wear_migrations).sum::<u64>(),
+            r.wear_migrations
+        );
+        // Gauges: the last frame closed with the final device state.
+        let last = frames.last().unwrap();
+        assert_eq!(
+            last.free_blocks,
+            (0..2).map(|l| ssd.map().free_blocks(l)).sum::<u32>()
+        );
+    }
+
+    /// Metrics collection is deterministic: same seed, same frames, byte
+    /// for byte through the exporter.
+    #[test]
+    fn metrics_export_is_deterministic() {
+        let run = || {
+            let (mut sys, mut ctrl, mut ssd) = tiny_stack(2, false);
+            ssd.enable_metrics(SimDuration::from_micros(50));
+            let wl = FioWorkload {
+                pattern: IoPattern::RandomWrite,
+                total_ios: 120,
+                queue_depth: 4,
+                seed: 9,
+            };
+            ssd.run(&mut sys, &mut ctrl, wl);
+            babol_trace::MetricsSeries::from_hub(ssd.metrics()).to_json_lines(&[])
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert!(a.starts_with("{\"schema\":\"babol-metrics-v1\""));
     }
 
     /// With tracing enabled, the FTL layer accounts every host completion

@@ -223,6 +223,37 @@ impl SimTime {
         SimDuration(self.0.saturating_sub(earlier.0))
     }
 
+    /// Index of the fixed window containing this instant, with windows
+    /// tiling sim time from the epoch: window `k` covers
+    /// `[k*w, (k+1)*w)`. The telemetry subsystem keys frames on this, so
+    /// every component that samples on the same window length lands on
+    /// the same boundaries regardless of its local clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use babol_sim::{SimDuration, SimTime};
+    ///
+    /// let w = SimDuration::from_micros(100);
+    /// assert_eq!(SimTime::ZERO.window_index(w), 0);
+    /// assert_eq!((SimTime::ZERO + SimDuration::from_micros(99)).window_index(w), 0);
+    /// assert_eq!((SimTime::ZERO + SimDuration::from_micros(100)).window_index(w), 1);
+    /// ```
+    pub const fn window_index(self, window: SimDuration) -> u64 {
+        assert!(window.0 != 0, "window must be positive");
+        self.0 / window.0
+    }
+
+    /// Start of the fixed window containing this instant (see
+    /// [`SimTime::window_index`]).
+    pub const fn window_start(self, window: SimDuration) -> SimTime {
+        SimTime(self.window_index(window) * window.0)
+    }
+
     /// Returns the later of two instants.
     pub fn max(self, other: SimTime) -> SimTime {
         if self.0 >= other.0 {

@@ -194,6 +194,54 @@ impl Bench {
         self.results.last().expect("just pushed")
     }
 
+    /// Runs two benchmarks with interleaved iterations: both warm up, then
+    /// every timed iteration runs `f_a` and `f_b` back to back, so host
+    /// speed drift over the run lands on both sample sets equally. Use for
+    /// on/off pairs whose *ratio* is gated (e.g. the telemetry overhead
+    /// pair): measured as two separate blocks, minutes of drift between
+    /// the blocks can dwarf a few-percent effect; interleaved, the ratio
+    /// of the two medians stays meaningful even on a noisy host. Pushes
+    /// `name_a` then `name_b`, in that order, onto [`Bench::results`].
+    // Determinism allowlist: measuring wall-clock time is this function's
+    // whole purpose (see `Bench::bench`).
+    #[allow(clippy::disallowed_methods)]
+    pub fn bench_paired<RA, RB>(
+        &mut self,
+        name_a: &str,
+        name_b: &str,
+        mut f_a: impl FnMut() -> RA,
+        mut f_b: impl FnMut() -> RB,
+    ) {
+        for _ in 0..self.cfg.warmup_iters {
+            black_box(f_a());
+            black_box(f_b());
+        }
+        let n = self.cfg.timed_iters as usize;
+        let mut samples_a = Vec::with_capacity(n);
+        let mut samples_b = Vec::with_capacity(n);
+        for _ in 0..n {
+            let t0 = Instant::now();
+            black_box(f_a());
+            samples_a.push(t0.elapsed().as_nanos() as f64);
+            let t1 = Instant::now();
+            black_box(f_b());
+            samples_b.push(t1.elapsed().as_nanos() as f64);
+        }
+        for (name, samples) in [(name_a, samples_a), (name_b, samples_b)] {
+            let result = BenchResult::from_samples(name, samples);
+            if !self.quiet {
+                println!(
+                    "{:<40} median {:>12} p95 {:>12} stddev {:>12}",
+                    result.name,
+                    fmt_ns(result.median_ns),
+                    fmt_ns(result.p95_ns),
+                    fmt_ns(result.stddev_ns),
+                );
+            }
+            self.results.push(result);
+        }
+    }
+
     /// Attaches the simulated flash energy (joules per iteration) to the
     /// most recently run benchmark. Energy is deterministic across
     /// iterations of the same simulated workload, so the caller computes
@@ -206,6 +254,21 @@ impl Bench {
         self.results
             .last_mut()
             .expect("annotate_joules before any benchmark ran")
+            .joules = joules;
+    }
+
+    /// Attaches simulated flash energy to the benchmark called `name` —
+    /// the [`Bench::bench_paired`] counterpart of [`Bench::annotate_joules`],
+    /// which can only reach the most recent row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no benchmark with that name has run.
+    pub fn annotate_joules_for(&mut self, name: &str, joules: f64) {
+        self.results
+            .iter_mut()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("annotate_joules_for: no benchmark named {name:?}"))
             .joules = joules;
     }
 
@@ -335,6 +398,30 @@ mod tests {
         // Identical results serialize identically: the JSON layer itself
         // introduces no nondeterminism.
         assert_eq!(json, b.to_json());
+    }
+
+    #[test]
+    fn paired_benchmarks_interleave_and_annotate() {
+        let mut b = Bench::with_config(BenchConfig {
+            warmup_iters: 1,
+            timed_iters: 4,
+        })
+        .quiet();
+        b.bench_paired(
+            "pair/off",
+            "pair/on",
+            || black_box(1u64 + 1),
+            || black_box((0..64u64).sum::<u64>()),
+        );
+        b.annotate_joules_for("pair/off", 1.5);
+        b.annotate_joules_for("pair/on", 1.5);
+        assert_eq!(b.results().len(), 2);
+        assert_eq!(b.results()[0].name, "pair/off");
+        assert_eq!(b.results()[1].name, "pair/on");
+        assert_eq!(b.results()[0].iters, 4);
+        assert_eq!(b.results()[1].iters, 4);
+        assert_eq!(b.results()[0].joules, 1.5);
+        assert_eq!(b.results()[1].joules, 1.5);
     }
 
     #[test]

@@ -82,7 +82,9 @@ impl Tracer {
     /// hit/miss/evict, wear migrations, retired blocks, per-op energy)
     /// travel in the footer too, each emitted only when non-zero, so
     /// traces from runs without the production FTL features keep the
-    /// exact legacy footer.
+    /// exact legacy footer. When the ring overflowed, the footer also
+    /// breaks the drop total down per kind (`"dropped_<kind>":N`, non-zero
+    /// kinds only) so a truncated timeline says what it lost.
     pub fn to_json_lines(&self) -> String {
         let mut out = String::new();
         for e in self.events() {
@@ -95,11 +97,17 @@ impl Tracer {
             self.dropped(),
             self.shard()
         );
+        let mut extend = |key: &str, n: u64| {
+            out.truncate(out.len() - 1);
+            let _ = write!(out, r#","{key}":{n}}}"#);
+        };
+        for (k, n) in self.dropped_by_kind() {
+            extend(&format!("dropped_{}", k.name()), n);
+        }
         for c in Counter::FTL_FOOTER {
             let n = self.counter(Component::Ftl, c);
             if n != 0 {
-                out.truncate(out.len() - 1);
-                let _ = write!(out, r#","{}":{}}}"#, c.name(), n);
+                extend(c.name(), n);
             }
         }
         out.push('\n');
@@ -162,12 +170,16 @@ impl Tracer {
         // pair); `recorded` is the ring count and `dropped` the ring-drop
         // count, so a truncated timeline is detectable from the file alone.
         let mut out = format!(
-            "{{\"displayTimeUnit\":\"ns\",\"metadata\":{{\"events\":{},\"recorded\":{},\"dropped\":{},\"shard\":{}}},\"traceEvents\":[",
+            "{{\"displayTimeUnit\":\"ns\",\"metadata\":{{\"events\":{},\"recorded\":{},\"dropped\":{},\"shard\":{}",
             items.len(),
             self.events().count(),
             self.dropped(),
             shard
         );
+        for (k, n) in self.dropped_by_kind() {
+            let _ = write!(out, ",\"dropped_{}\":{}", k.name(), n);
+        }
+        out.push_str("},\"traceEvents\":[");
         for (i, item) in items.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -231,10 +243,23 @@ mod tests {
         let s = t.to_json_lines();
         assert_eq!(
             s.lines().last().unwrap(),
-            r#"{"footer":true,"events":2,"dropped":3,"shard":0}"#
+            r#"{"footer":true,"events":2,"dropped":3,"shard":0,"dropped_sched_pick":3}"#
         );
         let chrome = t.to_chrome_trace();
-        assert!(chrome.contains(r#""metadata":{"events":2,"recorded":2,"dropped":3,"shard":0}"#));
+        assert!(chrome.contains(
+            r#""metadata":{"events":2,"recorded":2,"dropped":3,"shard":0,"dropped_sched_pick":3}"#
+        ));
+    }
+
+    #[test]
+    fn footers_without_drops_keep_the_legacy_shape() {
+        let mut t = Tracer::enabled();
+        t.record(ev(1_000, TraceKind::BusAcquire, 2, 7));
+        assert_eq!(
+            t.to_json_lines().lines().last().unwrap(),
+            r#"{"footer":true,"events":1,"dropped":0,"shard":0}"#
+        );
+        assert!(!t.to_chrome_trace().contains("dropped_"));
     }
 
     #[test]

@@ -120,6 +120,34 @@ impl Histogram {
     pub fn buckets(&self) -> &[u64; BUCKETS] {
         &self.buckets
     }
+
+    /// Sum of all observations, picoseconds (exported alongside the raw
+    /// buckets so a parsed histogram preserves the exact mean).
+    pub fn sum_ps(&self) -> u128 {
+        self.sum_ps
+    }
+
+    /// Loads one raw bucket count (parser support for the metrics
+    /// sidecar). Errors when the index is out of range.
+    pub(crate) fn load_bucket(&mut self, idx: usize, n: u64) -> Result<(), ()> {
+        if idx >= BUCKETS {
+            return Err(());
+        }
+        self.buckets[idx] += n;
+        Ok(())
+    }
+
+    /// Loads the summary fields after [`Histogram::load_bucket`] calls,
+    /// cross-checking that the bucket counts add up to `count`.
+    pub(crate) fn load_summary(&mut self, count: u64, sum_ps: u128, max_ps: u64) -> Result<(), ()> {
+        if self.buckets.iter().sum::<u64>() != count {
+            return Err(());
+        }
+        self.count = count;
+        self.sum_ps = sum_ps;
+        self.max_ps = max_ps;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

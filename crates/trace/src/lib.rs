@@ -27,16 +27,25 @@
 mod export;
 mod hist;
 mod interval;
+mod metrics;
 mod parse;
 mod phase;
 mod report;
+mod slo;
 mod tracer;
 
 pub use hist::Histogram;
 pub use interval::IntervalSet;
+pub use metrics::{
+    parse_metrics_lines, render_metrics_dashboard, MetricsFrame, MetricsHub, MetricsSeries,
+    MetricsSnapshot, ParsedMetrics, METRICS_SCHEMA,
+};
 pub use parse::{parse_json_lines, ParseError, ParsedTrace};
 pub use phase::{OpPhase, PhaseBreakdown, PhaseLedger};
 pub use report::{render_shard_utilization, TraceReport};
+pub use slo::{
+    breach_marks, evaluate_slo, latency_spec, SloSpec, SloStat, SloVerdict, SLO_SHORT_WINDOW,
+};
 pub use tracer::Tracer;
 
 use babol_sim::{SimDuration, SimTime};
@@ -151,6 +160,15 @@ pub enum TraceKind {
 }
 
 impl TraceKind {
+    /// Number of kinds (array dimension for per-kind drop accounting).
+    pub const COUNT: usize = 17;
+
+    /// Dense index for array storage.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
     /// Short name used in exports.
     pub const fn name(self) -> &'static str {
         match self {
@@ -175,7 +193,7 @@ impl TraceKind {
     }
 
     /// All kinds, in declaration order (drives name→kind parsing).
-    pub const ALL: [TraceKind; 17] = [
+    pub const ALL: [TraceKind; TraceKind::COUNT] = [
         TraceKind::OpIssue,
         TraceKind::OpComplete,
         TraceKind::TaskSpawn,
@@ -244,8 +262,11 @@ pub struct TraceEvent {
 
 /// A queue-depth sample taken by the runtime, packed into the `op_id` field
 /// of a [`TraceKind::QueueDepth`] event so the fixed [`TraceEvent`] layout
-/// (and both exporters) need no new fields. Each depth saturates at
-/// `u16::MAX`, far above any realistic queue.
+/// (and both exporters) need no new fields. Each depth gets a 15-bit lane
+/// (saturating at [`QueueDepths::LANE_MAX`], far above any realistic
+/// queue), and the four bits that frees carry per-lane saturation flags —
+/// a clamped sample is visibly clamped after `pack`/`unpack`, never
+/// silently mistaken for a true reading.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueueDepths {
     /// Tasks in the runnable queue (have CPU work pending).
@@ -256,37 +277,77 @@ pub struct QueueDepths {
     pub hw: u16,
     /// Host ops in flight in the controller front-end.
     pub inflight: u16,
+    /// Saturation flags, bit `i` set when lane `i` (in `runnable`,
+    /// `ready`, `hw`, `inflight` order) was clamped to
+    /// [`QueueDepths::LANE_MAX`].
+    pub saturated: u8,
 }
 
 impl QueueDepths {
-    /// Packs the four depths into a `u64` for the event's `op_id` field.
+    /// Largest depth one 15-bit lane can hold.
+    pub const LANE_MAX: u16 = 0x7FFF;
+
+    /// Builds an exact (unsaturated) sample from four in-range depths.
+    pub fn exact(runnable: u16, ready: u16, hw: u16, inflight: u16) -> Self {
+        QueueDepths {
+            runnable,
+            ready,
+            hw,
+            inflight,
+            saturated: 0,
+        }
+    }
+
+    /// Packs the four depths (15 bits each) and the saturation flags
+    /// (top 4 bits) into a `u64` for the event's `op_id` field.
     pub fn pack(self) -> u64 {
-        u64::from(self.runnable)
-            | u64::from(self.ready) << 16
-            | u64::from(self.hw) << 32
-            | u64::from(self.inflight) << 48
+        u64::from(self.runnable & Self::LANE_MAX)
+            | u64::from(self.ready & Self::LANE_MAX) << 15
+            | u64::from(self.hw & Self::LANE_MAX) << 30
+            | u64::from(self.inflight & Self::LANE_MAX) << 45
+            | u64::from(self.saturated & 0xF) << 60
     }
 
     /// Inverse of [`QueueDepths::pack`].
     pub fn unpack(raw: u64) -> Self {
+        let lane = |shift: u32| (raw >> shift) as u16 & Self::LANE_MAX;
         QueueDepths {
-            runnable: raw as u16,
-            ready: (raw >> 16) as u16,
-            hw: (raw >> 32) as u16,
-            inflight: (raw >> 48) as u16,
+            runnable: lane(0),
+            ready: lane(15),
+            hw: lane(30),
+            inflight: lane(45),
+            saturated: (raw >> 60) as u8 & 0xF,
         }
     }
 
-    /// Builds a sample from `usize` queue lengths, saturating each at
-    /// `u16::MAX`.
+    /// Builds a sample from `usize` queue lengths, saturating each lane at
+    /// [`QueueDepths::LANE_MAX`] and flagging every lane that clamped.
     pub fn from_lens(runnable: usize, ready: usize, hw: usize, inflight: usize) -> Self {
-        let clamp = |n: usize| n.min(u16::MAX as usize) as u16;
+        let mut saturated = 0u8;
+        let mut clamp = |n: usize, bit: u8| {
+            if n > Self::LANE_MAX as usize {
+                saturated |= 1 << bit;
+                Self::LANE_MAX
+            } else {
+                n as u16
+            }
+        };
+        let runnable = clamp(runnable, 0);
+        let ready = clamp(ready, 1);
+        let hw = clamp(hw, 2);
+        let inflight = clamp(inflight, 3);
         QueueDepths {
-            runnable: clamp(runnable),
-            ready: clamp(ready),
-            hw: clamp(hw),
-            inflight: clamp(inflight),
+            runnable,
+            ready,
+            hw,
+            inflight,
+            saturated,
         }
+    }
+
+    /// Whether any lane was clamped when this sample was taken.
+    pub fn is_saturated(self) -> bool {
+        self.saturated != 0
     }
 }
 
@@ -564,16 +625,42 @@ mod tests {
 
     #[test]
     fn queue_depths_pack_roundtrip() {
-        let d = QueueDepths {
-            runnable: 3,
-            ready: 0,
-            hw: 65_535,
-            inflight: 1_000,
-        };
+        let d = QueueDepths::exact(3, 0, QueueDepths::LANE_MAX, 1_000);
         assert_eq!(QueueDepths::unpack(d.pack()), d);
         let s = QueueDepths::from_lens(1, 2, usize::MAX, 4);
-        assert_eq!(s.hw, u16::MAX);
+        assert_eq!(s.hw, QueueDepths::LANE_MAX);
+        assert_eq!(s.saturated, 0b0100, "only the hw lane clamped");
+        assert!(s.is_saturated());
         assert_eq!(QueueDepths::unpack(s.pack()), s);
+    }
+
+    #[test]
+    fn queue_depths_large_lens_roundtrip_and_flag_saturation() {
+        // Depths at and beyond 256 survive pack/unpack exactly (the lanes
+        // are 15-bit, not 8-bit) and are not flagged as saturated.
+        for n in [256usize, 300, 1_000, QueueDepths::LANE_MAX as usize] {
+            let d = QueueDepths::from_lens(n, n / 2, n / 3, 4);
+            assert!(!d.is_saturated(), "lens {n} must fit a lane");
+            assert_eq!(QueueDepths::unpack(d.pack()), d);
+            assert_eq!(d.runnable as usize, n);
+        }
+        // Every lane clamps independently, and each clamp is visible.
+        let all = QueueDepths::from_lens(usize::MAX, 1 << 20, 40_000, 32_768);
+        assert_eq!(all.saturated, 0b1111);
+        assert_eq!(
+            (all.runnable, all.ready, all.hw, all.inflight),
+            (
+                QueueDepths::LANE_MAX,
+                QueueDepths::LANE_MAX,
+                QueueDepths::LANE_MAX,
+                QueueDepths::LANE_MAX
+            )
+        );
+        assert_eq!(QueueDepths::unpack(all.pack()), all);
+        // An in-range sample built by `exact` never reports saturation.
+        let fine = QueueDepths::from_lens(255, 256, 257, 0);
+        assert_eq!(fine, QueueDepths::exact(255, 256, 257, 0));
+        assert!(!fine.is_saturated());
     }
 
     #[test]

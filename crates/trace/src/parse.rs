@@ -21,6 +21,9 @@ pub struct ParsedTrace {
     /// Ring-drop count from the footer record (0 if the file had no
     /// footer — traces from older exporters).
     pub dropped: u64,
+    /// Per-kind ring-drop counts from the footer (`dropped_<kind>` keys),
+    /// in footer key order; kinds the footer omitted lost nothing.
+    pub dropped_by_kind: Vec<(TraceKind, u64)>,
     /// Shard (channel) id from the footer record (0 if absent — traces
     /// from single-system runs or older exporters).
     pub shard: u32,
@@ -32,6 +35,14 @@ pub struct ParsedTrace {
 }
 
 impl ParsedTrace {
+    /// Ring drops of one kind (0 when the footer carried no entry).
+    pub fn dropped_of(&self, kind: TraceKind) -> u64 {
+        self.dropped_by_kind
+            .iter()
+            .find(|&&(k, _)| k == kind)
+            .map_or(0, |&(_, n)| n)
+    }
+
     /// Value of an FTL footer counter (0 when the footer omitted it).
     pub fn ftl_counter(&self, c: Counter) -> u64 {
         self.ftl_counters
@@ -69,7 +80,7 @@ impl std::error::Error for ParseError {}
 
 /// Splits one flat JSON object (`{"k":v,...}`, no nesting except the
 /// values themselves being bare ints/strings/bools) into key/value pairs.
-fn fields(line: &str) -> Option<Vec<(&str, &str)>> {
+pub(crate) fn fields(line: &str) -> Option<Vec<(&str, &str)>> {
     let body = line.trim().strip_prefix('{')?.strip_suffix('}')?;
     if body.trim().is_empty() {
         return Some(Vec::new());
@@ -115,7 +126,14 @@ pub fn parse_json_lines(text: &str) -> Result<ParsedTrace, ParseError> {
                         trace.shard = v.parse().map_err(|_| err("bad shard id"))?;
                     }
                     _ => {
-                        if let Some(c) = Counter::FTL_FOOTER.into_iter().find(|c| c.name() == k) {
+                        if let Some(kind) =
+                            k.strip_prefix("dropped_").and_then(TraceKind::from_name)
+                        {
+                            let n = v.parse().map_err(|_| err("bad drop count"))?;
+                            trace.dropped_by_kind.push((kind, n));
+                        } else if let Some(c) =
+                            Counter::FTL_FOOTER.into_iter().find(|c| c.name() == k)
+                        {
                             let n = v.parse().map_err(|_| err("bad ftl counter"))?;
                             trace.ftl_counters.push((c, n));
                         }
@@ -212,6 +230,13 @@ mod tests {
         let parsed = parse_json_lines(&t.to_json_lines()).unwrap();
         assert_eq!(parsed.events.len(), 1);
         assert_eq!(parsed.dropped, 3);
+        assert_eq!(parsed.dropped_of(TraceKind::SchedPick), 3);
+        assert_eq!(parsed.dropped_of(TraceKind::OpIssue), 0);
+        // Legacy footers (no breakdown keys) parse with every kind at 0.
+        let legacy = "{\"footer\":true,\"events\":0,\"dropped\":9,\"shard\":0}\n";
+        let parsed = parse_json_lines(legacy).unwrap();
+        assert_eq!(parsed.dropped, 9);
+        assert!(parsed.dropped_by_kind.is_empty());
     }
 
     #[test]

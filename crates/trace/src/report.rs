@@ -30,6 +30,7 @@ use crate::{Component, QueueDepths, TraceEvent, TraceKind, Tracer};
 #[derive(Debug, Clone, Default)]
 struct DepthSummary {
     samples: u64,
+    saturated: u64,
     sums: [u64; 4],
     maxs: [u16; 4],
 }
@@ -39,6 +40,9 @@ const DEPTH_DIMS: [&str; 4] = ["runnable", "ready", "hw", "inflight"];
 impl DepthSummary {
     fn add(&mut self, d: QueueDepths) {
         self.samples += 1;
+        if d.is_saturated() {
+            self.saturated += 1;
+        }
         for (i, v) in [d.runnable, d.ready, d.hw, d.inflight]
             .into_iter()
             .enumerate()
@@ -64,6 +68,7 @@ pub struct TraceReport {
     window: (SimTime, SimTime),
     event_count: usize,
     dropped: u64,
+    dropped_by_kind: Vec<(TraceKind, u64)>,
     shard: u32,
     bus: IntervalSet,
     lun_busy: BTreeMap<u32, IntervalSet>,
@@ -73,15 +78,26 @@ pub struct TraceReport {
 }
 
 impl TraceReport {
-    /// Analyzes a live tracer's event ring, inheriting its shard tag.
+    /// Analyzes a live tracer's event ring, inheriting its shard tag and
+    /// per-kind drop breakdown.
     pub fn from_tracer(tracer: &Tracer) -> Self {
         let events: Vec<TraceEvent> = tracer.events().copied().collect();
-        TraceReport::from_events(&events, tracer.dropped()).with_shard(tracer.shard())
+        TraceReport::from_events(&events, tracer.dropped())
+            .with_shard(tracer.shard())
+            .with_drop_breakdown(tracer.dropped_by_kind().collect())
     }
 
     /// Tags the report with the shard (channel) it covers.
     pub fn with_shard(mut self, shard: u32) -> Self {
         self.shard = shard;
+        self
+    }
+
+    /// Attaches the per-kind ring-drop breakdown (from a live
+    /// [`Tracer::dropped_by_kind`] or a parsed footer's
+    /// `dropped_<kind>` keys).
+    pub fn with_drop_breakdown(mut self, breakdown: Vec<(TraceKind, u64)>) -> Self {
+        self.dropped_by_kind = breakdown;
         self
     }
 
@@ -160,6 +176,7 @@ impl TraceReport {
             window,
             event_count: events.len(),
             dropped,
+            dropped_by_kind: Vec::new(),
             shard: 0,
             bus,
             lun_busy,
@@ -219,6 +236,14 @@ impl TraceReport {
                 ""
             }
         );
+        if !self.dropped_by_kind.is_empty() {
+            let parts: Vec<String> = self
+                .dropped_by_kind
+                .iter()
+                .map(|(k, n)| format!("{} {}", k.name(), n))
+                .collect();
+            let _ = writeln!(out, "dropped by kind: {}", parts.join("  "));
+        }
         let _ = writeln!(
             out,
             "window: {} .. {} us ({} us)",
@@ -321,6 +346,14 @@ impl TraceReport {
                     self.depth.maxs[i]
                 );
             }
+            if self.depth.saturated > 0 {
+                let _ = writeln!(
+                    out,
+                    "saturated samples: {} (a lane clamped at {})",
+                    self.depth.saturated,
+                    QueueDepths::LANE_MAX
+                );
+            }
         }
         out
     }
@@ -335,6 +368,9 @@ impl TraceReport {
         };
         row("meta", "events", self.event_count.to_string());
         row("meta", "dropped", self.dropped.to_string());
+        for (k, n) in &self.dropped_by_kind {
+            row("meta", &format!("dropped_{}", k.name()), n.to_string());
+        }
         row("meta", "shard", self.shard.to_string());
         row(
             "meta",
@@ -385,6 +421,7 @@ impl TraceReport {
         row("recon", "phase_sum_ps", merged.phase_total_ps().to_string());
         row("recon", "e2e_sum_ps", merged.e2e_sum_ps.to_string());
         row("depth", "samples", self.depth.samples.to_string());
+        row("depth", "saturated", self.depth.saturated.to_string());
         for (i, dim) in DEPTH_DIMS.iter().enumerate() {
             row(
                 "depth",
@@ -566,21 +603,57 @@ mod tests {
                 Sched,
                 TraceKind::QueueDepth,
                 0,
-                QueueDepths {
-                    runnable: d,
-                    ready: 1,
-                    hw: 0,
-                    inflight: d / 2,
-                }
-                .pack(),
+                QueueDepths::exact(d, 1, 0, d / 2).pack(),
             ));
         }
         let r = TraceReport::from_events(&events, 0);
         let csv = r.render_csv();
         assert!(csv.contains("depth,samples,3"));
+        assert!(csv.contains("depth,saturated,0"));
         assert!(csv.contains("depth,runnable_mean,4.000"));
         assert!(csv.contains("depth,runnable_max,6"));
         assert!(r.render_table().contains("queue depths (3 samples)"));
+        assert!(!r.render_table().contains("saturated samples"));
+    }
+
+    #[test]
+    fn saturated_depth_samples_are_counted() {
+        use Component::Sched;
+        let mut events = sample_events();
+        events.push(ev(
+            10,
+            Sched,
+            TraceKind::QueueDepth,
+            0,
+            QueueDepths::from_lens(usize::MAX, 0, 0, 0).pack(),
+        ));
+        events.push(ev(
+            20,
+            Sched,
+            TraceKind::QueueDepth,
+            0,
+            QueueDepths::from_lens(1, 2, 3, 4).pack(),
+        ));
+        let r = TraceReport::from_events(&events, 0);
+        assert!(r.render_csv().contains("depth,saturated,1"));
+        assert!(r.render_table().contains("saturated samples: 1"));
+    }
+
+    #[test]
+    fn drop_breakdown_reaches_table_and_csv() {
+        let mut t = Tracer::with_capacity(2);
+        for e in sample_events() {
+            t.record(e);
+        }
+        let r = TraceReport::from_tracer(&t);
+        assert_eq!(r.dropped(), 6);
+        let table = r.render_table();
+        assert!(table.contains("dropped by kind:"), "{table}");
+        assert!(table.contains("op_issue 1"), "{table}");
+        let csv = r.render_csv();
+        assert!(csv.contains("meta,dropped,6"));
+        assert!(csv.contains("meta,dropped_op_issue,1"));
+        assert!(csv.contains("meta,dropped_bus_acquire,"));
     }
 
     #[test]

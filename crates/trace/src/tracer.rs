@@ -5,7 +5,7 @@ use std::collections::VecDeque;
 use babol_sim::{SimDuration, SimTime};
 
 use crate::hist::Histogram;
-use crate::{Component, Counter, Metric, TraceEvent, TraceSink};
+use crate::{Component, Counter, Metric, TraceEvent, TraceKind, TraceSink};
 
 /// Default ring capacity: enough for every event of a Fig. 10 microbench
 /// point or a tiny fio job, small enough (~2 MiB) to leave resident in
@@ -25,6 +25,7 @@ pub struct Tracer {
     capacity: usize,
     ring: VecDeque<TraceEvent>,
     dropped: u64,
+    dropped_by_kind: [u64; TraceKind::COUNT],
     counters: [[u64; Counter::COUNT]; Component::COUNT],
     metrics: [Histogram; Metric::COUNT],
     last_activity: [Option<SimTime>; Component::COUNT],
@@ -48,6 +49,7 @@ impl Tracer {
             capacity: DEFAULT_CAPACITY,
             ring: VecDeque::new(),
             dropped: 0,
+            dropped_by_kind: [0; TraceKind::COUNT],
             counters: [[0; Counter::COUNT]; Component::COUNT],
             metrics: std::array::from_fn(|_| Histogram::new()),
             last_activity: [None; Component::COUNT],
@@ -89,6 +91,24 @@ impl Tracer {
     /// Events dropped because the ring was full.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Events of one kind dropped because the ring was full. The
+    /// aggregate [`Tracer::dropped`] says the timeline is truncated; the
+    /// per-kind breakdown says *what* fell off the edge — all
+    /// `queue_depth` samples is cosmetic, half the `op_issue` starts
+    /// means latency spans are broken.
+    pub fn dropped_of(&self, kind: TraceKind) -> u64 {
+        self.dropped_by_kind[kind.index()]
+    }
+
+    /// Per-kind drop counts for every kind that lost events, in
+    /// [`TraceKind::ALL`] order.
+    pub fn dropped_by_kind(&self) -> impl Iterator<Item = (TraceKind, u64)> + '_ {
+        TraceKind::ALL
+            .into_iter()
+            .map(|k| (k, self.dropped_by_kind[k.index()]))
+            .filter(|&(_, n)| n != 0)
     }
 
     /// Timestamp of the most recent event a component recorded, or `None`
@@ -162,8 +182,10 @@ impl TraceSink for Tracer {
             return;
         }
         if self.ring.len() == self.capacity {
-            self.ring.pop_front();
-            self.dropped += 1;
+            if let Some(evicted) = self.ring.pop_front() {
+                self.dropped += 1;
+                self.dropped_by_kind[evicted.kind.index()] += 1;
+            }
         }
         let slot = &mut self.last_activity[event.component.index()];
         *slot = Some(slot.map_or(event.t, |prev| prev.max(event.t)));
@@ -222,6 +244,34 @@ mod tests {
         assert_eq!(t.dropped(), 2);
         let ops: Vec<u64> = t.events().map(|e| e.op_id).collect();
         assert_eq!(ops, vec![2, 3, 4]);
+        assert_eq!(t.dropped_of(TraceKind::BusAcquire), 2);
+    }
+
+    #[test]
+    fn drops_are_attributed_to_the_evicted_kind() {
+        let mut t = Tracer::with_capacity(2);
+        let mut push = |kind, op| {
+            t.record(TraceEvent {
+                t: SimTime::from_picos(op),
+                component: Component::Sim,
+                kind,
+                lun: 0,
+                op_id: op,
+            });
+        };
+        push(TraceKind::SchedPick, 0);
+        push(TraceKind::QueueDepth, 1);
+        push(TraceKind::OpIssue, 2); // evicts the sched_pick
+        push(TraceKind::OpIssue, 3); // evicts the queue_depth
+        push(TraceKind::OpIssue, 4); // evicts an op_issue
+        assert_eq!(t.dropped(), 3);
+        assert_eq!(t.dropped_of(TraceKind::SchedPick), 1);
+        assert_eq!(t.dropped_of(TraceKind::QueueDepth), 1);
+        assert_eq!(t.dropped_of(TraceKind::OpIssue), 1);
+        assert_eq!(t.dropped_of(TraceKind::GcStart), 0);
+        let breakdown: Vec<_> = t.dropped_by_kind().collect();
+        assert_eq!(breakdown.len(), 3, "only kinds that lost events appear");
+        assert_eq!(breakdown.iter().map(|&(_, n)| n).sum::<u64>(), t.dropped());
     }
 
     #[test]

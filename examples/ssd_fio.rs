@@ -8,6 +8,7 @@
 //! cargo run --release --example ssd_fio -- --channels 8 --threads 4
 //! cargo run --release --example ssd_fio -- --cache-mb 1
 //! cargo run --release --example ssd_fio -- --wear-report
+//! cargo run --release --example ssd_fio -- --metrics /tmp/m.jsonl --slo "p99<800us"
 //! ```
 //!
 //! With `--trace`, the GC-heavy random-write job runs with the tracing
@@ -31,6 +32,15 @@
 //! (spread limit 4) and a per-LUN erase-count table plus migration and
 //! bad-block totals are printed. Every write job also reports its
 //! simulated flash energy in joules.
+//!
+//! With `--metrics <path>` the GC-heavy write job streams windowed
+//! telemetry (window length `--metrics-window-us`, default 100) and the
+//! frame series is written as a `babol-metrics-v1` line-JSON sidecar that
+//! `--example trace_report -- --metrics` renders as a dashboard. `--slo
+//! "p99<800us"` (repeatable; stats `p50|p95|p99|mean|iops`) evaluates each
+//! objective per window, prints the verdict, and embeds it in the sidecar
+//! footer region. On a multi-channel run the sidecar also carries one
+//! frame lane per shard.
 
 use babol::factory::rtos_controller;
 use babol::runtime::RuntimeConfig;
@@ -82,6 +92,43 @@ fn stack(
     (sys, ctrl, ssd)
 }
 
+/// Evaluates `specs` against the device frames, writes the sidecar when a
+/// path was given, and prints one verdict line per objective.
+fn emit_metrics(
+    series: &babol_trace::MetricsSeries,
+    specs: &[babol_trace::SloSpec],
+    path: Option<&str>,
+) {
+    let verdicts: Vec<babol_trace::SloVerdict> = specs
+        .iter()
+        .map(|s| babol_trace::evaluate_slo(s, &series.device, series.window_ps))
+        .collect();
+    if let Some(path) = path {
+        if let Err(e) = series.write_json_lines(path, &verdicts) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "metrics: wrote {} frames x {} shard lane(s) to {path}",
+            series.device.len(),
+            series.shards
+        );
+    }
+    for v in &verdicts {
+        println!(
+            "slo {:12} {}  ({} of {} windows breached, longest streak {}, \
+             burn {}bp short / {}bp long)",
+            v.spec.to_string(),
+            if v.ok() { "OK" } else { "VIOLATED" },
+            v.breaches,
+            v.evaluated,
+            v.longest_streak,
+            v.burn_short_bp,
+            v.burn_long_bp
+        );
+    }
+}
+
 fn parse_num(args: &mut impl Iterator<Item = String>, flag: &str) -> u64 {
     args.next()
         .and_then(|v| v.trim().parse().ok())
@@ -92,6 +139,21 @@ fn parse_num(args: &mut impl Iterator<Item = String>, flag: &str) -> u64 {
         })
 }
 
+/// Telemetry options bundled from `--metrics` / `--slo` /
+/// `--metrics-window-us`; the hub is enabled when either a sidecar path
+/// or at least one objective was given.
+struct MetricsOpts {
+    path: Option<String>,
+    specs: Vec<babol_trace::SloSpec>,
+    window: babol_sim::SimDuration,
+}
+
+impl MetricsOpts {
+    fn enabled(&self) -> bool {
+        self.path.is_some() || !self.specs.is_empty()
+    }
+}
+
 /// The whole-device path: `channels` shards on `threads` workers.
 fn run_multi(
     channels: u32,
@@ -100,8 +162,11 @@ fn run_multi(
     report: bool,
     cache_pages: usize,
     wear_report: bool,
+    metrics: &MetricsOpts,
 ) {
     use babol_ftl::{MultiSsd, MultiSsdConfig};
+
+    let metrics_on = metrics.enabled();
 
     // Cache/wear totals come off the per-shard tracers, so those flags
     // also switch tracing on (a pure observer — results are unchanged).
@@ -144,8 +209,13 @@ fn run_multi(
         );
     }
 
-    // The GC-forcing overwrite job on a pristine device.
-    let mut ssd = MultiSsd::new(configure(false));
+    // The GC-forcing overwrite job on a pristine device. Telemetry covers
+    // this job only — it is the one with GC debt and cache churn to watch.
+    let mut write_cfg = configure(false);
+    if metrics_on {
+        write_cfg.metrics_window = Some(metrics.window);
+    }
+    let mut ssd = MultiSsd::new(write_cfg);
     let r = ssd.run(&FioWorkload {
         pattern: IoPattern::RandomWrite,
         total_ios: 3 * ssd.logical_pages(),
@@ -172,7 +242,14 @@ fn run_multi(
         r.fio.joules()
     );
 
+    let device_hub = ssd.take_metrics();
     let digests = ssd.finish();
+    if metrics_on {
+        let shard_hubs: Vec<&babol_trace::MetricsHub> =
+            digests.iter().map(|d| &d.metrics).collect();
+        let series = babol_trace::MetricsSeries::from_shards(&device_hub, &shard_hubs);
+        emit_metrics(&series, &metrics.specs, metrics.path.as_deref());
+    }
     if cache_pages > 0 || wear_report {
         use babol_trace::Counter;
         let total = |c: Counter| {
@@ -231,6 +308,9 @@ fn main() {
     let mut threads = 1usize;
     let mut cache_mb = 0u64;
     let mut wear_report = false;
+    let mut metrics_path: Option<String> = None;
+    let mut slo_specs: Vec<babol_trace::SloSpec> = Vec::new();
+    let mut metrics_window_us = 100u64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--trace" {
@@ -238,6 +318,22 @@ fn main() {
                 eprintln!("--trace requires a file path");
                 std::process::exit(2);
             }));
+        } else if arg == "--metrics" {
+            metrics_path = Some(args.next().unwrap_or_else(|| {
+                eprintln!("--metrics requires a file path");
+                std::process::exit(2);
+            }));
+        } else if arg == "--slo" {
+            let text = args.next().unwrap_or_else(|| {
+                eprintln!("--slo requires an objective like p99<800us or iops>50000");
+                std::process::exit(2);
+            });
+            slo_specs.push(babol_trace::SloSpec::parse(&text).unwrap_or_else(|e| {
+                eprintln!("--slo {text}: {e}");
+                std::process::exit(2);
+            }));
+        } else if arg == "--metrics-window-us" {
+            metrics_window_us = parse_num(&mut args, "--metrics-window-us");
         } else if arg == "--report" {
             report = true;
         } else if arg == "--channels" {
@@ -254,6 +350,12 @@ fn main() {
         }
     }
     let cache_pages = cache_mb as usize * (1 << 20) / babol_flash::Geometry::tiny().page_size;
+    let metrics = MetricsOpts {
+        path: metrics_path,
+        specs: slo_specs,
+        window: babol_sim::SimDuration::from_micros(metrics_window_us),
+    };
+    let metrics_on = metrics.enabled();
 
     if channels > 1 {
         run_multi(
@@ -263,6 +365,7 @@ fn main() {
             report,
             cache_pages,
             wear_report,
+            &metrics,
         );
         return;
     }
@@ -296,6 +399,9 @@ fn main() {
 
     // A sustained random-write job: 3x the logical space, forcing GC.
     let (mut sys, mut ctrl, mut ssd) = stack(false, cache_pages, wear_report);
+    if metrics_on {
+        ssd.enable_metrics(metrics.window);
+    }
     if trace_path.is_some() || report {
         // The GC-heavy job emits far more events than the default ring
         // holds; a larger ring keeps the report loss-free.
@@ -368,6 +474,11 @@ fn main() {
                 ssd.map().wear_spread(lun)
             );
         }
+    }
+
+    if metrics_on {
+        let series = babol_trace::MetricsSeries::from_hub(ssd.metrics());
+        emit_metrics(&series, &metrics.specs, metrics.path.as_deref());
     }
 
     if let Some(path) = trace_path {

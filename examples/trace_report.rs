@@ -6,11 +6,19 @@
 //! cargo run --release --example ssd_fio -- --trace /tmp/ssd.json
 //! cargo run --release --example trace_report -- /tmp/ssd.json.jsonl
 //! cargo run --release --example trace_report -- /tmp/ssd.json.jsonl --csv
+//! cargo run --release --example ssd_fio -- --metrics /tmp/m.jsonl --slo "p99<800us"
+//! cargo run --release --example trace_report -- --metrics /tmp/m.jsonl
 //! ```
 //!
 //! The same analysis is available live via `ssd_fio --report`; this tool
 //! exists so traces can be captured once and interrogated later (or on a
 //! different machine) without re-running the simulation.
+//!
+//! With `--metrics` the input is a `babol-metrics-v1` telemetry sidecar
+//! (from `ssd_fio --metrics`) instead of an event trace, and the output is
+//! the streaming-telemetry dashboard: one sim-time sparkline lane per
+//! metric, SLO verdicts with per-window breach markers, and per-shard
+//! channel-utilization lanes for multi-channel runs.
 
 use babol_trace::{parse_json_lines, Counter, ParsedTrace, TraceReport};
 
@@ -55,12 +63,15 @@ fn render_ftl_section(parsed: &ParsedTrace, csv: bool) -> String {
 fn main() {
     let mut path: Option<String> = None;
     let mut csv = false;
+    let mut metrics = false;
     for arg in std::env::args().skip(1) {
         if arg == "--csv" {
             csv = true;
+        } else if arg == "--metrics" {
+            metrics = true;
         } else if arg.starts_with("--") {
             eprintln!("unrecognized flag: {arg}");
-            eprintln!("usage: trace_report <trace.jsonl> [--csv]");
+            eprintln!("usage: trace_report <trace.jsonl> [--csv] [--metrics]");
             std::process::exit(2);
         } else if path.is_some() {
             eprintln!("only one trace file may be given");
@@ -70,7 +81,7 @@ fn main() {
         }
     }
     let Some(path) = path else {
-        eprintln!("usage: trace_report <trace.jsonl> [--csv]");
+        eprintln!("usage: trace_report <trace.jsonl> [--csv] [--metrics]");
         std::process::exit(2);
     };
 
@@ -81,6 +92,23 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if metrics {
+        match babol_trace::parse_metrics_lines(&text) {
+            Ok(parsed) => {
+                print!(
+                    "{}",
+                    babol_trace::render_metrics_dashboard(&parsed.series, &parsed.verdicts)
+                );
+            }
+            Err(e) => {
+                eprintln!("cannot parse {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+
     let parsed = match parse_json_lines(&text) {
         Ok(p) => p,
         Err(e) => {
@@ -98,7 +126,8 @@ fn main() {
         );
     }
 
-    let report = TraceReport::from_events(&parsed.events, parsed.dropped);
+    let report = TraceReport::from_events(&parsed.events, parsed.dropped)
+        .with_drop_breakdown(parsed.dropped_by_kind.clone());
     if csv {
         print!("{}", report.render_csv());
     } else {

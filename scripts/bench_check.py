@@ -46,6 +46,21 @@ sequential rewrite job with and without a device-covering cache), the
 cached run must be at least BABOL_BENCH_CACHE_SPEEDUP_MIN (default 1.1)
 times faster. Same-host, same-work comparison, so no normalization.
 
+Telemetry overhead gate: when the fresh run contains the metrics pair
+(fio/metrics_on_write, fio/metrics_off_write — the same GC-heavy random
+write job with the streaming-telemetry hub on and off), the metrics-on
+time may exceed the metrics-off time by at most
+BABOL_BENCH_METRICS_OVERHEAD_PCT percent (default 5). Same-host,
+same-work comparison, so no normalization. The bench runner times the
+pair with interleaved iterations so host drift lands on both sample
+sets; the gate then takes the SMALLER of the median-based and min-based
+overhead estimates. That is sound because the simulated work is
+deterministic: host noise can only add time to individual samples and
+inflates the two statistics independently, while a real sampling-cost
+regression shifts the whole on-distribution and inflates both. The
+hub's delta-snapshot sampling is designed to be nearly free and this
+gate keeps it that way.
+
 Energy gate: every fresh result row must carry a "joules" field
 (babol-bench-v1 rows report simulated flash energy; 0.0 means the bench
 does not model it). The fio/ rows must report nonzero energy, and the
@@ -78,6 +93,10 @@ SPEEDUP_MIN_CPUS = 8
 # The write-back cache pair: identical simulated write job, cache on/off.
 CACHE_ON = "fio/cached_write_throughput"
 CACHE_OFF = "fio/uncached_write_throughput"
+
+# The telemetry pair: identical simulated write job, metrics hub on/off.
+METRICS_ON = "fio/metrics_on_write"
+METRICS_OFF = "fio/metrics_off_write"
 
 # Benchmarks that simulate flash work must report nonzero joules.
 ENERGY_REQUIRED_PREFIX = "fio/"
@@ -147,6 +166,38 @@ def check_cache_pair(fresh, failures):
         )
 
 
+def check_metrics_pair(fresh_doc, fresh, failures):
+    """Gates the metrics on/off telemetry overhead; appends on breach."""
+    if METRICS_ON not in fresh or METRICS_OFF not in fresh:
+        return
+    allowed = float(os.environ.get("BABOL_BENCH_METRICS_OVERHEAD_PCT", "5"))
+    if fresh[METRICS_OFF] <= 0:
+        failures.append(f"{METRICS_OFF}: zero median, cannot compute overhead")
+        return
+    by_median = (fresh[METRICS_ON] - fresh[METRICS_OFF]) / fresh[METRICS_OFF] * 100.0
+    mins = {r["name"]: float(r.get("min_ns", 0.0)) for r in fresh_doc["results"]}
+    if mins.get(METRICS_OFF, 0.0) > 0:
+        by_min = (mins[METRICS_ON] - mins[METRICS_OFF]) / mins[METRICS_OFF] * 100.0
+    else:
+        by_min = by_median
+    # Deterministic work: noise only inflates samples, so the smaller of
+    # the two estimates is the better one (see module docstring).
+    overhead = min(by_median, by_min)
+    verdict = "OK" if overhead <= allowed else "FAILED"
+    print(
+        f"telemetry overhead gate {verdict}: {METRICS_ON} vs {METRICS_OFF} = "
+        f"{overhead:+.2f}% (median {by_median:+.2f}%, min {by_min:+.2f}%, "
+        f"allowed +{allowed:.1f}%)"
+    )
+    if overhead > allowed:
+        failures.append(
+            f"telemetry overhead {overhead:+.2f}% above the +{allowed:.1f}% "
+            f"ceiling ({METRICS_ON} median {fresh[METRICS_ON]:.0f} ns / "
+            f"min {mins.get(METRICS_ON, 0.0):.0f} ns, {METRICS_OFF} median "
+            f"{fresh[METRICS_OFF]:.0f} ns / min {mins.get(METRICS_OFF, 0.0):.0f} ns)"
+        )
+
+
 def check_energy(fresh_doc, failures):
     """Gates the simulated-energy reporting; appends on breach."""
     joules = {}
@@ -168,6 +219,14 @@ def check_energy(fresh_doc, failures):
             failures.append(
                 f"cached write job burned {joules[CACHE_ON]:.6f} J, not less "
                 f"than uncached {joules[CACHE_OFF]:.6f} J"
+            )
+    # The metrics hub is a pure observer: the simulated job — and so its
+    # deterministic energy — must be bit-identical with the hub on or off.
+    if METRICS_ON in joules and METRICS_OFF in joules:
+        if joules[METRICS_ON] != joules[METRICS_OFF]:
+            failures.append(
+                f"metrics sampling changed simulated energy: "
+                f"{joules[METRICS_ON]:.9f} J on vs {joules[METRICS_OFF]:.9f} J off"
             )
 
 
@@ -224,6 +283,7 @@ def main():
 
     check_speedup(fresh_doc, fresh, failures)
     check_cache_pair(fresh, failures)
+    check_metrics_pair(fresh_doc, fresh, failures)
     check_energy(fresh_doc, failures)
 
     if failures:

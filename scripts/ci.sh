@@ -126,4 +126,47 @@ else
   echo "python3 not found; skipped trace report validation"
 fi
 
+step "metrics export smoke (ssd_fio --metrics, SLO verdicts, dashboard)"
+cargo run --release --offline --example ssd_fio -- \
+  --metrics /tmp/babol_metrics.jsonl --slo "p99<800us" --slo "iops>1000"
+cargo run --release --offline --example trace_report -- --metrics /tmp/babol_metrics.jsonl \
+  > /tmp/babol_metrics_dash.txt
+grep -q -- "-- slo --" /tmp/babol_metrics_dash.txt
+grep -q "p99" /tmp/babol_metrics_dash.txt
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+lines = open("/tmp/babol_metrics.jsonl").read().splitlines()
+head = json.loads(lines[0])
+assert head["schema"] == "babol-metrics-v1", f"bad schema: {head}"
+foot = json.loads(lines[-1])
+assert foot.get("footer") is True, "last record is not the footer"
+rows = [json.loads(l) for l in lines[1:-1]]
+device = [r for r in rows if r.get("shard") == -1]
+verdicts = [r for r in rows if "slo" in r]
+assert len(device) == head["frames"] == foot["frames"], "frame count mismatch"
+assert foot["end_ps"] // head["window_ps"] + 1 == len(device), \
+    "device frames must tile sim time from the epoch"
+assert [r["frame"] for r in device] == list(range(len(device))), \
+    "device lane is not index-contiguous"
+assert len(verdicts) == 2, f"expected 2 SLO verdicts, got {len(verdicts)}"
+assert sum(r["ops"] for r in device) > 0, "metrics recorded no ops"
+print(f"metrics OK: {len(device)} windows x {head['shards']} shard(s), "
+      f"{len(verdicts)} SLO verdicts, end_ps={foot['end_ps']}")
+EOF
+else
+  echo "python3 not found; skipped metrics JSON validation"
+fi
+
+step "metrics determinism (repeat run + threads 1 vs 2, byte-identical)"
+cargo run --release --offline --example ssd_fio -- \
+  --metrics /tmp/babol_metrics_rerun.jsonl --slo "p99<800us" --slo "iops>1000" >/dev/null
+cmp /tmp/babol_metrics.jsonl /tmp/babol_metrics_rerun.jsonl
+cargo run --release --offline --example ssd_fio -- --channels 4 --threads 1 \
+  --metrics /tmp/babol_metrics_t1.jsonl >/dev/null
+cargo run --release --offline --example ssd_fio -- --channels 4 --threads 2 \
+  --metrics /tmp/babol_metrics_t2.jsonl >/dev/null
+cmp /tmp/babol_metrics_t1.jsonl /tmp/babol_metrics_t2.jsonl
+echo "metrics sidecars byte-identical across repeat runs and thread counts"
+
 step "CI mirror: all green"

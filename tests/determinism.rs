@@ -167,15 +167,22 @@ fn parallel_fio_digest(threads: usize, seed: u64) -> String {
 /// determinism.
 /// Same digest, but with the production FTL subsystems switched on: a
 /// write-back cache absorbing host writes on every shard, wear-leveling
-/// migration armed, and a random-write pattern that drives GC — the
-/// configurations most likely to smuggle nondeterminism in through
-/// eviction order or migration timing.
+/// migration armed, a random-write pattern that drives GC, and the
+/// streaming-telemetry hub sampling every shard — the configurations most
+/// likely to smuggle nondeterminism in through eviction order, migration
+/// timing, or metrics sampling. The digest folds in the exported
+/// `metrics.jsonl` bytes (frames, shard lanes, and an SLO verdict), so a
+/// single reordered window fails the whole CI matrix.
 fn production_fio_digest(threads: usize, seed: u64) -> String {
+    use babol_sim::SimDuration;
+    use babol_trace::{evaluate_slo, MetricsHub, MetricsSeries, SloSpec};
+
     let mut cfg = MultiSsdConfig::tiny(8, threads);
     cfg.trace_capacity = Some(4096);
     cfg.preload = false;
     cfg.shard.cache_pages = 8;
     cfg.shard.wear_spread_limit = 4;
+    cfg.metrics_window = Some(SimDuration::from_micros(50));
     let mut ssd = MultiSsd::new(cfg);
     let report = ssd.run(&FioWorkload {
         pattern: IoPattern::RandomWrite,
@@ -183,9 +190,16 @@ fn production_fio_digest(threads: usize, seed: u64) -> String {
         queue_depth: 16,
         seed,
     });
+    let device_hub = ssd.take_metrics();
+    let shard_digests = ssd.finish();
+    let shard_hubs: Vec<&MetricsHub> = shard_digests.iter().map(|sd| &sd.metrics).collect();
+    let series = MetricsSeries::from_shards(&device_hub, &shard_hubs);
+    let spec = SloSpec::parse("p99<800us").expect("static spec");
+    let verdict = evaluate_slo(&spec, &series.device, series.window_ps);
     let mut d = Digest::new();
     d.section("report", format!("{report:?}"));
-    for sd in ssd.finish() {
+    d.section("metrics", series.to_json_lines(&[verdict]));
+    for sd in shard_digests {
         d.section(&format!("shard{}", sd.shard), sd.tracer.to_json_lines());
     }
     d.hex()

@@ -714,6 +714,101 @@ fn histogram_merge_matches_direct_recording() {
     );
 }
 
+/// Windowed telemetry loses nothing to windowing: for any observation
+/// stream and any window length, the per-window latency histograms merged
+/// back together are indistinguishable from recording every observation
+/// into one whole-run histogram, and the per-window op counts sum to the
+/// stream length.
+#[test]
+fn metrics_windows_merge_to_whole_run_histogram() {
+    use babol_trace::{Histogram, MetricsHub};
+    Property::new("metrics_windows_merge_to_whole_run_histogram").run(
+        (
+            select(&[1_000u64, 7_000, 52_429, 1_000_000]),
+            vec_of((range(0u64..5_000_000), any::<u64>()), 0..64),
+        ),
+        |(window_ps, obs)| {
+            let mut hub = MetricsHub::new(SimDuration::from_picos(*window_ps));
+            let mut direct = Histogram::new();
+            for &(at, lat) in obs {
+                hub.observe_latency(SimTime::from_picos(at), SimDuration::from_picos(lat));
+                direct.record(SimDuration::from_picos(lat));
+            }
+            let merged = hub.merged_latency();
+            prop_assert_eq!(merged.buckets(), direct.buckets());
+            prop_assert_eq!(merged.count(), direct.count());
+            prop_assert_eq!(merged.mean(), direct.mean());
+            prop_assert_eq!(merged.max(), direct.max());
+            for p in [50.0, 95.0, 99.0, 100.0] {
+                prop_assert_eq!(merged.percentile(p), direct.percentile(p));
+            }
+            prop_assert_eq!(
+                hub.frames().iter().map(|f| f.ops).sum::<u64>(),
+                obs.len() as u64
+            );
+            Ok(())
+        },
+    );
+}
+
+/// Frame boundaries partition sim time exactly: every observation lands
+/// in the one frame whose `[start, end)` contains it, the frame series is
+/// index-contiguous with `floor(last/W) + 1` entries, and counter deltas
+/// attributed per window telescope back to the stream total.
+#[test]
+fn metrics_frames_partition_sim_time_exactly() {
+    use babol_trace::{MetricsHub, MetricsSnapshot};
+    use std::collections::BTreeMap;
+    Property::new("metrics_frames_partition_sim_time_exactly").run(
+        (
+            select(&[1_000u64, 7_000, 52_429, 1_000_000]),
+            vec_of((range(0u64..5_000_000), range(0u64..1_000)), 1..48),
+        ),
+        |(window_ps, steps)| {
+            let w = *window_ps;
+            let window = SimDuration::from_picos(w);
+            let mut hub = MetricsHub::new(window);
+            hub.prime(&MetricsSnapshot::default());
+            let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+            let mut total = 0u64;
+            for &(at, delta) in steps {
+                let t = SimTime::from_picos(at);
+                prop_assert_eq!(t.window_index(window), at / w);
+                hub.note_op(t);
+                *model.entry(at / w).or_insert(0) += 1;
+                total += delta;
+                hub.sample(
+                    t,
+                    &MetricsSnapshot {
+                        energy_pj: total,
+                        ..MetricsSnapshot::default()
+                    },
+                );
+            }
+            let frames = hub.frames();
+            let last = steps.iter().map(|&(at, _)| at).max().unwrap();
+            prop_assert_eq!(frames.len() as u64, last / w + 1);
+            for (i, f) in frames.iter().enumerate() {
+                prop_assert_eq!(f.index, i as u64, "frames must be index-contiguous");
+                prop_assert_eq!(f.start(window).as_picos(), i as u64 * w);
+                prop_assert_eq!(f.end(window).as_picos(), (i as u64 + 1) * w);
+                prop_assert_eq!(
+                    f.ops,
+                    model.get(&f.index).copied().unwrap_or(0),
+                    "ops landed outside their window"
+                );
+            }
+            // Every observation is inside its frame's half-open span.
+            for &(at, _) in steps {
+                let f = &frames[(at / w) as usize];
+                prop_assert!(f.start(window).as_picos() <= at && at < f.end(window).as_picos());
+            }
+            prop_assert_eq!(frames.iter().map(|f| f.energy_pj).sum::<u64>(), total);
+            Ok(())
+        },
+    );
+}
+
 /// Durations format and never panic across magnitudes.
 #[test]
 fn duration_display_total() {
