@@ -269,14 +269,37 @@ impl RunReport {
 /// until `total` requests complete.
 pub struct Engine {
     queue_depth_per_lun: usize,
-    watchdog_budget: Option<SimDuration>,
+    watchdog_budget: WatchdogBudget,
+}
+
+/// How a run's stall budget is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WatchdogBudget {
+    /// Derive from the static envelope of the target package at run start
+    /// (the default): [`Engine::envelope_watchdog_budget`].
+    FromEnvelope,
+    /// Caller-pinned budget.
+    Fixed(SimDuration),
+    /// Watchdog off.
+    Disarmed,
 }
 
 impl Engine {
-    /// Default stall budget: no single request on a loaded microbenchmark
-    /// system takes anywhere near a second of simulated time, so a second
-    /// without one completion is a live-lock, not a slow run.
-    pub const DEFAULT_WATCHDOG_BUDGET: SimDuration = SimDuration::from_secs(1);
+    /// Headroom multiplier on the worst single-operation envelope. A
+    /// microbenchmark engine keeps at most one queue's worth of requests
+    /// per LUN in flight, so even with every LUN serialized behind one
+    /// channel, 64 worst-case operations of silence means live-lock, not a
+    /// slow run.
+    pub const WATCHDOG_HEADROOM_OPS: u64 = 64;
+
+    /// The stall budget derived from the static timing envelope (rule
+    /// V074): the envelope maximum of the worst well-formed single
+    /// operation on `profile` — full raw-page program + read-back at SDR
+    /// boot speed plus the worst-case array window — times
+    /// [`WATCHDOG_HEADROOM_OPS`](Self::WATCHDOG_HEADROOM_OPS).
+    pub fn envelope_watchdog_budget(profile: &babol_flash::PackageProfile) -> SimDuration {
+        babol_verify::envelope::worst_op_envelope(profile) * Self::WATCHDOG_HEADROOM_OPS
+    }
 
     /// An engine keeping up to `queue_depth_per_lun` requests outstanding on
     /// each LUN (the paper's microbenchmarks submit "a sequence of read
@@ -286,13 +309,17 @@ impl Engine {
         assert!(queue_depth_per_lun >= 1);
         Engine {
             queue_depth_per_lun,
-            watchdog_budget: Some(Self::DEFAULT_WATCHDOG_BUDGET),
+            watchdog_budget: WatchdogBudget::FromEnvelope,
         }
     }
 
-    /// Overrides the stall watchdog budget; `None` disarms it.
+    /// Overrides the envelope-derived stall watchdog budget; `None`
+    /// disarms it.
     pub fn watchdog_budget(mut self, budget: Option<SimDuration>) -> Self {
-        self.watchdog_budget = budget;
+        self.watchdog_budget = match budget {
+            Some(b) => WatchdogBudget::Fixed(b),
+            None => WatchdogBudget::Disarmed,
+        };
         self
     }
 
@@ -308,7 +335,7 @@ impl Engine {
     ) -> String {
         use std::fmt::Write as _;
         let mut s = format!(
-            "stall watchdog: no host completion for {stalled_for:?} \
+            "stall watchdog (V074 EnvelopeExceeded): no host completion for {stalled_for:?} \
              ({done} of {total} requests complete, controller {})\n",
             controller.name()
         );
@@ -366,8 +393,18 @@ impl Engine {
         let mut scratch = Vec::new();
         let mut bytes = 0u64;
         let mut watchdog = match self.watchdog_budget {
-            Some(budget) => babol_sim::Watchdog::new(budget),
-            None => babol_sim::Watchdog::disarmed(),
+            WatchdogBudget::FromEnvelope => {
+                let profile = sys.channel.lun(0).profile();
+                let worst = babol_verify::envelope::worst_op_envelope(profile);
+                let budget = worst * Self::WATCHDOG_HEADROOM_OPS;
+                sys.trace
+                    .set_counter(Component::Sim, Counter::EnvelopeWorstOpPs, worst.as_picos());
+                sys.trace
+                    .set_counter(Component::Sim, Counter::WatchdogBudgetPs, budget.as_picos());
+                babol_sim::Watchdog::new(budget)
+            }
+            WatchdogBudget::Fixed(budget) => babol_sim::Watchdog::new(budget),
+            WatchdogBudget::Disarmed => babol_sim::Watchdog::disarmed(),
         };
         watchdog.arm_at(start);
 
@@ -576,6 +613,37 @@ mod tests {
         Engine::new(1)
             .watchdog_budget(Some(SimDuration::from_millis(1)))
             .run(&mut sys, &mut Spinner, reqs(1, 0));
+    }
+
+    /// Same live-lock, but with the *default* (envelope-derived) budget:
+    /// an execution that exceeds the static envelope by the headroom
+    /// factor trips the watchdog, and the panic names the rule.
+    #[test]
+    #[should_panic(expected = "V074")]
+    fn envelope_budget_trips_and_names_v074() {
+        struct Spinner;
+        impl Controller for Spinner {
+            fn name(&self) -> &'static str {
+                "spinner"
+            }
+            fn submit(&mut self, sys: &mut System, _r: IoRequest) -> bool {
+                sys.schedule_in(SimDuration::from_micros(10), Event::Timer { tag: 0 });
+                true
+            }
+            fn on_event(&mut self, sys: &mut System, _e: Event) {
+                sys.schedule_in(SimDuration::from_micros(10), Event::Timer { tag: 0 });
+            }
+            fn take_completions(&mut self, _o: &mut Vec<(IoRequest, SimTime)>) {}
+            fn in_flight(&self) -> usize {
+                1
+            }
+        }
+        let mut sys = tiny_system(1);
+        // The derived budget is finite and far below a second on the tiny
+        // profile — the spinner crosses it in bounded simulated time.
+        let budget = Engine::envelope_watchdog_budget(&babol_flash::PackageProfile::test_tiny());
+        assert!(budget < SimDuration::from_secs(1));
+        Engine::new(1).run(&mut sys, &mut Spinner, reqs(1, 0));
     }
 
     #[test]

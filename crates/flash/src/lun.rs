@@ -202,8 +202,15 @@ pub struct LunStats {
     pub reads: u64,
     /// Completed page programs.
     pub programs: u64,
+    /// Program pulses applied, successful or not. The array draws program
+    /// energy for the pulse whether or not the commit is accepted, so
+    /// energy accounting keys off attempts, not successes.
+    pub program_attempts: u64,
     /// Completed block erases.
     pub erases: u64,
+    /// Erase pulses applied, successful or not (energy accounting keys off
+    /// attempts for the same reason as `program_attempts`).
+    pub erase_attempts: u64,
     /// Status queries served.
     pub status_polls: u64,
     /// Data bytes streamed out.
@@ -428,6 +435,7 @@ impl Lun {
                 }
             }
             Effect::CommitProgram { row, pslc } => {
+                self.stats.program_attempts += 1;
                 let plane = self.array.geometry().plane_of(row.block) as usize;
                 let data = self.page_regs[plane].clone();
                 match self.array.program_page(row, &data, pslc) {
@@ -438,13 +446,16 @@ impl Lun {
                     Err(_) => self.last_fail = true,
                 }
             }
-            Effect::CommitErase { row } => match self.array.erase_block(row) {
-                Ok(()) => {
-                    self.last_fail = false;
-                    self.stats.erases += 1;
+            Effect::CommitErase { row } => {
+                self.stats.erase_attempts += 1;
+                match self.array.erase_block(row) {
+                    Ok(()) => {
+                        self.last_fail = false;
+                        self.stats.erases += 1;
+                    }
+                    Err(_) => self.last_fail = true,
                 }
-                Err(_) => self.last_fail = true,
-            },
+            }
             Effect::FinishReset => {
                 self.initialized = true;
             }
@@ -634,7 +645,7 @@ impl Lun {
                     self.queued_rows.push(row);
                     self.begin_busy(
                         now,
-                        SimDuration::from_micros(1),
+                        PackageProfile::PLANE_QUEUE_WINDOW,
                         BusyKind::PlaneQueue,
                         Effect::None,
                     );
@@ -684,7 +695,7 @@ impl Lun {
                 self.col = 0;
                 self.begin_busy(
                     now,
-                    SimDuration::from_micros(3),
+                    PackageProfile::CACHE_END_WINDOW,
                     BusyKind::CacheRead,
                     Effect::None,
                 );
@@ -1076,7 +1087,7 @@ impl Lun {
         // usable (datasheet tESPD/tPSPD, ~20 us).
         self.begin_busy(
             now,
-            SimDuration::from_micros(20),
+            PackageProfile::SUSPEND_WINDOW,
             BusyKind::Suspending,
             Effect::None,
         );
@@ -1089,8 +1100,12 @@ impl Lun {
         };
         // Resume penalty: re-ramping the program/erase voltages costs a
         // little extra on top of the remaining time.
-        let penalty = SimDuration::from_micros(10);
-        self.begin_busy(now, s.remaining + penalty, s.kind, s.effect);
+        self.begin_busy(
+            now,
+            s.remaining + PackageProfile::RESUME_PENALTY,
+            s.kind,
+            s.effect,
+        );
         Ok(LunResponse::Accepted)
     }
 

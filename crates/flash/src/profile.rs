@@ -48,6 +48,16 @@ pub struct PackageProfile {
 }
 
 impl PackageProfile {
+    /// Multi-plane queue window: 0x32 (MULTI PLANE NEXT) parks the plane's
+    /// fetch behind a short fixed busy pulse.
+    pub const PLANE_QUEUE_WINDOW: SimDuration = SimDuration::from_micros(1);
+    /// READ CACHE END (0x3F) register shuffle window.
+    pub const CACHE_END_WINDOW: SimDuration = SimDuration::from_micros(3);
+    /// Suspend latency window before the LUN is usable (tESPD/tPSPD).
+    pub const SUSPEND_WINDOW: SimDuration = SimDuration::from_micros(20);
+    /// Resume penalty added on top of the remaining array time.
+    pub const RESUME_PENALTY: SimDuration = SimDuration::from_micros(10);
+
     /// The Hynix package: tR = 100 µs, 8 LUNs per channel.
     pub fn hynix() -> Self {
         PackageProfile {
@@ -145,6 +155,46 @@ impl PackageProfile {
         vec![Self::hynix(), Self::toshiba(), Self::micron()]
     }
 
+    /// The inclusive jitter envelope `[min, max]` the LUN model can draw
+    /// for a nominal array time. Mirrors `Lun::jittered` exactly: with
+    /// `jitter_pct == 0` the draw is the nominal; otherwise the draw is
+    /// uniform over `nominal ± nominal * jitter_pct / 100` (integer
+    /// picosecond arithmetic, both bounds attainable).
+    pub fn jitter_bounds(&self, nominal: SimDuration) -> (SimDuration, SimDuration) {
+        let pct = self.jitter_pct as u64;
+        if pct == 0 {
+            return (nominal, nominal);
+        }
+        let span = nominal.as_picos() * pct / 100;
+        (
+            SimDuration::from_picos(nominal.as_picos() - span),
+            SimDuration::from_picos(nominal.as_picos() + span),
+        )
+    }
+
+    /// The longest array-busy window any single command can open on this
+    /// package, worst case: the jitter maximum over every nominal array
+    /// time plus the fixed suspend/resume windows (a resumed erase serves
+    /// its remaining time plus the resume penalty). This is the bound a
+    /// static analyzer must assume for a busy poll of unknown cause.
+    pub fn worst_array_window(&self) -> SimDuration {
+        let nominals = [
+            self.t_r,
+            self.t_r_slc,
+            self.t_prog,
+            self.t_prog_slc,
+            self.t_bers,
+            self.t_rst,
+            self.t_param,
+        ];
+        let longest = nominals
+            .iter()
+            .map(|&n| self.jitter_bounds(n).1)
+            .max()
+            .expect("non-empty");
+        longest + Self::SUSPEND_WINDOW + Self::RESUME_PENALTY
+    }
+
     /// The ONFI parameter page this package reports.
     pub fn param_page(&self) -> babol_onfi::param_page::ParamPage {
         babol_onfi::param_page::ParamPage {
@@ -191,6 +241,31 @@ mod tests {
         for p in PackageProfile::paper_set() {
             assert!(p.t_r_slc < p.t_r, "{}", p.name);
             assert!(p.t_prog_slc < p.t_prog, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn jitter_bounds_bracket_the_nominal() {
+        let p = PackageProfile::hynix(); // 8% jitter
+        let (lo, hi) = p.jitter_bounds(p.t_r);
+        assert_eq!(lo, SimDuration::from_micros(92));
+        assert_eq!(hi, SimDuration::from_micros(108));
+        let tiny = PackageProfile::test_tiny(); // no jitter: point interval
+        assert_eq!(tiny.jitter_bounds(tiny.t_prog), (tiny.t_prog, tiny.t_prog));
+    }
+
+    #[test]
+    fn worst_array_window_dominated_by_erase() {
+        for p in PackageProfile::paper_set() {
+            let w = p.worst_array_window();
+            assert!(w >= p.jitter_bounds(p.t_bers).1, "{}", p.name);
+            assert!(
+                w == p.jitter_bounds(p.t_bers).1
+                    + PackageProfile::SUSPEND_WINDOW
+                    + PackageProfile::RESUME_PENALTY,
+                "{}",
+                p.name
+            );
         }
     }
 

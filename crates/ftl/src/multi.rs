@@ -103,7 +103,7 @@ impl MultiSsdConfig {
             kind: MultiControllerKind::Coro,
             preload: true,
             trace_capacity: None,
-            watchdog: Some(Ssd::DEFAULT_WATCHDOG_BUDGET),
+            watchdog: Some(Ssd::envelope_watchdog_budget(&PackageProfile::test_tiny())),
             metrics_window: None,
         }
     }
@@ -672,7 +672,7 @@ impl MultiSsd {
             self.barrier = horizon;
             if self.watchdog.is_stalled(self.barrier) {
                 panic!(
-                    "multi-SSD stall watchdog: no completion for {:?} \
+                    "multi-SSD stall watchdog (V074 EnvelopeExceeded): no completion for {:?} \
                      ({completed} of {} I/Os complete, {} in flight, \
                      {rounds} rounds, {gc_cycles} GC cycles)",
                     self.watchdog.stalled_for(self.barrier),

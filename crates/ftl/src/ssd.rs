@@ -156,12 +156,27 @@ pub struct Ssd {
     /// off host completions for a long stretch while relocations complete
     /// steadily, and those relocations are forward progress.
     watchdog: Watchdog,
+    /// True until [`Ssd::set_watchdog`] pins or disarms the budget: the
+    /// watchdog is (re)armed from the static envelope of the target
+    /// package at `run` start.
+    watchdog_auto: bool,
 }
 
 impl Ssd {
-    /// Default stall budget. Far more generous than the engine's: a full
-    /// GC cycle relocates up to a block's worth of pages inline.
-    pub const DEFAULT_WATCHDOG_BUDGET: SimDuration = SimDuration::from_secs(10);
+    /// Headroom on the envelope-derived stall budget, in blocks' worth of
+    /// worst-case operations. Far more generous than the engine's: a full
+    /// GC cycle relocates up to a block's worth of pages inline, and a
+    /// wear-leveling migration can chain another on top.
+    pub const WATCHDOG_HEADROOM_BLOCKS: u64 = 4;
+
+    /// The stall budget derived from the static timing envelope (rule
+    /// V074): the envelope maximum of the worst well-formed single
+    /// operation on `profile`, times pages-per-block, times
+    /// [`WATCHDOG_HEADROOM_BLOCKS`](Self::WATCHDOG_HEADROOM_BLOCKS).
+    pub fn envelope_watchdog_budget(profile: &babol_flash::PackageProfile) -> SimDuration {
+        babol_verify::envelope::worst_op_envelope(profile)
+            * (profile.geometry.pages_per_block as u64 * Self::WATCHDOG_HEADROOM_BLOCKS)
+    }
 
     /// Builds the SSD, retiring the factory bad-block map up front.
     ///
@@ -204,13 +219,18 @@ impl Ssd {
             metrics_gauge_window: u64::MAX,
             metrics_wear_spread: 0,
             metrics_pending: (SimTime::ZERO, 0),
-            watchdog: Watchdog::new(Self::DEFAULT_WATCHDOG_BUDGET),
+            // Armed with the envelope-derived budget at `run` start, when
+            // the target package profile is in hand.
+            watchdog: Watchdog::disarmed(),
+            watchdog_auto: true,
             cfg,
         }
     }
 
-    /// Overrides the stall watchdog budget; `None` disarms it.
+    /// Overrides the envelope-derived stall watchdog budget; `None`
+    /// disarms it.
     pub fn set_watchdog(&mut self, budget: Option<SimDuration>) {
+        self.watchdog_auto = false;
         self.watchdog = match budget {
             Some(b) => Watchdog::new(b),
             None => Watchdog::disarmed(),
@@ -361,6 +381,16 @@ impl Ssd {
         wl: FioWorkload,
     ) -> FioReport {
         let start = sys.now;
+        if self.watchdog_auto {
+            let profile = sys.channel.lun(0).profile();
+            let worst = babol_verify::envelope::worst_op_envelope(profile);
+            let budget = Self::envelope_watchdog_budget(profile);
+            sys.trace
+                .set_counter(Component::Ftl, Counter::EnvelopeWorstOpPs, worst.as_picos());
+            sys.trace
+                .set_counter(Component::Ftl, Counter::WatchdogBudgetPs, budget.as_picos());
+            self.watchdog = Watchdog::new(budget);
+        }
         self.watchdog.arm_at(start);
         self.metrics_prime();
         let mut rng = SplitMix64::new(wl.seed);
@@ -497,7 +527,7 @@ impl Ssd {
         sys.now = at;
         if self.watchdog.is_stalled(sys.now) {
             let mut s = format!(
-                "SSD stall watchdog: no completion (host or internal) for {:?} \
+                "SSD stall watchdog (V074 EnvelopeExceeded): no completion (host or internal) for {:?} \
                  (controller {}, {} in flight, {} events pending, {} GC cycles)\n",
                 self.watchdog.stalled_for(sys.now),
                 controller.name(),

@@ -14,7 +14,9 @@
 
 use babol_onfi::addr::AddrLayout;
 use babol_onfi::bus::ChipMask;
+use babol_onfi::feature::addr as feat;
 use babol_onfi::opcode::op;
+use babol_sim::SimDuration;
 use babol_ufsm::{DmaDest, Instr, Latch, PostWait, Transaction};
 
 use crate::rng::Rng;
@@ -79,6 +81,17 @@ pub enum MutOp {
     EmptyTransaction,
     /// End the stream with a latch sequence mid-flight.
     DanglingSequence,
+    /// Stretch a timer far past the longest worst-case array window.
+    UnboundedTimer,
+    /// Append a zero-byte data mover: an instruction with no waveform.
+    DeadPhase,
+    /// Duplicate a wait: a trailing timer on a completed status poll,
+    /// pausing a LUN the stream just proved idle.
+    DuplicateWait,
+    /// Arm the pSLC feature from a DRAM payload, then program: the array
+    /// time becomes statically unknowable (SLC or nominal), blowing the
+    /// envelope width past the V073 threshold.
+    AmbiguousPslc,
 }
 
 impl MutOp {
@@ -105,6 +118,10 @@ impl MutOp {
         MutOp::DmaOutOfBounds,
         MutOp::EmptyTransaction,
         MutOp::DanglingSequence,
+        MutOp::UnboundedTimer,
+        MutOp::DeadPhase,
+        MutOp::DuplicateWait,
+        MutOp::AmbiguousPslc,
     ];
 
     /// The operator's name, for reports.
@@ -131,6 +148,10 @@ impl MutOp {
             MutOp::DmaOutOfBounds => "dma-out-of-bounds",
             MutOp::EmptyTransaction => "empty-transaction",
             MutOp::DanglingSequence => "dangling-sequence",
+            MutOp::UnboundedTimer => "unbounded-timer",
+            MutOp::DeadPhase => "dead-phase",
+            MutOp::DuplicateWait => "duplicate-wait",
+            MutOp::AmbiguousPslc => "ambiguous-pslc",
         }
     }
 
@@ -157,6 +178,10 @@ impl MutOp {
             MutOp::DmaOutOfBounds => "V050",
             MutOp::EmptyTransaction => "V060",
             MutOp::DanglingSequence => "V061",
+            MutOp::UnboundedTimer => "V070",
+            MutOp::DeadPhase => "V071",
+            MutOp::DuplicateWait => "V072",
+            MutOp::AmbiguousPslc => "V073",
         }
     }
 
@@ -448,6 +473,73 @@ impl MutOp {
                     vec![Latch::Cmd(op::READ_1), Latch::Addr(full)],
                     PostWait::None,
                 ));
+                Some(out)
+            }
+            MutOp::UnboundedTimer => {
+                // A one-second pause: orders of magnitude past the longest
+                // worst-case array window of any shipped package. Appended
+                // to a random transaction — V070 is positional-state-free.
+                let t = rng.next_below(stream.len() as u64) as usize;
+                let (mask, mut instrs) = parts(&stream[t]);
+                instrs.push(Instr::Timer {
+                    duration: SimDuration::from_secs(1),
+                });
+                out[t] = rebuild(mask, instrs);
+                Some(out)
+            }
+            MutOp::DeadPhase => {
+                // A zero-byte read emits no bus phases at all: the
+                // instruction exists only in the program text.
+                let t = rng.next_below(stream.len() as u64) as usize;
+                let (mask, mut instrs) = parts(&stream[t]);
+                instrs.push(Instr::DataReader {
+                    bytes: 0,
+                    dest: DmaDest::Inline,
+                });
+                out[t] = rebuild(mask, instrs);
+                Some(out)
+            }
+            MutOp::DuplicateWait => {
+                // From power-on the LUN is provably idle; a status poll
+                // keeps it that way, so the trailing timer waits for
+                // nothing the stream could possibly have in flight.
+                out.insert(
+                    0,
+                    Transaction::new(ChipMask::single(0))
+                        .ca(vec![Latch::Cmd(op::READ_STATUS)], PostWait::Whr)
+                        .read(1, DmaDest::Inline)
+                        .timer(SimDuration::from_nanos(200)),
+                );
+                Some(out)
+            }
+            MutOp::AmbiguousPslc => {
+                // SET FEATURES 0x91 whose payload lives in DRAM: the static
+                // pass cannot see whether pSLC is on, so the next program's
+                // busy window is the hull of tPROG and tPROG(SLC) — wide
+                // enough to trip the V073 width threshold.
+                let full = vec![0u8; ctx.layout.full_cycles()];
+                out.insert(
+                    0,
+                    Transaction::new(ChipMask::single(0))
+                        .ca(
+                            vec![
+                                Latch::Cmd(op::SET_FEATURES),
+                                Latch::Addr(vec![feat::PSLC_ENABLE]),
+                            ],
+                            PostWait::Adl,
+                        )
+                        .write(4, 0),
+                );
+                out.insert(
+                    1,
+                    Transaction::new(ChipMask::single(0))
+                        .ca(
+                            vec![Latch::Cmd(op::PROGRAM_1), Latch::Addr(full)],
+                            PostWait::Adl,
+                        )
+                        .write(64, 0)
+                        .ca(vec![Latch::Cmd(op::PROGRAM_2)], PostWait::Wb),
+                );
                 Some(out)
             }
         }

@@ -412,11 +412,18 @@ pub enum Counter {
     EnergyErasePj,
     /// Energy spent moving data over the channel bus, picojoules.
     EnergyTransferPj,
+    /// Static envelope maximum of the worst single well-formed operation
+    /// on the target package, picoseconds (basis of the V074 watchdog
+    /// budget).
+    EnvelopeWorstOpPs,
+    /// The armed stall-watchdog budget, picoseconds (envelope-derived
+    /// unless the run pinned it).
+    WatchdogBudgetPs,
 }
 
 impl Counter {
     /// Number of counters (array dimension for storage).
-    pub const COUNT: usize = 28;
+    pub const COUNT: usize = 30;
 
     /// All counters, in display order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -448,6 +455,8 @@ impl Counter {
         Counter::EnergyProgramPj,
         Counter::EnergyErasePj,
         Counter::EnergyTransferPj,
+        Counter::EnvelopeWorstOpPs,
+        Counter::WatchdogBudgetPs,
     ];
 
     /// Dense index for array storage.
@@ -487,12 +496,15 @@ impl Counter {
             Counter::EnergyProgramPj => "energy_program_pj",
             Counter::EnergyErasePj => "energy_erase_pj",
             Counter::EnergyTransferPj => "energy_transfer_pj",
+            Counter::EnvelopeWorstOpPs => "envelope_worst_op_ps",
+            Counter::WatchdogBudgetPs => "watchdog_budget_ps",
         }
     }
 
     /// The FTL production counters carried in the jsonl footer (cache,
-    /// wear, bad-block, and energy accounting), in footer key order.
-    pub const FTL_FOOTER: [Counter; 9] = [
+    /// wear, bad-block, energy accounting, and the static-envelope
+    /// watchdog basis), in footer key order.
+    pub const FTL_FOOTER: [Counter; 11] = [
         Counter::CacheHits,
         Counter::CacheMisses,
         Counter::CacheDirtyEvicts,
@@ -502,6 +514,8 @@ impl Counter {
         Counter::EnergyProgramPj,
         Counter::EnergyErasePj,
         Counter::EnergyTransferPj,
+        Counter::EnvelopeWorstOpPs,
+        Counter::WatchdogBudgetPs,
     ];
 }
 

@@ -90,6 +90,70 @@ impl EmitConfig {
         }
         total
     }
+
+    /// Per-instruction timing metadata: where on the bus each instruction's
+    /// waveform starts and ends, and the end offset of every C/A latch
+    /// phase (the channel delivers each phase at its *end*, so a confirm
+    /// command's latch-end offset is the instant a LUN starts its array
+    /// busy). Mirrors the exact phase expansion of [`execute`]: a zero
+    /// post-wait emits no pause, every data-in packet is preceded by the
+    /// DMA descriptor gap, data-out packets only when headed to DRAM.
+    ///
+    /// The last instruction's `end` equals [`EmitConfig::duration_of`].
+    pub fn phase_timings(&self, txn: &Transaction) -> Vec<InstrTiming> {
+        let mut out = Vec::with_capacity(txn.instrs().len());
+        let mut at = SimDuration::ZERO;
+        for instr in txn.instrs() {
+            let start = at;
+            let mut latch_ends = Vec::new();
+            match instr {
+                Instr::CaWriter { latches, post } => {
+                    for latch in latches {
+                        at += match latch {
+                            Latch::Cmd(_) => self.timing.ca_segment(self.iface, 1),
+                            Latch::Addr(bytes) => self.timing.ca_segment(self.iface, bytes.len()),
+                        };
+                        latch_ends.push(at);
+                    }
+                    at += self.post_wait(*post);
+                }
+                Instr::DataWriter { bytes, .. } => {
+                    for pkt in self.packetizer.packets(*bytes) {
+                        at += self.packetizer.packet_gap;
+                        at += self.timing.data_in_burst(self.iface, pkt);
+                    }
+                }
+                Instr::DataReader { bytes, dest } => {
+                    for pkt in self.packetizer.packets(*bytes) {
+                        if matches!(dest, DmaDest::Dram(_)) {
+                            at += self.packetizer.packet_gap;
+                        }
+                        at += self.timing.data_out_burst(self.iface, pkt);
+                    }
+                }
+                Instr::Timer { duration } => at += *duration,
+            }
+            out.push(InstrTiming {
+                start,
+                end: at,
+                latch_ends,
+            });
+        }
+        out
+    }
+}
+
+/// Bus timing of one μFSM instruction within its transaction, as offsets
+/// from the transaction's first phase. See [`EmitConfig::phase_timings`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstrTiming {
+    /// Offset where the instruction's first phase begins.
+    pub start: SimDuration,
+    /// Offset where its waveform (including post-wait and DMA gaps) ends.
+    pub end: SimDuration,
+    /// For a C/A Writer: the end offset of each latch phase, in latch
+    /// order. Empty for data movers and timers.
+    pub latch_ends: Vec<SimDuration>,
 }
 
 /// Result of executing one transaction.
@@ -339,6 +403,39 @@ mod tests {
         let planned = cfg.duration_of(&txn);
         let out = execute(&mut ch, &mut dram, &cfg, SimTime::ZERO, &txn).unwrap();
         assert_eq!(out.end - SimTime::ZERO, planned);
+    }
+
+    #[test]
+    fn phase_timings_tile_the_transaction() {
+        let cfg = EmitConfig::nv_ddr2(200);
+        let txn = Transaction::new(ChipMask::single(0))
+            .ca(
+                vec![Latch::Cmd(op::PROGRAM_1), Latch::Addr(vec![0, 0, 0, 0, 0])],
+                PostWait::Adl,
+            )
+            .write(4096, 0x1000)
+            .ca(vec![Latch::Cmd(op::PROGRAM_2)], PostWait::Wb);
+        let marks = cfg.phase_timings(&txn);
+        assert_eq!(marks.len(), txn.instrs().len());
+        // Instructions tile the bus: each starts where the previous ended.
+        assert_eq!(marks[0].start, SimDuration::ZERO);
+        for w in marks.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        assert_eq!(marks.last().unwrap().end, cfg.duration_of(&txn));
+        // The confirm latch ends before the tWB pause does.
+        let confirm = &marks[2];
+        assert_eq!(confirm.latch_ends.len(), 1);
+        assert_eq!(
+            confirm.latch_ends[0],
+            confirm.start + cfg.timing.ca_segment(cfg.iface, 1)
+        );
+        assert_eq!(confirm.end, confirm.latch_ends[0] + cfg.timing.t_wb);
+        // Zero post-wait emits no pause: end == last latch end.
+        let bare = Transaction::new(ChipMask::single(0))
+            .ca(vec![Latch::Cmd(op::READ_STATUS)], PostWait::None);
+        let m = cfg.phase_timings(&bare);
+        assert_eq!(m[0].end, m[0].latch_ends[0]);
     }
 
     #[test]

@@ -50,17 +50,21 @@
 mod machine;
 
 pub mod diag;
+pub mod envelope;
 pub mod rules;
 
 pub use diag::{Diagnostic, Report};
+pub use envelope::{EnergyCosts, Envelope, EnvelopeAnalyzer, EnvelopeConfig, Interval};
 pub use rules::{Rule, Severity};
 
 use babol_channel::Channel;
 use babol_flash::PackageProfile;
 use babol_onfi::addr::AddrLayout;
-use babol_onfi::bus::{BusPhase, ChipMask};
+use babol_onfi::bus::{BusPhase, ChipMask, PhaseKind};
+use babol_onfi::opcode::op;
 use babol_onfi::timing::TimingParams;
-use babol_ufsm::{Instr, Transaction};
+use babol_sim::SimDuration;
+use babol_ufsm::{Instr, Latch, Transaction};
 
 use machine::{LunState, Machine};
 
@@ -79,6 +83,10 @@ pub struct TargetModel {
     pub luns: u32,
     /// Modelled DRAM size for DMA bounds checks (`None` disables V050).
     pub dram_bytes: Option<u64>,
+    /// The longest worst-case array-busy window of the package
+    /// ([`PackageProfile::worst_array_window`]): a timer or pause longer
+    /// than this cannot correspond to any protocol wait (V070).
+    pub worst_wait: SimDuration,
 }
 
 impl TargetModel {
@@ -92,6 +100,7 @@ impl TargetModel {
             pages_per_block: g.pages_per_block,
             luns: profile.luns_per_channel,
             dram_bytes: None,
+            worst_wait: profile.worst_array_window(),
         }
     }
 
@@ -210,6 +219,66 @@ impl Verifier {
             }
         }
 
+        // Timing hygiene over the raw instruction list: waveform-free
+        // instructions and statically-unbounded waits (V07x family).
+        let mut reset_at: Option<usize> = None;
+        for (at, instr) in instrs.iter().enumerate() {
+            if let Some(r) = reset_at {
+                // RESET holds the LUN busy for the rest of the transaction
+                // and only status/reset commands would be accepted: the
+                // tail cannot take effect.
+                self.push_instr_diag(
+                    Rule::DeadInstr,
+                    t,
+                    at,
+                    &format!("unreachable: follows the RESET confirm at instruction {r}"),
+                );
+                break;
+            }
+            match instr {
+                Instr::CaWriter { latches, .. } if latches.is_empty() => self.push_instr_diag(
+                    Rule::DeadInstr,
+                    t,
+                    at,
+                    "C/A writer with no latches emits no waveform",
+                ),
+                Instr::CaWriter { latches, .. }
+                    if latches
+                        .iter()
+                        .any(|l| matches!(l, Latch::Cmd(op::RESET | op::SYNC_RESET))) =>
+                {
+                    reset_at = Some(at);
+                }
+                Instr::DataWriter { bytes: 0, .. } => self.push_instr_diag(
+                    Rule::DeadInstr,
+                    t,
+                    at,
+                    "zero-byte data-in emits no phases",
+                ),
+                Instr::DataReader { bytes: 0, .. } => self.push_instr_diag(
+                    Rule::DeadInstr,
+                    t,
+                    at,
+                    "zero-byte data-out emits no phases",
+                ),
+                Instr::Timer { duration } if duration.is_zero() => {
+                    self.push_instr_diag(Rule::DeadInstr, t, at, "zero-length timer emits no pause")
+                }
+                Instr::Timer { duration } if *duration > self.model.worst_wait => self
+                    .push_instr_diag(
+                        Rule::UnboundedWait,
+                        t,
+                        at,
+                        &format!(
+                            "timer of {duration:?} exceeds the longest worst-case array window \
+                             ({:?}) — no protocol wait can need it",
+                            self.model.worst_wait
+                        ),
+                    ),
+                _ => {}
+            }
+        }
+
         let segs = machine::lower_instrs(instrs);
         let last_at = instrs.len().saturating_sub(1);
         // Data-out only drives from the lowest selected LUN (see
@@ -239,6 +308,20 @@ impl Verifier {
             self.push_txn_diag(Rule::EmptyChipMask, t, "chip mask selects no LUNs");
             return;
         }
+        for (at, phase) in phases.iter().enumerate() {
+            if matches!(phase.kind, PhaseKind::Pause) && phase.duration > self.model.worst_wait {
+                self.push_instr_diag(
+                    Rule::UnboundedWait,
+                    t,
+                    at,
+                    &format!(
+                        "pause of {:?} exceeds the longest worst-case array window ({:?}) — \
+                         no protocol wait can need it",
+                        phase.duration, self.model.worst_wait
+                    ),
+                );
+            }
+        }
         let segs = machine::lower_phases(phases);
         let last_at = phases.len().saturating_sub(1);
         let driver = chips.iter().next();
@@ -249,6 +332,17 @@ impl Verifier {
             m.end_of_transaction(chip, &mut state, last_at);
             self.luns[chip as usize] = state;
         }
+    }
+
+    fn push_instr_diag(&mut self, rule: Rule, txn: usize, at: usize, detail: &str) {
+        self.report.push(Diagnostic {
+            rule,
+            severity: rule.severity(),
+            txn,
+            at: Some(at),
+            lun: None,
+            detail: detail.to_string(),
+        });
     }
 
     fn push_txn_diag(&mut self, rule: Rule, txn: usize, detail: &str) {
@@ -540,5 +634,101 @@ mod tests {
         ];
         v.check_phases(ChipMask::single(0), &phases, &timing);
         assert!(v.report().has_rule(Rule::MissingWait));
+    }
+
+    #[test]
+    fn second_long_timer_is_an_unbounded_wait() {
+        // No protocol wait on any shipped package needs a full second.
+        let txn = Transaction::new(ChipMask::single(0))
+            .ca(
+                vec![
+                    Latch::Cmd(op::READ_1),
+                    Latch::Addr(addr_full(0, 0, 0)),
+                    Latch::Cmd(op::READ_2),
+                ],
+                PostWait::None,
+            )
+            .timer(SimDuration::from_millis(1000));
+        let report = verify_transaction(&model(), &txn);
+        assert!(report.has_rule(Rule::UnboundedWait), "{report}");
+        // A timer inside the worst array window is fine.
+        let bounded = read_latch();
+        assert!(!verify_transaction(&model(), &bounded).has_rule(Rule::UnboundedWait));
+    }
+
+    #[test]
+    fn phase_mode_flags_unbounded_pauses() {
+        use babol_onfi::bus::PhaseKind;
+        let timing = TimingParams::nv_ddr2();
+        let mut v = Verifier::sequence(model());
+        let phases = vec![BusPhase::new(
+            PhaseKind::Pause,
+            SimDuration::from_millis(1000),
+        )];
+        v.check_phases(ChipMask::single(0), &phases, &timing);
+        assert!(v.report().has_rule(Rule::UnboundedWait), "{}", v.report());
+    }
+
+    #[test]
+    fn waveform_free_instructions_are_dead() {
+        // Zero-byte data movers and zero timers emit no phases at all.
+        let txn = Transaction::new(ChipMask::single(0))
+            .ca(vec![Latch::Cmd(op::READ_STATUS)], PostWait::Whr)
+            .read(0, DmaDest::Inline)
+            .timer(SimDuration::ZERO);
+        let report = verify_transaction(&model(), &txn);
+        let dead: Vec<_> = report
+            .diags()
+            .iter()
+            .filter(|d| d.rule == Rule::DeadInstr)
+            .collect();
+        assert_eq!(dead.len(), 2, "{report}");
+        assert_eq!(dead[0].at, Some(1));
+        assert_eq!(dead[1].at, Some(2));
+    }
+
+    #[test]
+    fn instructions_after_a_reset_confirm_are_unreachable() {
+        // RESET tears down the decode pipeline and goes busy for tRST; any
+        // instruction after it in the same transaction never does useful
+        // work (status polls must come in a later transaction).
+        let txn = Transaction::new(ChipMask::single(0))
+            .ca(vec![Latch::Cmd(op::RESET)], PostWait::Wb)
+            .ca(vec![Latch::Cmd(op::READ_STATUS)], PostWait::Whr)
+            .read(1, DmaDest::Inline);
+        let report = verify_transaction(&model(), &txn);
+        assert!(report.has_rule(Rule::DeadInstr), "{report}");
+        // A bare reset is clean.
+        let bare =
+            Transaction::new(ChipMask::single(0)).ca(vec![Latch::Cmd(op::RESET)], PostWait::Wb);
+        assert!(!verify_transaction(&model(), &bare).has_rule(Rule::DeadInstr));
+    }
+
+    #[test]
+    fn redundant_timer_after_a_post_wait() {
+        // After a complete status poll the LUN is known idle; a trailing
+        // timer that is not a data-setup guard is pure waste.
+        let txn = Transaction::new(ChipMask::single(0))
+            .ca(vec![Latch::Cmd(op::READ_STATUS)], PostWait::Whr)
+            .read(1, DmaDest::Inline)
+            .timer(SimDuration::from_nanos(200));
+        // Sequence mode: from power-on the LUN is *known* idle, so the
+        // pause provably waits for nothing. (Single-transaction mode
+        // cannot conclude this — prior history is unknown.)
+        let report = verify_stream(&model(), &[txn]);
+        assert!(report.has_rule(Rule::RedundantWait), "{report}");
+        // The stand-in timer from `timer_can_stand_in_for_a_post_wait`
+        // stays clean: it substitutes for a missing post-wait.
+        let stand_in = Transaction::new(ChipMask::single(0))
+            .ca(
+                vec![
+                    Latch::Cmd(op::READ_1),
+                    Latch::Addr(addr_full(0, 0, 0)),
+                    Latch::Cmd(op::READ_2),
+                ],
+                PostWait::None,
+            )
+            .timer(SimDuration::from_nanos(200));
+        assert!(!verify_transaction(&model(), &stand_in).has_rule(Rule::RedundantWait));
     }
 }

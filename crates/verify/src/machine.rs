@@ -459,6 +459,25 @@ impl<'a> Machine<'a> {
                     }
                 }
                 SegKind::Timer => {
+                    // A timer is purposeful when something could be in
+                    // flight on the LUN (a busy-wait or a stand-in for a
+                    // confirm's tWB) or when it precedes a data phase (a
+                    // hand-rolled tWHR/tCCS/tADL turnaround). With the LUN
+                    // known idle and no data phase next, it only inflates
+                    // the worst-case execution time.
+                    let before_data = matches!(
+                        segs.get(i + 1).map(|s| &s.kind),
+                        Some(SegKind::Din { .. }) | Some(SegKind::Dout { .. })
+                    );
+                    if state.busy == Busy::Idle && !before_data {
+                        self.diag(
+                            Rule::RedundantWait,
+                            seg.at,
+                            lun_id,
+                            "timer pause while the LUN is known idle — nothing to wait for"
+                                .to_string(),
+                        );
+                    }
                     // An explicit pause gives a just-started array
                     // operation time to complete: certainty is lost.
                     state.demote_busy();
@@ -1064,6 +1083,12 @@ impl<'a> Machine<'a> {
         dest: Option<DmaDest>,
         at: usize,
     ) {
+        // A zero-byte mover emits no bus phases, so the simulator never
+        // consults the LUN: none of the sim-enforced checks below can
+        // apply. V071 (dead instruction) is the right diagnosis.
+        if bytes == 0 {
+            return;
+        }
         // DMA window check (model-dependent; only when a DRAM size is set).
         if let (Some(DmaDest::Dram(base)), Some(limit)) = (dest, self.model.dram_bytes) {
             let end = base.checked_add(bytes as u64);

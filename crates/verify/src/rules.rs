@@ -5,7 +5,7 @@
 //! and DESIGN.md can refer to them; the numeric grouping mirrors the check
 //! families: `V00x` command sequencing, `V01x` mandatory waits, `V02x` data
 //! phases, `V03x` busy discipline, `V04x` chip selection, `V05x` DMA, `V06x`
-//! transaction hygiene.
+//! transaction hygiene, `V07x` timing & energy envelopes.
 
 use std::fmt;
 
@@ -89,6 +89,27 @@ pub enum Rule {
     /// V061: transaction ends mid-sequence (pending address or confirm) —
     /// not a legal deschedule point.
     DanglingSequence,
+    /// V070: a timer (or phase-mode pause) longer than the longest
+    /// worst-case array window — it cannot correspond to any protocol
+    /// wait, so the WCET envelope is effectively unbounded by protocol
+    /// needs.
+    UnboundedWait,
+    /// V071: instruction emits no waveform (zero-byte transfer,
+    /// zero-length timer, empty latch list) or is unreachable behind a
+    /// terminal RESET confirm in the same transaction.
+    DeadInstr,
+    /// V072: a timer pause with no protocol purpose — nothing is in
+    /// flight on the LUN and no wait is owed — inflating WCET for free.
+    RedundantWait,
+    /// V073: envelope width (max/min duration ratio) beyond the
+    /// configured threshold: the program's cost is jitter-dominated or
+    /// depends on state the analyzer cannot resolve (e.g. a pSLC feature
+    /// toggle with data-dependent value).
+    WideEnvelope,
+    /// V074: dynamic only — an execution exceeded its static envelope
+    /// (stall watchdog budget derived from envelope maxima). Never
+    /// emitted statically; the id names the watchdog's panic cause.
+    EnvelopeExceeded,
 }
 
 impl Rule {
@@ -117,6 +138,11 @@ impl Rule {
         Rule::DmaOutOfBounds,
         Rule::EmptyTransaction,
         Rule::DanglingSequence,
+        Rule::UnboundedWait,
+        Rule::DeadInstr,
+        Rule::RedundantWait,
+        Rule::WideEnvelope,
+        Rule::EnvelopeExceeded,
     ];
 
     /// The stable rule id.
@@ -145,6 +171,11 @@ impl Rule {
             Rule::DmaOutOfBounds => "V050",
             Rule::EmptyTransaction => "V060",
             Rule::DanglingSequence => "V061",
+            Rule::UnboundedWait => "V070",
+            Rule::DeadInstr => "V071",
+            Rule::RedundantWait => "V072",
+            Rule::WideEnvelope => "V073",
+            Rule::EnvelopeExceeded => "V074",
         }
     }
 
@@ -174,6 +205,11 @@ impl Rule {
             Rule::DmaOutOfBounds => "DMA range outside the modelled DRAM",
             Rule::EmptyTransaction => "transaction has no instructions",
             Rule::DanglingSequence => "transaction ends mid-sequence",
+            Rule::UnboundedWait => "wait longer than any worst-case array window",
+            Rule::DeadInstr => "instruction emits no waveform or is unreachable",
+            Rule::RedundantWait => "timer pause with no protocol purpose",
+            Rule::WideEnvelope => "duration envelope wider than the threshold ratio",
+            Rule::EnvelopeExceeded => "execution exceeded its static envelope",
         }
     }
 
@@ -187,7 +223,11 @@ impl Rule {
             | Rule::OversizeDataIn
             | Rule::MaybeBusyViolation
             | Rule::EmptyTransaction
-            | Rule::DanglingSequence => Severity::Warning,
+            | Rule::DanglingSequence
+            | Rule::UnboundedWait
+            | Rule::DeadInstr
+            | Rule::RedundantWait
+            | Rule::WideEnvelope => Severity::Warning,
             _ => Severity::Error,
         }
     }

@@ -21,8 +21,24 @@ step "determinism lint (scripts/lint.sh)"
 step "cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-step "protocol lint (ufsm_lint --deny-warnings)"
-cargo run --release --offline --example ufsm_lint -- --deny-warnings
+step "protocol + envelope lint (ufsm_lint --envelopes --deny-warnings)"
+cargo run --release --offline --example ufsm_lint -- --envelopes --deny-warnings
+
+step "lint JSON smoke (ufsm_lint --envelopes --json, schema babol-lint-v1)"
+cargo run --release --offline --example ufsm_lint -- --envelopes --json \
+  > /tmp/babol_lint.json
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+d = json.load(open("/tmp/babol_lint.json"))
+assert d["schema"] == "babol-lint-v1", f"bad schema: {d.get('schema')}"
+assert d["summary"]["programs"] == len(d["programs"]) == 92
+assert all(p["envelope"] is not None for p in d["programs"])
+print(f"lint JSON OK: {len(d['programs'])} programs")
+EOF
+else
+  echo "python3 not found; skipped lint JSON validation"
+fi
 
 step "cargo build --release --offline"
 cargo build --release --offline
@@ -32,6 +48,13 @@ cargo test --workspace -q --offline
 
 step "verifier mutation gate"
 cargo test --offline -q --test verify_mutations --test verify_differential
+
+# Envelope soundness: the differential run above replays >=10k random
+# transactions at three jitter levels against the static [min, max];
+# this adds the cross-crate audits (energy table parity with the FTL,
+# DESIGN.md rule-registry consistency).
+step "envelope soundness gate (cross-crate audits)"
+cargo test --offline -q --test envelope_audit
 
 # The FTL property suite: differential models for wear leveling, bad-block
 # retirement, and the write-back cache. Already part of the workspace test

@@ -23,7 +23,8 @@ use babol::lintcap::{self, OpKind};
 use babol_flash::PackageProfile;
 use babol_testkit::mutate::{MutOp, MutateCtx};
 use babol_testkit::rng::Xoshiro256pp;
-use babol_ufsm::Transaction;
+use babol_ufsm::{EmitConfig, Transaction};
+use babol_verify::envelope::{EnvelopeAnalyzer, EnvelopeConfig};
 use babol_verify::{verify_stream, Report, TargetModel};
 
 use common::sim_replay;
@@ -67,14 +68,30 @@ fn report_codes(report: &Report) -> Vec<&'static str> {
     report.diags().iter().map(|d| d.rule.code()).collect()
 }
 
+/// Static verdict on a stream: the instruction/waveform verifier merged with
+/// the envelope analyzer's diagnostics (V073 is only ever raised by the
+/// latter, so mutants targeting it need this combined view).
+fn full_verify(profile: &PackageProfile, m: &TargetModel, stream: &[Transaction]) -> Report {
+    let mut report = verify_stream(m, stream);
+    let emit = EmitConfig::nv_ddr2(profile.max_mts.min(200));
+    let mut analyzer =
+        EnvelopeAnalyzer::new(profile, profile.luns_per_channel, EnvelopeConfig::new(emit));
+    for txn in stream {
+        analyzer.transaction_envelope(txn);
+    }
+    let (_, env_report) = analyzer.finish();
+    report.merge(env_report);
+    report
+}
+
 #[test]
 fn baseline_is_clean_and_replays() {
     let profile = PackageProfile::test_tiny();
     let stream = baseline(&profile);
-    let report = verify_stream(&model(&profile), &stream);
+    let report = full_verify(&profile, &model(&profile), &stream);
     assert!(
         report.is_clean(),
-        "mutation baseline must be lint-clean:\n{report}"
+        "mutation baseline must be lint-clean (verifier + envelope analyzer):\n{report}"
     );
     sim_replay(&profile, &stream).expect("mutation baseline must replay cleanly");
 }
@@ -99,7 +116,7 @@ fn every_mutation_is_caught_with_its_rule() {
             .unwrap_or_else(|| panic!("{}: no fault site in the baseline stream", op.name()));
         assert_ne!(mutant, stream, "{}: mutation was a no-op", op.name());
 
-        let report = verify_stream(&m, &mutant);
+        let report = full_verify(&profile, &m, &mutant);
         let expected = op.expected_rule();
         assert!(
             report.diags().iter().any(|d| d.rule.code() == expected),
@@ -125,6 +142,54 @@ fn every_mutation_is_caught_with_its_rule() {
         sim_caught > 0,
         "no mutant tripped the flash model; the replay harness is not exercising it"
     );
+}
+
+/// Audit of `Rule::sim_enforced()` against the model, operator by
+/// operator: whenever the merged static report (verifier + envelope
+/// analyzer) contains **no** sim-enforced finding, the flash model must
+/// accept the mutant — a rejection would mean some rule is enforcing at
+/// execute time without being marked. The four timing operators are
+/// additionally pinned down as advisory: warnings only, and the simulator
+/// executes them to completion (V070–V073 are exactly the faults only the
+/// static pass can see).
+#[test]
+fn sim_enforced_marking_matches_the_model() {
+    let profile = PackageProfile::test_tiny();
+    let stream = baseline(&profile);
+    let m = model(&profile);
+    let ctx = mutate_ctx(&m);
+
+    for (i, &op) in MutOp::ALL.iter().enumerate() {
+        let mut rng = Xoshiro256pp::new(0xB0B0_0000 + i as u64);
+        let Some(mutant) = op.apply(&stream, &ctx, &mut rng) else {
+            continue;
+        };
+        let report = full_verify(&profile, &m, &mutant);
+        let marked = report.diags().iter().any(|d| d.rule.sim_enforced());
+        let sim = sim_replay(&profile, &mutant);
+        if !marked {
+            assert!(
+                sim.is_ok(),
+                "{}: no sim-enforced finding, yet the model rejected the \
+                 mutant ({}); a rule needs sim_enforced() = true:\n{report}",
+                op.name(),
+                sim.unwrap_err(),
+            );
+        }
+        if op.expected_rule().starts_with("V07") {
+            assert!(
+                !report.has_errors(),
+                "{}: timing mutants must be warning-only:\n{report}",
+                op.name(),
+            );
+            assert!(
+                sim.is_ok(),
+                "{}: timing mutants must replay cleanly, got {}",
+                op.name(),
+                sim.unwrap_err(),
+            );
+        }
+    }
 }
 
 #[test]
